@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Figure 6 — average percentage of active threads in a warp, for the
+ * Flat, CDP and DTBL implementations of every benchmark.
+ *
+ * Paper expectations: CDP and DTBL raise warp activity about equally
+ * (average ~+10.7 points); amr and join_gaussian gain the most;
+ * clr_graph500 is flat and clr_cage15 slightly negative.
+ */
+
+#include <cstdio>
+
+#include "eval_common.hh"
+#include "harness/report.hh"
+
+using namespace dtbl;
+
+int
+main()
+{
+    const auto rows = runSweep({Mode::Flat, Mode::Cdp, Mode::Dtbl});
+
+    Table t({"benchmark", "Flat", "CDP", "DTBL", "dCDP", "dDTBL"});
+    double sumFlat = 0, sumCdp = 0, sumDtbl = 0;
+    for (const auto &r : rows) {
+        const double f = r.at(Mode::Flat).report.warpActivityPct;
+        const double c = r.at(Mode::Cdp).report.warpActivityPct;
+        const double d = r.at(Mode::Dtbl).report.warpActivityPct;
+        sumFlat += f;
+        sumCdp += c;
+        sumDtbl += d;
+        t.addRow({r.bench, Table::num(f, 1), Table::num(c, 1),
+                  Table::num(d, 1), Table::num(c - f, 1),
+                  Table::num(d - f, 1)});
+    }
+    const double n = double(rows.size());
+    t.addRow({"average", Table::num(sumFlat / n, 1),
+              Table::num(sumCdp / n, 1), Table::num(sumDtbl / n, 1),
+              Table::num((sumCdp - sumFlat) / n, 1),
+              Table::num((sumDtbl - sumFlat) / n, 1)});
+
+    std::printf("\nFigure 6: warp activity percentage "
+                "(average %% of active threads per issued warp "
+                "instruction)\n\n");
+    t.print();
+    std::printf("\nPaper: CDP/DTBL increase warp activity by ~10.7 "
+                "points on average; both\nvariants regularize control "
+                "flow equally since they launch the same dynamic\n"
+                "workloads.\n");
+    return 0;
+}

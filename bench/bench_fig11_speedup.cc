@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Figure 11 — overall speedup over the flat implementation for CDPI,
+ * DTBLI, CDP and DTBL (total simulated kernel cycles; host<->device
+ * transfer time excluded, as in the paper).
+ *
+ * Paper expectations: CDPI 1.43x, DTBLI 1.63x, CDP 0.86x (slowdown),
+ * DTBL 1.21x average; bfs_usa_road and sssp_flight ~1.0 (no DFP);
+ * clr_graph500 (0.97x) and regx_string (0.95x) slightly below 1 for
+ * DTBL.
+ */
+
+#include <cstdio>
+
+#include "eval_common.hh"
+#include "harness/report.hh"
+
+using namespace dtbl;
+
+int
+main()
+{
+    const auto rows = runSweep({Mode::Flat, Mode::CdpIdeal,
+                                Mode::DtblIdeal, Mode::Cdp, Mode::Dtbl});
+
+    Table t({"benchmark", "CDPI", "DTBLI", "CDP", "DTBL"});
+    std::vector<double> sp[4];
+    for (const auto &r : rows) {
+        const double flat = double(r.at(Mode::Flat).report.cycles);
+        const Mode modes[4] = {Mode::CdpIdeal, Mode::DtblIdeal, Mode::Cdp,
+                               Mode::Dtbl};
+        std::vector<std::string> row{r.bench};
+        for (int i = 0; i < 4; ++i) {
+            const double s = flat / double(r.at(modes[i]).report.cycles);
+            sp[i].push_back(s);
+            row.push_back(Table::num(s, 2));
+        }
+        t.addRow(row);
+    }
+    t.addRow({"geomean", Table::num(Table::geomean(sp[0]), 2),
+              Table::num(Table::geomean(sp[1]), 2),
+              Table::num(Table::geomean(sp[2]), 2),
+              Table::num(Table::geomean(sp[3]), 2)});
+
+    std::printf("\nFigure 11: overall speedup over the flat "
+                "implementation\n\n");
+    t.print();
+    std::printf(
+        "\nPaper averages: CDPI 1.43x, DTBLI 1.63x, CDP 0.86x, DTBL "
+        "1.21x.\nThe expected shape: ideal modes fastest, CDP loses its "
+        "gains to launch\noverhead, DTBL keeps most of them; "
+        "bfs_usa_road / sssp_flight stay ~1.0.\n");
+    return 0;
+}

@@ -1,0 +1,130 @@
+/**
+ * @file
+ * Google-benchmark microbenchmarks of the simulator's hot components:
+ * AGT allocation, the coalescer, the cache model, the DRAM model and
+ * end-to-end simulated kernel throughput. These guard the simulator's
+ * own performance (host wall-clock), not the modelled GPU's.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "common/rng.hh"
+#include "core/agt.hh"
+#include "gpu/gpu.hh"
+#include "isa/kernel_builder.hh"
+#include "mem/cache.hh"
+#include "mem/coalescer.hh"
+#include "mem/dram.hh"
+
+using namespace dtbl;
+
+namespace {
+
+void
+BM_AgtAllocateRelease(benchmark::State &state)
+{
+    Agt agt(unsigned(state.range(0)));
+    AggGroup proto;
+    proto.numTbs = 4;
+    unsigned tid = 0;
+    for (auto _ : state) {
+        const std::int32_t id = agt.allocate(proto, tid++);
+        benchmark::DoNotOptimize(agt.group(id).onChip);
+        agt.release(id);
+    }
+}
+BENCHMARK(BM_AgtAllocateRelease)->Arg(512)->Arg(1024)->Arg(2048);
+
+void
+BM_CoalescerSequential(benchmark::State &state)
+{
+    Coalescer c(128);
+    std::array<Addr, warpSize> addrs{};
+    for (unsigned i = 0; i < warpSize; ++i)
+        addrs[i] = 0x1000 + i * 4;
+    for (auto _ : state)
+        benchmark::DoNotOptimize(c.coalesce(addrs, fullMask, 4));
+}
+BENCHMARK(BM_CoalescerSequential);
+
+void
+BM_CoalescerScattered(benchmark::State &state)
+{
+    Coalescer c(128);
+    Rng rng(7);
+    std::array<Addr, warpSize> addrs{};
+    for (unsigned i = 0; i < warpSize; ++i)
+        addrs[i] = rng.nextBounded(1 << 20) * 4;
+    for (auto _ : state)
+        benchmark::DoNotOptimize(c.coalesce(addrs, fullMask, 4));
+}
+BENCHMARK(BM_CoalescerScattered);
+
+void
+BM_CacheAccess(benchmark::State &state)
+{
+    CacheConfig cfg{16 * 1024, 128, 4, 28};
+    Cache cache(cfg, Cache::WritePolicy::WriteThrough);
+    Rng rng(13);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            cache.access(rng.nextBounded(1 << 22), false));
+    }
+}
+BENCHMARK(BM_CacheAccess);
+
+void
+BM_DramAccess(benchmark::State &state)
+{
+    Dram dram(DramConfig{}, 128);
+    Rng rng(17);
+    Cycle now = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            dram.access(rng.nextBounded(1 << 24) * 128, false, now));
+        ++now;
+    }
+}
+BENCHMARK(BM_DramAccess);
+
+/** End-to-end: simulated warp instructions per host second. */
+void
+BM_SimulatedVectorAdd(benchmark::State &state)
+{
+    for (auto _ : state) {
+        state.PauseTiming();
+        Program prog;
+        KernelBuilder b("vecadd", Dim3{128});
+        Reg tid = b.globalThreadIdX();
+        Reg nReg = b.ldParam(0);
+        Pred oob = b.setp(CmpOp::Ge, DataType::U32, tid, nReg);
+        b.exitIf(oob);
+        Reg aB = b.ldParam(4);
+        Reg oB = b.ldParam(8);
+        Reg off = b.shl(tid, 2);
+        Reg v = b.ld(MemSpace::Global, b.add(aB, off));
+        b.st(MemSpace::Global, b.add(oB, off), b.add(v, 1u));
+        const KernelFuncId k = b.build(prog);
+        GpuConfig cfg = GpuConfig::k20c();
+        cfg.globalMemBytes = 8 * 1024 * 1024;
+        Gpu gpu(cfg, prog);
+        const std::uint32_t n = 65536;
+        const Addr a = gpu.mem().allocate(n * 4);
+        const Addr o = gpu.mem().allocate(n * 4);
+        state.ResumeTiming();
+
+        gpu.launch(k, Dim3{n / 128},
+                   {n, std::uint32_t(a), std::uint32_t(o)});
+        gpu.synchronize();
+        state.counters["warp_instrs"] = benchmark::Counter(
+            double(gpu.stats().warpInstrsIssued),
+            benchmark::Counter::kIsRate);
+        state.counters["sim_cycles"] = benchmark::Counter(
+            double(gpu.now()), benchmark::Counter::kIsRate);
+    }
+}
+BENCHMARK(BM_SimulatedVectorAdd)->Unit(benchmark::kMillisecond);
+
+} // namespace
+
+BENCHMARK_MAIN();

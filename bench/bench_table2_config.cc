@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Table 2 — GPGPU-Sim configuration parameters.
+ *
+ * Prints the simulated configuration and checks it against the paper's
+ * Table 2 values for the Tesla K20c baseline.
+ */
+
+#include <cstdio>
+
+#include "common/config.hh"
+
+using namespace dtbl;
+
+namespace {
+
+int failures = 0;
+
+void
+check(const char *what, double got, double want)
+{
+    const bool ok = got == want;
+    std::printf("  %-44s %-12g %s\n", what, got, ok ? "OK" : "MISMATCH");
+    if (!ok)
+        ++failures;
+}
+
+} // namespace
+
+int
+main()
+{
+    const GpuConfig cfg = GpuConfig::k20c();
+    std::printf("Table 2: GPGPU-Sim configuration parameters\n");
+    std::printf("===========================================\n%s\n",
+                cfg.summary().c_str());
+
+    std::printf("Checks against the paper's Table 2:\n");
+    check("SMX clock (MHz)", cfg.smxClockMhz, 706);
+    check("Memory clock (MHz)", cfg.memClockMhz, 2600);
+    check("# of SMX", cfg.numSmx, 13);
+    check("Max resident thread blocks per SMX", cfg.maxResidentTbPerSmx,
+          16);
+    check("Max resident threads per SMX", cfg.maxResidentThreadsPerSmx,
+          2048);
+    check("32-bit registers per SMX", cfg.regsPerSmx, 65536);
+    check("L1 cache size per SMX (KB)", cfg.l1.sizeBytes / 1024.0, 16);
+    check("Shared memory per SMX (KB)", cfg.sharedMemPerSmx / 1024.0, 48);
+    check("Max concurrent kernels", cfg.maxConcurrentKernels, 32);
+
+    std::printf("\nTable 3 latency constants (cycles):\n");
+    check("cudaStreamCreateWithFlags", double(cfg.launch.streamCreate),
+          7165);
+    check("cudaGetParameterBuffer b",
+          double(cfg.launch.getParameterBuffer.base), 8023);
+    check("cudaGetParameterBuffer A",
+          double(cfg.launch.getParameterBuffer.per), 129);
+    check("cudaLaunchDevice b", double(cfg.launch.launchDevice.base),
+          12187);
+    check("cudaLaunchDevice A", double(cfg.launch.launchDevice.per), 1592);
+    check("Kernel dispatching", double(cfg.launch.kernelDispatch), 283);
+
+    std::printf("\n%s\n", failures == 0 ? "ALL CHECKS PASSED"
+                                        : "CONFIG CHECKS FAILED");
+    return failures == 0 ? 0 : 1;
+}

@@ -1,0 +1,47 @@
+#include "eval_common.hh"
+
+#include <cstdio>
+
+#include "apps/registry.hh"
+#include "common/log.hh"
+
+namespace dtbl {
+
+std::vector<EvalRow>
+runSweep(const std::vector<std::string> &ids,
+         const std::vector<Mode> &modes, const GpuConfig &base)
+{
+    std::vector<EvalRow> rows;
+    for (const auto &id : ids) {
+        EvalRow row;
+        row.bench = id;
+        for (Mode m : modes) {
+            std::fprintf(stderr, "  running %-16s %-5s ...", id.c_str(),
+                         modeName(m));
+            std::fflush(stderr);
+            auto app = makeBenchmark(id);
+            BenchResult r = runBenchmark(*app, m, base);
+            std::fprintf(stderr, " %10llu cycles%s\n",
+                         static_cast<unsigned long long>(r.report.cycles),
+                         r.verified ? "" : "  [VERIFY FAILED]");
+            if (!r.verified) {
+                DTBL_FATAL("verification failed for ", id, " in mode ",
+                           modeName(m));
+            }
+            row.results.emplace(m, std::move(r));
+        }
+        rows.push_back(std::move(row));
+    }
+    return rows;
+}
+
+std::vector<EvalRow>
+runSweep(const std::vector<Mode> &modes, const GpuConfig &base)
+{
+    std::vector<std::string> ids;
+    for (const auto &s : allBenchmarks())
+        ids.push_back(s.id);
+    return runSweep(ids, modes, base);
+}
+
+} // namespace dtbl

@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Shared sweep driver for the per-figure bench binaries: run a set of
+ * benchmarks across execution modes and collect their metrics.
+ */
+
+#ifndef DTBL_BENCH_EVAL_COMMON_HH
+#define DTBL_BENCH_EVAL_COMMON_HH
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "harness/runner.hh"
+
+namespace dtbl {
+
+struct EvalRow
+{
+    std::string bench;
+    std::map<Mode, BenchResult> results;
+
+    const BenchResult &
+    at(Mode m) const
+    {
+        return results.at(m);
+    }
+};
+
+/**
+ * Run every Table 4 benchmark in each of @p modes on @p base config.
+ * Progress is reported on stderr; verification failures are fatal so a
+ * figure is never produced from wrong results.
+ */
+std::vector<EvalRow> runSweep(const std::vector<Mode> &modes,
+                              const GpuConfig &base = GpuConfig::k20c());
+
+/** As runSweep but restricted to the given benchmark ids. */
+std::vector<EvalRow> runSweep(const std::vector<std::string> &ids,
+                              const std::vector<Mode> &modes,
+                              const GpuConfig &base = GpuConfig::k20c());
+
+} // namespace dtbl
+
+#endif // DTBL_BENCH_EVAL_COMMON_HH

@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Adaptive mesh refinement example: demonstrates self-coalescing DTBL
+ * launches (Figure 2(a) of the paper) — every refined cell spawns an
+ * aggregated group that coalesces back onto the refinement kernel
+ * itself, so one native kernel absorbs the whole recursion.
+ */
+
+#include <cstdio>
+
+#include "apps/amr.hh"
+#include "harness/runner.hh"
+
+using namespace dtbl;
+
+int
+main()
+{
+    const auto [cells, depthSum] = AmrApp::cpuRefine();
+    std::printf("AMR reference: %llu cells evaluated, mean depth %.2f\n\n",
+                static_cast<unsigned long long>(cells),
+                double(depthSum) / double(cells));
+
+    for (Mode m : {Mode::Flat, Mode::Cdp, Mode::Dtbl}) {
+        AmrApp app;
+        const BenchResult r = runBenchmark(app, m);
+        std::printf("%-5s cycles=%-10llu dynLaunches=%-6llu "
+                    "coalesceRate=%4.2f warpAct=%5.1f%% verified=%s\n",
+                    modeName(m),
+                    static_cast<unsigned long long>(r.report.cycles),
+                    static_cast<unsigned long long>(
+                        r.report.dynamicLaunches),
+                    r.report.aggCoalesceRate,
+                    r.report.warpActivityPct,
+                    r.verified ? "yes" : "NO");
+    }
+
+    std::printf(
+        "\nIn DTBL mode the recursive refinement groups coalesce onto the\n"
+        "refinement kernel itself; the coalesce rate above shows how many\n"
+        "of the dynamically spawned groups avoided a device-kernel\n"
+        "launch.\n");
+    return 0;
+}

@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Graph-traversal example: runs BFS on the citation-like graph in all
+ * five execution modes (flat, CDP, CDP-ideal, DTBL, DTBL-ideal) and
+ * prints a side-by-side comparison — a miniature of the paper's
+ * evaluation on one benchmark.
+ */
+
+#include <cstdio>
+
+#include "apps/bfs.hh"
+#include "harness/report.hh"
+#include "harness/runner.hh"
+
+using namespace dtbl;
+
+int
+main()
+{
+    Table t({"mode", "cycles", "speedup", "warpAct%", "dramEff",
+             "occup%", "avgWait", "dynLaunch", "verified"});
+
+    double flatCycles = 0;
+    for (Mode m : evalModes) {
+        BfsApp app(BfsApp::Dataset::Citation);
+        const BenchResult r = runBenchmark(app, m);
+        if (m == Mode::Flat)
+            flatCycles = double(r.report.cycles);
+        t.addRow({modeName(m), std::to_string(r.report.cycles),
+                  Table::num(flatCycles / double(r.report.cycles), 2),
+                  Table::num(r.report.warpActivityPct, 1),
+                  Table::num(r.report.dramEfficiency, 3),
+                  Table::num(r.report.smxOccupancyPct, 1),
+                  Table::num(r.report.avgWaitingCycles, 0),
+                  std::to_string(r.report.dynamicLaunches),
+                  r.verified ? "yes" : "NO"});
+    }
+
+    std::printf("BFS on the citation-network stand-in (10k vertices):\n\n");
+    t.print();
+    std::printf(
+        "\nDTBL keeps CDP's regularization benefits (warp activity, DRAM\n"
+        "efficiency) while avoiding most of the device-kernel launch\n"
+        "overhead — compare the CDP and DTBL speedup columns.\n");
+    return 0;
+}

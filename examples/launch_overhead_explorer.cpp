@@ -1,0 +1,118 @@
+/**
+ * @file
+ * Launch-overhead explorer: sweeps the dynamic-workload granularity of a
+ * synthetic nested kernel and prints, for CDP and DTBL, where each
+ * launch mechanism breaks even against inline (flat) execution — the
+ * trade-off at the heart of the paper.
+ *
+ * Each parent thread owns `span` elements of work. In flat mode it
+ * processes them in a serial loop; in CDP/DTBL mode it launches a child
+ * over them. Small spans are dominated by launch overhead; large spans
+ * amortize it.
+ */
+
+#include <cstdio>
+#include <vector>
+
+#include "gpu/gpu.hh"
+#include "harness/report.hh"
+#include "isa/kernel_builder.hh"
+
+using namespace dtbl;
+
+namespace {
+
+enum class Variant { Flat, Cdp, Dtbl };
+
+/** Child: out[start+g] += g for g < count. */
+KernelFuncId
+buildChild(Program &prog)
+{
+    KernelBuilder b("work_child", Dim3{32}, 0, 12);
+    Reg gid = b.globalThreadIdX();
+    Reg count = b.ldParam(8);
+    b.exitIf(b.setp(CmpOp::Ge, DataType::U32, gid, count));
+    Reg out = b.ldParam(0);
+    Reg start = b.ldParam(4);
+    Reg idx = b.add(start, gid);
+    Reg addr = b.add(out, b.shl(idx, 2));
+    Reg v = b.ld(MemSpace::Global, addr);
+    b.st(MemSpace::Global, addr, b.add(v, gid));
+    return b.build(prog);
+}
+
+KernelFuncId
+buildParent(Program &prog, Variant var, KernelFuncId child)
+{
+    KernelBuilder b("work_parent", Dim3{64}, 0, 12);
+    Reg tid = b.globalThreadIdX();
+    Reg n = b.ldParam(0);
+    b.exitIf(b.setp(CmpOp::Ge, DataType::U32, tid, n));
+    Reg out = b.ldParam(4);
+    Reg span = b.ldParam(8);
+    Reg start = b.mul(tid, span);
+    if (var == Variant::Flat) {
+        b.forRange(Val(0u), span, [&](Reg g) {
+            Reg idx = b.add(start, g);
+            Reg addr = b.add(out, b.shl(idx, 2));
+            Reg v = b.ld(MemSpace::Global, addr);
+            b.st(MemSpace::Global, addr, b.add(v, g));
+        });
+    } else {
+        if (var == Variant::Cdp)
+            b.streamCreate();
+        Reg ntbs = b.div(b.add(span, 31u), Val(32u));
+        Reg buf = b.getParameterBuffer(12);
+        b.st(MemSpace::Global, buf, out, 0);
+        b.st(MemSpace::Global, buf, start, 4);
+        b.st(MemSpace::Global, buf, span, 8);
+        if (var == Variant::Cdp)
+            b.launchDevice(child, ntbs, buf);
+        else
+            b.launchAggGroup(child, ntbs, buf);
+    }
+    return b.build(prog);
+}
+
+Cycle
+runOnce(Variant var, std::uint32_t parents, std::uint32_t span)
+{
+    Program prog;
+    const KernelFuncId child = buildChild(prog);
+    const KernelFuncId parent = buildParent(prog, var, child);
+    Gpu gpu(GpuConfig::k20c(), prog);
+    const Addr out = gpu.mem().allocate(
+        std::uint64_t(parents) * span * 4);
+    gpu.launch(parent, Dim3{(parents + 63) / 64},
+               {parents, std::uint32_t(out), span});
+    gpu.synchronize();
+    return gpu.now();
+}
+
+} // namespace
+
+int
+main()
+{
+    const std::uint32_t parents = 256;
+    Table t({"span (work/thread)", "Flat", "CDP", "DTBL", "CDP/Flat",
+             "DTBL/Flat"});
+    for (std::uint32_t span : {8u, 32u, 128u, 512u, 2048u}) {
+        const Cycle f = runOnce(Variant::Flat, parents, span);
+        const Cycle c = runOnce(Variant::Cdp, parents, span);
+        const Cycle d = runOnce(Variant::Dtbl, parents, span);
+        t.addRow({std::to_string(span), std::to_string(f),
+                  std::to_string(c), std::to_string(d),
+                  Table::num(double(f) / double(c), 2),
+                  Table::num(double(f) / double(d), 2)});
+    }
+    std::printf("Break-even sweep: 256 parent threads, each owning "
+                "`span` work items\n(speedup > 1 means the dynamic "
+                "variant beats inline execution)\n\n");
+    t.print();
+    std::printf(
+        "\nDTBL's cheap thread-block launch moves the break-even point "
+        "to much\nfiner granularities than CDP's device-kernel launch — "
+        "the core claim\nof the paper, in one table.\n");
+    return 0;
+}

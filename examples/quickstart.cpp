@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Quickstart: build a kernel with the IR builder, run it on the
+ * simulated K20c, and read back results and metrics.
+ *
+ * The kernel is a SAXPY with a data-dependent inner loop so that the
+ * control-divergence and memory metrics in the report are non-trivial.
+ */
+
+#include <cstdio>
+#include <vector>
+
+#include "gpu/gpu.hh"
+#include "isa/kernel_builder.hh"
+
+using namespace dtbl;
+
+int
+main()
+{
+    // --- 1. Describe the kernel in the SIMT IR -----------------------
+    // out[i] = a * x[i] + y[i], repeated rep[i] times.
+    Program prog;
+    KernelFuncId saxpy;
+    {
+        KernelBuilder b("saxpy_rep", Dim3{128});
+        Reg tid = b.globalThreadIdX();
+        Reg nR = b.ldParam(0);
+        Pred oob = b.setp(CmpOp::Ge, DataType::U32, tid, nR);
+        b.exitIf(oob);
+        Reg aVal = b.ldParam(4); // f32 bits
+        Reg xBase = b.ldParam(8);
+        Reg yBase = b.ldParam(12);
+        Reg outBase = b.ldParam(16);
+        Reg repBase = b.ldParam(20);
+        Reg off = b.shl(tid, 2);
+        Reg xR = b.ld(MemSpace::Global, b.add(xBase, off));
+        Reg yR = b.ld(MemSpace::Global, b.add(yBase, off));
+        Reg repR = b.ld(MemSpace::Global, b.add(repBase, off));
+        Reg acc = b.mov(yR);
+        b.forRange(Val(0u), repR, [&](Reg) {
+            Reg ax = b.mul(aVal, xR, DataType::F32);
+            b.binaryTo(acc, Opcode::Add, DataType::F32, acc, ax);
+        });
+        b.st(MemSpace::Global, b.add(outBase, off), acc);
+        saxpy = b.build(prog);
+    }
+    std::printf("--- kernel IR ---\n%s\n",
+                prog.function(saxpy).disassemble().c_str());
+
+    // --- 2. Create the device and upload data -------------------------
+    Gpu gpu(GpuConfig::k20c(), prog);
+    const std::uint32_t n = 4096;
+    std::vector<std::uint32_t> x(n), y(n), rep(n);
+    for (std::uint32_t i = 0; i < n; ++i) {
+        x[i] = std::bit_cast<std::uint32_t>(float(i % 17));
+        y[i] = std::bit_cast<std::uint32_t>(1.0f);
+        rep[i] = i % 7; // data-dependent loop count -> divergence
+    }
+    const Addr xAddr = gpu.mem().upload(x);
+    const Addr yAddr = gpu.mem().upload(y);
+    const Addr repAddr = gpu.mem().upload(rep);
+    const Addr outAddr = gpu.mem().allocate(n * 4);
+
+    // --- 3. Launch and synchronize --------------------------------------
+    gpu.launch(saxpy, Dim3{(n + 127) / 128},
+               {n, std::bit_cast<std::uint32_t>(0.5f),
+                std::uint32_t(xAddr), std::uint32_t(yAddr),
+                std::uint32_t(outAddr), std::uint32_t(repAddr)});
+    gpu.synchronize();
+
+    // --- 4. Check a few results and print the metrics -------------------
+    bool ok = true;
+    for (std::uint32_t i = 0; i < n; ++i) {
+        float want = 1.0f;
+        for (std::uint32_t r = 0; r < rep[i]; ++r)
+            want += 0.5f * float(i % 17);
+        const float got =
+            std::bit_cast<float>(gpu.mem().read32(outAddr + i * 4));
+        if (got != want) {
+            std::printf("MISMATCH at %u: got %f want %f\n", i, got, want);
+            ok = false;
+            break;
+        }
+    }
+    std::printf("result check: %s\n", ok ? "PASS" : "FAIL");
+
+    const MetricsReport r = gpu.report("quickstart", "flat");
+    std::printf("\n--- metrics ---\n%s\n", r.str().c_str());
+    return ok ? 0 : 1;
+}

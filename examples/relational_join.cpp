@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Relational-join example: shows how key-distribution skew changes the
+ * benefit of dynamic parallelism. With uniform keys the flat kernel is
+ * already balanced; with Gaussian keys a few hash buckets are huge and
+ * the flat per-tuple probe loop serializes — exactly the workload
+ * imbalance DTBL targets.
+ */
+
+#include <cstdio>
+
+#include "apps/join.hh"
+#include "harness/runner.hh"
+
+using namespace dtbl;
+
+namespace {
+
+void
+runOne(JoinApp::Dataset d, const char *label)
+{
+    std::printf("%s keys:\n", label);
+    double flat = 0;
+    for (Mode m : {Mode::Flat, Mode::Cdp, Mode::Dtbl}) {
+        JoinApp app(d);
+        const BenchResult r = runBenchmark(app, m);
+        if (m == Mode::Flat)
+            flat = double(r.report.cycles);
+        std::printf("  %-5s cycles=%-9llu speedup=%.2fx warpAct=%5.1f%% "
+                    "launches=%llu verified=%s\n",
+                    modeName(m),
+                    static_cast<unsigned long long>(r.report.cycles),
+                    flat / double(r.report.cycles),
+                    r.report.warpActivityPct,
+                    static_cast<unsigned long long>(
+                        r.report.dynamicLaunches),
+                    r.verified ? "yes" : "NO");
+    }
+    std::printf("\n");
+}
+
+} // namespace
+
+int
+main()
+{
+    runOne(JoinApp::Dataset::Uniform, "Uniform");
+    runOne(JoinApp::Dataset::Gaussian, "Gaussian (skewed)");
+    std::printf("Skewed buckets make the flat probe loop the straggler;\n"
+                "dynamic TB launches rebalance it without paying CDP's\n"
+                "kernel-launch cost.\n");
+    return 0;
+}

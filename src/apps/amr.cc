@@ -1,0 +1,301 @@
+#include "apps/amr.hh"
+
+#include "common/log.hh"
+
+namespace dtbl {
+namespace {
+
+constexpr float hotX[4] = {0.28f, 0.71f, 0.52f, 0.15f};
+constexpr float hotY[4] = {0.31f, 0.64f, 0.18f, 0.83f};
+constexpr float hotS[4] = {250.0f, 400.0f, 600.0f, 900.0f};
+constexpr float tau = 0.55f;
+constexpr float tauSlope = 0.3f;
+
+/** CPU field function; the device kernel emits the same op order. */
+float
+cpuField(float x, float y)
+{
+    float f = 0.0f;
+    for (int k = 0; k < 4; ++k) {
+        const float dx = x - hotX[k];
+        const float dy = y - hotY[k];
+        f = f + 1.0f / (1.0f + hotS[k] * (dx * dx + dy * dy));
+    }
+    return f;
+}
+
+bool
+cpuRefinePredicate(float f, std::uint32_t depth)
+{
+    const float thresh =
+        tau * (1.0f + tauSlope * float(std::int32_t(depth)));
+    return f > thresh && depth < AmrApp::maxDepth;
+}
+
+/** Emit field(x, y) with CPU-identical op order. */
+Reg
+emitField(KernelBuilder &b, Reg x, Reg y)
+{
+    Reg f = b.mov(0.0f);
+    for (int k = 0; k < 4; ++k) {
+        Reg dx = b.sub(x, Val(hotX[k]), DataType::F32);
+        Reg dy = b.sub(y, Val(hotY[k]), DataType::F32);
+        Reg d2 = b.add(b.mul(dx, dx, DataType::F32),
+                       b.mul(dy, dy, DataType::F32), DataType::F32);
+        Reg den = b.add(Val(1.0f), b.mul(Val(hotS[k]), d2, DataType::F32),
+                        DataType::F32);
+        Reg term = b.div(Val(1.0f), den, DataType::F32);
+        b.binaryTo(f, Opcode::Add, DataType::F32, f, term);
+    }
+    return f;
+}
+
+/** Emit the depth-scaled refine predicate (f > tau*(1+slope*depth)). */
+Pred
+emitRefinePredicate(KernelBuilder &b, Reg f, Reg depth)
+{
+    Reg df = b.cvtI2F(depth);
+    Reg thresh = b.mul(Val(tau),
+                       b.add(Val(1.0f), b.mul(Val(tauSlope), df,
+                                              DataType::F32),
+                             DataType::F32),
+                       DataType::F32);
+    Pred refine = b.setp(CmpOp::Gt, DataType::F32, f, thresh);
+    Pred shallow =
+        b.setp(CmpOp::Lt, DataType::U32, depth, Val(AmrApp::maxDepth));
+    Reg both = b.and_(b.selp(refine, 1u, 0u), b.selp(shallow, 1u, 0u));
+    return b.setp(CmpOp::Eq, DataType::U32, both, Val(1u));
+}
+
+/**
+ * Nested-mode refinement kernel; groups launched by refined cells
+ * coalesce back to this same kernel (Figure 2(a)).
+ * Params: [0]=baseX [4]=baseY [8]=cellSize [12]=depth [16]=gridW
+ *         [20]=count [24]=cellCount addr [28]=depthSum addr
+ */
+KernelFuncId
+buildRefineKernel(Program &prog, Mode mode)
+{
+    KernelBuilder b(std::string("amr_refine_") + modeName(mode),
+                    Dim3{AmrApp::childTbSize}, 0, 32);
+    const KernelFuncId self = KernelFuncId(prog.size()); // own id
+    Reg gid = b.globalThreadIdX();
+    Reg count = b.ldParam(20);
+    Pred oob = b.setp(CmpOp::Ge, DataType::U32, gid, count);
+    b.exitIf(oob);
+    Reg baseX = b.ldParam(0);
+    Reg baseY = b.ldParam(4);
+    Reg cellSize = b.ldParam(8);
+    Reg depth = b.ldParam(12);
+    Reg gridW = b.ldParam(16);
+    Reg cellCount = b.ldParam(24);
+    Reg depthSum = b.ldParam(28);
+
+    Reg gx = b.rem(gid, gridW);
+    Reg gy = b.div(gid, gridW);
+    Reg ox = b.add(baseX, b.mul(b.cvtI2F(gx), cellSize, DataType::F32),
+                   DataType::F32);
+    Reg oy = b.add(baseY, b.mul(b.cvtI2F(gy), cellSize, DataType::F32),
+                   DataType::F32);
+    Reg half = b.mul(Val(0.5f), cellSize, DataType::F32);
+    Reg x = b.add(ox, half, DataType::F32);
+    Reg y = b.add(oy, half, DataType::F32);
+    Reg f = emitField(b, x, y);
+
+    b.atom(AtomOp::Add, DataType::U32, cellCount, Val(1u));
+    b.atom(AtomOp::Add, DataType::U32, depthSum, depth);
+
+    Pred refine = emitRefinePredicate(b, f, depth);
+    b.if_(refine, [&] {
+        emitDynamicLaunch(b, mode, self, Val(1u), 32, [&](Reg buf) {
+            b.st(MemSpace::Global, buf, ox, 0);
+            b.st(MemSpace::Global, buf, oy, 4);
+            b.st(MemSpace::Global, buf, half, 8);
+            b.st(MemSpace::Global, buf, b.add(depth, 1u), 12);
+            b.st(MemSpace::Global, buf, Val(2u), 16);
+            b.st(MemSpace::Global, buf, Val(4u), 20);
+            b.st(MemSpace::Global, buf, cellCount, 24);
+            b.st(MemSpace::Global, buf, depthSum, 28);
+        });
+    });
+    const KernelFuncId id = b.build(prog);
+    DTBL_ASSERT(id == self, "self-launch id mismatch");
+    return id;
+}
+
+/**
+ * Flat kernel: one thread per root cell, explicit DFS stack in global
+ * scratch. Entry layout: 4 words (ox, oy, size, depth).
+ * Params: [0]=count [4]=gridW [8]=cellSize [12]=cellCount [16]=depthSum
+ *         [20]=stackBase [24]=stackStride
+ */
+KernelFuncId
+buildFlatKernel(Program &prog)
+{
+    KernelBuilder b("amr_flat", Dim3{AmrApp::childTbSize}, 0, 28);
+    Reg gid = b.globalThreadIdX();
+    Reg count = b.ldParam(0);
+    Pred oob = b.setp(CmpOp::Ge, DataType::U32, gid, count);
+    b.exitIf(oob);
+    Reg gridW = b.ldParam(4);
+    Reg cellSize = b.ldParam(8);
+    Reg cellCount = b.ldParam(12);
+    Reg depthSum = b.ldParam(16);
+    Reg stackBase = b.ldParam(20);
+    Reg stackStride = b.ldParam(24);
+
+    Reg myStack = b.add(stackBase, b.mul(gid, stackStride));
+    Reg gx = b.rem(gid, gridW);
+    Reg gy = b.div(gid, gridW);
+    Reg rootOx = b.mul(b.cvtI2F(gx), cellSize, DataType::F32);
+    Reg rootOy = b.mul(b.cvtI2F(gy), cellSize, DataType::F32);
+
+    // push root
+    b.st(MemSpace::Global, myStack, rootOx, 0);
+    b.st(MemSpace::Global, myStack, rootOy, 4);
+    b.st(MemSpace::Global, myStack, cellSize, 8);
+    b.st(MemSpace::Global, myStack, Val(0u), 12);
+    Reg sp = b.mov(1u);
+
+    b.whileLoop(
+        [&] { return b.setp(CmpOp::Gt, DataType::U32, sp, Val(0u)); },
+        [&] {
+            b.binaryTo(sp, Opcode::Sub, DataType::U32, sp, Val(1u));
+            Reg rec = b.add(myStack, b.shl(sp, 4));
+            Reg ox = b.ld(MemSpace::Global, rec, 0);
+            Reg oy = b.ld(MemSpace::Global, rec, 4);
+            Reg size = b.ld(MemSpace::Global, rec, 8);
+            Reg depth = b.ld(MemSpace::Global, rec, 12);
+
+            Reg half = b.mul(Val(0.5f), size, DataType::F32);
+            Reg x = b.add(ox, half, DataType::F32);
+            Reg y = b.add(oy, half, DataType::F32);
+            Reg f = emitField(b, x, y);
+            b.atom(AtomOp::Add, DataType::U32, cellCount, Val(1u));
+            b.atom(AtomOp::Add, DataType::U32, depthSum, depth);
+
+            Pred refine = emitRefinePredicate(b, f, depth);
+            b.if_(refine, [&] {
+                Reg nd = b.add(depth, 1u);
+                for (std::uint32_t q = 0; q < 4; ++q) {
+                    // Push subcell q (origin matching the nested
+                    // kernel's gx/gy arithmetic bit-for-bit).
+                    Reg sox = b.add(
+                        ox,
+                        b.mul(b.cvtI2F(Val(q % 2)), half, DataType::F32),
+                        DataType::F32);
+                    Reg soy = b.add(
+                        oy,
+                        b.mul(b.cvtI2F(Val(q / 2)), half, DataType::F32),
+                        DataType::F32);
+                    Reg slot = b.add(myStack, b.shl(sp, 4));
+                    b.st(MemSpace::Global, slot, sox, 0);
+                    b.st(MemSpace::Global, slot, soy, 4);
+                    b.st(MemSpace::Global, slot, half, 8);
+                    b.st(MemSpace::Global, slot, nd, 12);
+                    b.binaryTo(sp, Opcode::Add, DataType::U32, sp,
+                               Val(1u));
+                }
+            });
+        });
+    return b.build(prog);
+}
+
+} // namespace
+
+std::pair<std::uint64_t, std::uint64_t>
+AmrApp::cpuRefine()
+{
+    std::uint64_t cells = 0, depthSum = 0;
+    const float rootSize = 1.0f / float(std::int32_t(rootGrid));
+
+    // Iterative mirror of the device recursion.
+    struct Rec
+    {
+        float ox, oy, size;
+        std::uint32_t depth;
+    };
+    std::vector<Rec> stack;
+    for (std::uint32_t gid = 0; gid < rootGrid * rootGrid; ++gid) {
+        const float ox =
+            float(std::int32_t(gid % rootGrid)) * rootSize;
+        const float oy =
+            float(std::int32_t(gid / rootGrid)) * rootSize;
+        stack.push_back({ox, oy, rootSize, 0});
+    }
+    while (!stack.empty()) {
+        const Rec r = stack.back();
+        stack.pop_back();
+        const float half = 0.5f * r.size;
+        const float x = r.ox + half;
+        const float y = r.oy + half;
+        const float f = cpuField(x, y);
+        ++cells;
+        depthSum += r.depth;
+        if (cpuRefinePredicate(f, r.depth)) {
+            for (std::uint32_t q = 0; q < 4; ++q) {
+                const float sox =
+                    r.ox + float(std::int32_t(q % 2)) * half;
+                const float soy =
+                    r.oy + float(std::int32_t(q / 2)) * half;
+                stack.push_back({sox, soy, half, r.depth + 1});
+            }
+        }
+    }
+    return {cells, depthSum};
+}
+
+void
+AmrApp::build(Program &prog, Mode mode)
+{
+    if (mode == Mode::Flat)
+        flatKernel_ = buildFlatKernel(prog);
+    else
+        refineKernel_ = buildRefineKernel(prog, mode);
+}
+
+void
+AmrApp::setup(Gpu &gpu)
+{
+    GlobalMemory &mem = gpu.mem();
+    cellCountAddr_ = mem.allocate(4);
+    depthSumAddr_ = mem.allocate(4);
+    mem.write32(cellCountAddr_, 0);
+    mem.write32(depthSumAddr_, 0);
+    stackAddr_ = mem.allocate(std::uint64_t(rootGrid) * rootGrid *
+                              stackEntries * 16);
+}
+
+void
+AmrApp::execute(Gpu &gpu, Mode mode)
+{
+    const std::uint32_t rootCells = rootGrid * rootGrid;
+    const float rootSize = 1.0f / float(std::int32_t(rootGrid));
+    const std::uint32_t sizeBits = std::bit_cast<std::uint32_t>(rootSize);
+    if (mode == Mode::Flat) {
+        gpu.launch(flatKernel_,
+                   Dim3{(rootCells + childTbSize - 1) / childTbSize},
+                   {rootCells, rootGrid, sizeBits,
+                    std::uint32_t(cellCountAddr_),
+                    std::uint32_t(depthSumAddr_),
+                    std::uint32_t(stackAddr_), stackEntries * 16});
+    } else {
+        gpu.launch(refineKernel_,
+                   Dim3{(rootCells + childTbSize - 1) / childTbSize},
+                   {std::bit_cast<std::uint32_t>(0.0f),
+                    std::bit_cast<std::uint32_t>(0.0f), sizeBits, 0u,
+                    rootGrid, rootCells, std::uint32_t(cellCountAddr_),
+                    std::uint32_t(depthSumAddr_)});
+    }
+    gpu.synchronize();
+}
+
+bool
+AmrApp::verify(Gpu &gpu)
+{
+    const auto [cells, depthSum] = cpuRefine();
+    return gpu.mem().read32(cellCountAddr_) == cells &&
+           gpu.mem().read32(depthSumAddr_) == depthSum;
+}
+
+} // namespace dtbl

@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Adaptive Mesh Refinement (Table 4: combustion simulation stand-in).
+ *
+ * Cells of a 2D grid are recursively refined wherever an analytic
+ * "energy" field (a sum of rational hotspot bumps standing in for the
+ * combustion data) exceeds a depth-scaled threshold. The nested variants
+ * launch an aggregated group / device kernel of 4 subcells per refined
+ * cell, which coalesce back onto the same refinement kernel — the
+ * paper's Figure 2(a) scenario. The flat variant walks each root cell's
+ * subtree with an explicit stack.
+ */
+
+#ifndef DTBL_APPS_AMR_HH
+#define DTBL_APPS_AMR_HH
+
+#include "apps/app.hh"
+
+namespace dtbl {
+
+class AmrApp : public App
+{
+  public:
+    AmrApp() = default;
+
+    std::string name() const override { return "amr_combustion"; }
+    void build(Program &prog, Mode mode) override;
+    void setup(Gpu &gpu) override;
+    void execute(Gpu &gpu, Mode mode) override;
+    bool verify(Gpu &gpu) override;
+
+    static constexpr std::uint32_t rootGrid = 64;  //!< 64x64 root cells
+    static constexpr std::uint32_t maxDepth = 5;
+    static constexpr std::uint32_t childTbSize = 32;
+    static constexpr std::uint32_t stackEntries = 4 * maxDepth + 8;
+
+    /** CPU mirror of the refinement recursion; returns {cells, depthSum}. */
+    static std::pair<std::uint64_t, std::uint64_t> cpuRefine();
+
+  private:
+    KernelFuncId refineKernel_ = invalidKernelFunc; //!< nested modes
+    KernelFuncId flatKernel_ = invalidKernelFunc;   //!< flat mode
+
+    Addr cellCountAddr_ = 0;
+    Addr depthSumAddr_ = 0;
+    Addr stackAddr_ = 0;
+};
+
+} // namespace dtbl
+
+#endif // DTBL_APPS_AMR_HH

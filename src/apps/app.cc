@@ -1,0 +1,65 @@
+#include "apps/app.hh"
+
+#include "common/log.hh"
+
+namespace dtbl {
+
+const char *
+modeName(Mode m)
+{
+    switch (m) {
+      case Mode::Flat: return "Flat";
+      case Mode::Cdp: return "CDP";
+      case Mode::CdpIdeal: return "CDPI";
+      case Mode::Dtbl: return "DTBL";
+      case Mode::DtblIdeal: return "DTBLI";
+    }
+    return "?";
+}
+
+bool
+usesDynamicParallelism(Mode m)
+{
+    return m != Mode::Flat;
+}
+
+bool
+usesDtbl(Mode m)
+{
+    return m == Mode::Dtbl || m == Mode::DtblIdeal;
+}
+
+bool
+isIdealMode(Mode m)
+{
+    return m == Mode::CdpIdeal || m == Mode::DtblIdeal;
+}
+
+GpuConfig
+configForMode(Mode m, GpuConfig base)
+{
+    base.modelLaunchLatency = !isIdealMode(m);
+    return base;
+}
+
+void
+emitDynamicLaunch(KernelBuilder &b, Mode mode, KernelFuncId child,
+                  Val num_tbs, std::uint32_t param_bytes,
+                  const std::function<void(Reg)> &fill)
+{
+    DTBL_ASSERT(usesDynamicParallelism(mode),
+                "emitDynamicLaunch in flat mode");
+    if (!usesDtbl(mode)) {
+        // CDP launches go through a per-launch software stream to enable
+        // kernel concurrency, as in Figure 3(a).
+        b.streamCreate();
+    }
+    Reg buf = b.getParameterBuffer(param_bytes);
+    fill(buf);
+    if (usesDtbl(mode))
+        b.launchAggGroup(child, num_tbs, buf);
+    else
+        b.launchDevice(child, num_tbs, buf);
+}
+
+} // namespace dtbl

@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Application framework for the benchmark suite of Table 4.
+ *
+ * Every application is implemented in three variants sharing data
+ * structures and algorithms (Section 5.1):
+ *  - Flat: nested parallelism serialized inside each thread,
+ *  - CDP:  a device kernel launched for each sufficiently parallel DFP,
+ *  - DTBL: an aggregated group launched instead of each device kernel.
+ * CdpIdeal / DtblIdeal run the same binaries with zeroed launch
+ * latencies (the paper's CDPI / DTBLI).
+ */
+
+#ifndef DTBL_APPS_APP_HH
+#define DTBL_APPS_APP_HH
+
+#include <memory>
+#include <string>
+
+#include "common/config.hh"
+#include "gpu/gpu.hh"
+#include "isa/kernel_builder.hh"
+
+namespace dtbl {
+
+enum class Mode
+{
+    Flat,
+    Cdp,
+    CdpIdeal,
+    Dtbl,
+    DtblIdeal,
+};
+
+/** Short display name ("Flat", "CDP", "CDPI", "DTBL", "DTBLI"). */
+const char *modeName(Mode m);
+
+/** True for CDP/CDPI/DTBL/DTBLI: the app spawns dynamic work. */
+bool usesDynamicParallelism(Mode m);
+
+/** True for DTBL/DTBLI. */
+bool usesDtbl(Mode m);
+
+/** True for CdpIdeal/DtblIdeal. */
+bool isIdealMode(Mode m);
+
+/** Apply the mode to a base config (zero launch latency for ideals). */
+GpuConfig configForMode(Mode m, GpuConfig base);
+
+/**
+ * One benchmark instance (application + input data set).
+ * Lifecycle: build(prog, mode) -> construct Gpu -> setup(gpu) ->
+ * execute(gpu, mode) -> verify(gpu). A fresh instance per run.
+ */
+class App
+{
+  public:
+    virtual ~App() = default;
+
+    /** Benchmark id, e.g. "bfs_citation". */
+    virtual std::string name() const = 0;
+
+    /** Register the kernels this mode needs. */
+    virtual void build(Program &prog, Mode mode) = 0;
+
+    /** Generate inputs and upload device data. */
+    virtual void setup(Gpu &gpu) = 0;
+
+    /** Host driver: launch kernels and synchronize to completion. */
+    virtual void execute(Gpu &gpu, Mode mode) = 0;
+
+    /** Check device results against the CPU reference implementation. */
+    virtual bool verify(Gpu &gpu) = 0;
+};
+
+/**
+ * Helper shared by the nested applications: emit either a CDP device
+ * kernel launch or a DTBL aggregated-group launch, preceded by the
+ * parameter-buffer setup, mirroring Figure 3.
+ *
+ * @param fill writes the parameter words; receives the buffer register.
+ */
+void emitDynamicLaunch(KernelBuilder &b, Mode mode, KernelFuncId child,
+                       Val num_tbs, std::uint32_t param_bytes,
+                       const std::function<void(Reg)> &fill);
+
+} // namespace dtbl
+
+#endif // DTBL_APPS_APP_HH

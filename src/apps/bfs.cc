@@ -1,0 +1,270 @@
+#include "apps/bfs.hh"
+
+#include "common/log.hh"
+
+namespace dtbl {
+namespace {
+
+constexpr std::uint32_t inf = 0xffffffffu;
+
+/**
+ * Emit the visit sequence for neighbor @p u: claim it with a CAS on
+ * dist[] and append newly discovered vertices to the next frontier.
+ */
+void
+emitVisit(KernelBuilder &b, Reg u, Val new_dist, Reg dist_base,
+          Reg next_front_base, Reg next_size_addr)
+{
+    Reg dAddr = b.add(dist_base, b.shl(u, 2));
+    Reg old = b.atom(AtomOp::Cas, DataType::U32, dAddr, new_dist,
+                     Val(inf));
+    Pred fresh = b.setp(CmpOp::Eq, DataType::U32, old, Val(inf));
+    b.if_(fresh, [&] {
+        Reg idx = b.atom(AtomOp::Add, DataType::U32, next_size_addr,
+                         Val(1u));
+        b.st(MemSpace::Global, b.add(next_front_base, b.shl(idx, 2)), u);
+    });
+}
+
+/**
+ * Child kernel: expand `count` neighbors starting at edge `edgeStart`.
+ * Params: [0]=colIdx [4]=dist [8]=nextFront [12]=nextSize
+ *         [16]=edgeStart [20]=count [24]=newDist
+ */
+KernelFuncId
+buildExpandKernel(Program &prog)
+{
+    KernelBuilder b("bfs_expand", Dim3{BfsApp::childTbSize}, 0, 28);
+    Reg gid = b.globalThreadIdX();
+    Reg count = b.ldParam(20);
+    Pred oob = b.setp(CmpOp::Ge, DataType::U32, gid, count);
+    b.exitIf(oob);
+    Reg colIdx = b.ldParam(0);
+    Reg dist = b.ldParam(4);
+    Reg nextFront = b.ldParam(8);
+    Reg nextSize = b.ldParam(12);
+    Reg edgeStart = b.ldParam(16);
+    Reg newDist = b.ldParam(24);
+    Reg e = b.add(edgeStart, gid);
+    Reg u = b.ld(MemSpace::Global, b.add(colIdx, b.shl(e, 2)));
+    emitVisit(b, u, newDist, dist, nextFront, nextSize);
+    return b.build(prog);
+}
+
+/**
+ * Flat-mode TB-level expansion: thread block b sweeps the edge range of
+ * deferred big vertex b with lane-strided accesses (Merrill-style).
+ * Params: [0]=bigList [4]=colIdx [8]=dist [12]=nextFront [16]=nextSize
+ *         [20]=newDist
+ */
+KernelFuncId
+buildBigExpandKernel(Program &prog)
+{
+    KernelBuilder b("bfs_big_expand", Dim3{BfsApp::childTbSize}, 0, 24);
+    Reg bigList = b.ldParam(0);
+    Reg colIdx = b.ldParam(4);
+    Reg dist = b.ldParam(8);
+    Reg nextFront = b.ldParam(12);
+    Reg nextSize = b.ldParam(16);
+    Reg newDist = b.ldParam(20);
+
+    Reg entry = b.add(bigList, b.shl(Val(SReg::CtaIdX), 3)); // 8B records
+    Reg start = b.ld(MemSpace::Global, entry, 0);
+    Reg deg = b.ld(MemSpace::Global, entry, 4);
+    Reg i = b.mov(SReg::TidX);
+    b.whileLoop(
+        [&] { return b.setp(CmpOp::Lt, DataType::U32, i, deg); },
+        [&] {
+            Reg e = b.add(start, i);
+            Reg u = b.ld(MemSpace::Global, b.add(colIdx, b.shl(e, 2)));
+            emitVisit(b, u, newDist, dist, nextFront, nextSize);
+            b.binaryTo(i, Opcode::Add, DataType::U32, i,
+                       Val(BfsApp::childTbSize));
+        });
+    return b.build(prog);
+}
+
+/**
+ * Parent kernel: one thread per frontier vertex.
+ * Params: [0]=frontSize [4]=front [8]=rowPtr [12]=colIdx [16]=dist
+ *         [20]=nextFront [24]=nextSize [28]=newDist
+ *         Flat only: [32]=bigList [36]=bigCount
+ */
+KernelFuncId
+buildParentKernel(Program &prog, Mode mode, KernelFuncId child)
+{
+    KernelBuilder b(std::string("bfs_parent_") + modeName(mode),
+                    Dim3{BfsApp::parentTbSize}, 0, 32);
+    Reg tid = b.globalThreadIdX();
+    Reg frontSize = b.ldParam(0);
+    Pred oob = b.setp(CmpOp::Ge, DataType::U32, tid, frontSize);
+    b.exitIf(oob);
+    Reg front = b.ldParam(4);
+    Reg rowPtr = b.ldParam(8);
+    Reg colIdx = b.ldParam(12);
+    Reg dist = b.ldParam(16);
+    Reg nextFront = b.ldParam(20);
+    Reg nextSize = b.ldParam(24);
+    Reg newDist = b.ldParam(28);
+
+    Reg v = b.ld(MemSpace::Global, b.add(front, b.shl(tid, 2)));
+    Reg rpAddr = b.add(rowPtr, b.shl(v, 2));
+    Reg start = b.ld(MemSpace::Global, rpAddr);
+    Reg end = b.ld(MemSpace::Global, rpAddr, 4);
+    Reg deg = b.sub(end, start);
+
+    auto inlineExpand = [&] {
+        b.forRange(start, end, [&](Reg e) {
+            Reg u = b.ld(MemSpace::Global, b.add(colIdx, b.shl(e, 2)));
+            emitVisit(b, u, newDist, dist, nextFront, nextSize);
+        });
+    };
+
+    Pred big = b.setp(CmpOp::Gt, DataType::U32, deg,
+                      Val(mode == Mode::Flat ? BfsApp::flatExpandThreshold
+                                             : BfsApp::expandThreshold));
+    if (mode == Mode::Flat) {
+        // Defer big vertices to the TB-level expansion pass.
+        Reg bigList = b.ldParam(32);
+        Reg bigCount = b.ldParam(36);
+        b.ifElse(
+            big,
+            [&] {
+                Reg idx =
+                    b.atom(AtomOp::Add, DataType::U32, bigCount, Val(1u));
+                Reg rec = b.add(bigList, b.shl(idx, 3));
+                b.st(MemSpace::Global, rec, start, 0);
+                b.st(MemSpace::Global, rec, deg, 4);
+            },
+            inlineExpand);
+    } else {
+        b.ifElse(
+            big,
+            [&] {
+                Reg ntbs = b.div(b.add(deg, BfsApp::childTbSize - 1),
+                                 Val(BfsApp::childTbSize));
+                emitDynamicLaunch(b, mode, child, ntbs, 28, [&](Reg buf) {
+                    b.st(MemSpace::Global, buf, colIdx, 0);
+                    b.st(MemSpace::Global, buf, dist, 4);
+                    b.st(MemSpace::Global, buf, nextFront, 8);
+                    b.st(MemSpace::Global, buf, nextSize, 12);
+                    b.st(MemSpace::Global, buf, start, 16);
+                    b.st(MemSpace::Global, buf, deg, 20);
+                    b.st(MemSpace::Global, buf, newDist, 24);
+                });
+            },
+            inlineExpand);
+    }
+    return b.build(prog);
+}
+
+} // namespace
+
+BfsApp::BfsApp(Dataset d) : dataset_(d)
+{
+}
+
+std::string
+BfsApp::name() const
+{
+    switch (dataset_) {
+      case Dataset::Citation: return "bfs_citation";
+      case Dataset::UsaRoad: return "bfs_usa_road";
+      case Dataset::Cage15: return "bfs_cage15";
+    }
+    return "bfs";
+}
+
+void
+BfsApp::build(Program &prog, Mode mode)
+{
+    childKernel_ = buildExpandKernel(prog);
+    parentKernel_ = buildParentKernel(prog, mode, childKernel_);
+    if (mode == Mode::Flat)
+        bigExpandKernel_ = buildBigExpandKernel(prog);
+}
+
+void
+BfsApp::setup(Gpu &gpu)
+{
+    switch (dataset_) {
+      case Dataset::Citation:
+        graph_ = makeCitationGraph(10000, 14, 0xc17a710);
+        break;
+      case Dataset::UsaRoad:
+        graph_ = makeRoadGraph(72, 72, 0x20ad);
+        break;
+      case Dataset::Cage15:
+        graph_ = makeCageGraph(4000, 48, 0xca9e15);
+        break;
+    }
+    src_ = graph_.maxDegreeVertex();
+
+    GlobalMemory &mem = gpu.mem();
+    rowPtrAddr_ = mem.upload(graph_.rowPtr);
+    colIdxAddr_ = mem.upload(graph_.colIdx);
+
+    std::vector<std::uint32_t> dist(graph_.n, inf);
+    dist[src_] = 0;
+    distAddr_ = mem.upload(dist);
+
+    std::vector<std::uint32_t> front(graph_.n, 0);
+    front[0] = src_;
+    frontAddr_[0] = mem.upload(front);
+    frontAddr_[1] = mem.allocate(std::uint64_t(graph_.n) * 4);
+    nextSizeAddr_ = mem.allocate(4);
+    bigListAddr_ = mem.allocate(std::uint64_t(graph_.n) * 8);
+    bigCountAddr_ = mem.allocate(4);
+}
+
+void
+BfsApp::execute(Gpu &gpu, Mode mode)
+{
+    std::uint32_t frontSize = 1;
+    std::uint32_t level = 0;
+    unsigned cur = 0;
+    while (frontSize > 0) {
+        gpu.mem().write32(nextSizeAddr_, 0);
+        if (mode == Mode::Flat)
+            gpu.mem().write32(bigCountAddr_, 0);
+        const Dim3 grid{(frontSize + parentTbSize - 1) / parentTbSize};
+        std::vector<std::uint32_t> params{
+            frontSize, std::uint32_t(frontAddr_[cur]),
+            std::uint32_t(rowPtrAddr_), std::uint32_t(colIdxAddr_),
+            std::uint32_t(distAddr_), std::uint32_t(frontAddr_[1 - cur]),
+            std::uint32_t(nextSizeAddr_), level + 1};
+        if (mode == Mode::Flat) {
+            params.push_back(std::uint32_t(bigListAddr_));
+            params.push_back(std::uint32_t(bigCountAddr_));
+        }
+        gpu.launch(parentKernel_, grid, params);
+        gpu.synchronize();
+        if (mode == Mode::Flat) {
+            const std::uint32_t numBig = gpu.mem().read32(bigCountAddr_);
+            if (numBig > 0) {
+                gpu.launch(bigExpandKernel_, Dim3{numBig},
+                           {std::uint32_t(bigListAddr_),
+                            std::uint32_t(colIdxAddr_),
+                            std::uint32_t(distAddr_),
+                            std::uint32_t(frontAddr_[1 - cur]),
+                            std::uint32_t(nextSizeAddr_), level + 1});
+                gpu.synchronize();
+            }
+        }
+        frontSize = gpu.mem().read32(nextSizeAddr_);
+        cur = 1 - cur;
+        ++level;
+        DTBL_ASSERT(level <= graph_.n, "BFS failed to converge");
+    }
+}
+
+bool
+BfsApp::verify(Gpu &gpu)
+{
+    const auto got =
+        gpu.mem().download<std::uint32_t>(distAddr_, graph_.n);
+    const auto want = cpuBfs(graph_, src_);
+    return got == want;
+}
+
+} // namespace dtbl

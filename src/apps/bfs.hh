@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Breadth-First Search (Table 4: citation network, USA road network,
+ * cage15 sparse matrix).
+ *
+ * Level-synchronous frontier BFS. Following the paper's baseline [23]
+ * (Merrill et al.), the flat variant is itself load-balanced: small
+ * vertices expand inline, while high-degree vertices are deferred to a
+ * TB-level expansion pass (one thread block sweeps each big vertex's
+ * edge list). The nested variants replace that TB-level expansion with
+ * a device kernel / aggregated group per big vertex — the
+ * vertex-expansion DFP of the paper's Figure 2(b).
+ */
+
+#ifndef DTBL_APPS_BFS_HH
+#define DTBL_APPS_BFS_HH
+
+#include "apps/app.hh"
+#include "apps/datasets/graph.hh"
+
+namespace dtbl {
+
+class BfsApp : public App
+{
+  public:
+    enum class Dataset { Citation, UsaRoad, Cage15 };
+
+    explicit BfsApp(Dataset d);
+
+    std::string name() const override;
+    void build(Program &prog, Mode mode) override;
+    void setup(Gpu &gpu) override;
+    void execute(Gpu &gpu, Mode mode) override;
+    bool verify(Gpu &gpu) override;
+
+    /** Degree above which nested variants launch a child. */
+    static constexpr std::uint32_t expandThreshold = 32;
+    /**
+     * Degree above which the flat baseline defers to its TB-level
+     * expansion pass (Merrill-style: only monster vertices).
+     */
+    static constexpr std::uint32_t flatExpandThreshold = 256;
+    static constexpr std::uint32_t childTbSize = 32;
+    static constexpr std::uint32_t parentTbSize = 64;
+
+  private:
+    Dataset dataset_;
+    CsrGraph graph_;
+    std::uint32_t src_ = 0;
+
+    KernelFuncId parentKernel_ = invalidKernelFunc;
+    KernelFuncId childKernel_ = invalidKernelFunc;
+    /** Flat-mode TB-level expansion pass over deferred big vertices. */
+    KernelFuncId bigExpandKernel_ = invalidKernelFunc;
+
+    Addr rowPtrAddr_ = 0;
+    Addr colIdxAddr_ = 0;
+    Addr distAddr_ = 0;
+    Addr frontAddr_[2] = {0, 0};
+    Addr nextSizeAddr_ = 0;
+    Addr bigListAddr_ = 0;
+    Addr bigCountAddr_ = 0;
+};
+
+} // namespace dtbl
+
+#endif // DTBL_APPS_BFS_HH

@@ -1,0 +1,295 @@
+#include "apps/bht.hh"
+
+#include <bit>
+
+#include "common/log.hh"
+
+namespace dtbl {
+namespace {
+
+constexpr float eps = 1e-4f;
+
+/**
+ * Emit d2 = (bx-cx[n])^2 + (by-cy[n])^2 + eps with the oracle's op
+ * order, then the fixed-point contribution trunc(mass[n]/d2 * 1024).
+ */
+struct NodeGeom
+{
+    Reg d2;
+};
+
+NodeGeom
+emitDist2(KernelBuilder &b, Reg bx, Reg by, Reg cx_base, Reg cy_base,
+          Reg n4)
+{
+    Reg cx = b.ld(MemSpace::Global, b.add(cx_base, n4));
+    Reg cy = b.ld(MemSpace::Global, b.add(cy_base, n4));
+    Reg dx = b.sub(bx, cx, DataType::F32);
+    Reg dy = b.sub(by, cy, DataType::F32);
+    Reg d2 = b.add(b.add(b.mul(dx, dx, DataType::F32),
+                         b.mul(dy, dy, DataType::F32), DataType::F32),
+                   Val(eps), DataType::F32);
+    return {d2};
+}
+
+Reg
+emitContribution(KernelBuilder &b, Reg mass_base, Reg n4, Reg d2)
+{
+    Reg mass = b.ld(MemSpace::Global, b.add(mass_base, n4));
+    Reg q = b.div(mass, d2, DataType::F32);
+    return b.cvtF2I(b.mul(q, Val(1024.0f), DataType::F32));
+}
+
+/**
+ * Child kernel: evaluate leaves of the contiguous node range.
+ * Params: [0]=cx [4]=cy [8]=mass [12]=isLeaf [16]=nodeStart [20]=count
+ *         [24]=bx bits [28]=by bits [32]=out addr
+ */
+KernelFuncId
+buildLeafKernel(Program &prog)
+{
+    KernelBuilder b("bht_leaves", Dim3{BhtApp::childTbSize}, 0, 36);
+    Reg gid = b.globalThreadIdX();
+    Reg count = b.ldParam(20);
+    Pred oob = b.setp(CmpOp::Ge, DataType::U32, gid, count);
+    b.exitIf(oob);
+    Reg cx = b.ldParam(0);
+    Reg cy = b.ldParam(4);
+    Reg mass = b.ldParam(8);
+    Reg isLeaf = b.ldParam(12);
+    Reg nodeStart = b.ldParam(16);
+    Reg bx = b.ldParam(24);
+    Reg by = b.ldParam(28);
+    Reg outAddr = b.ldParam(32);
+
+    Reg n = b.add(nodeStart, gid);
+    Reg n4 = b.shl(n, 2);
+    Reg leaf = b.ld(MemSpace::Global, b.add(isLeaf, n4));
+    Pred isL = b.setp(CmpOp::Ne, DataType::U32, leaf, Val(0u));
+    b.if_(isL, [&] {
+        NodeGeom g = emitDist2(b, bx, by, cx, cy, n4);
+        Reg c = emitContribution(b, mass, n4, g.d2);
+        b.atom(AtomOp::Add, DataType::U32, outAddr, c);
+    });
+    return b.build(prog);
+}
+
+/**
+ * Parent kernel: per-body stack traversal.
+ * Params: [0]=n [4]=bx [8]=by [12]=cx [16]=cy [20]=half [24]=mass
+ *         [28]=child [32]=subSize [36]=isLeaf [40]=pot [44]=stackBase
+ *         [48]=stackStride
+ */
+KernelFuncId
+buildTraverseKernel(Program &prog, Mode mode, KernelFuncId child_kernel)
+{
+    KernelBuilder b(std::string("bht_traverse_") + modeName(mode),
+                    Dim3{BhtApp::parentTbSize}, 0, 52);
+    Reg tid = b.globalThreadIdX();
+    Reg n = b.ldParam(0);
+    Pred oob = b.setp(CmpOp::Ge, DataType::U32, tid, n);
+    b.exitIf(oob);
+    Reg bxB = b.ldParam(4);
+    Reg byB = b.ldParam(8);
+    Reg cx = b.ldParam(12);
+    Reg cy = b.ldParam(16);
+    Reg half = b.ldParam(20);
+    Reg mass = b.ldParam(24);
+    Reg childArr = b.ldParam(28);
+    Reg subSize = b.ldParam(32);
+    Reg isLeaf = b.ldParam(36);
+    Reg pot = b.ldParam(40);
+    Reg stackBase = b.ldParam(44);
+    Reg stackStride = b.ldParam(48);
+
+    Reg t4 = b.shl(tid, 2);
+    Reg bx = b.ld(MemSpace::Global, b.add(bxB, t4));
+    Reg by = b.ld(MemSpace::Global, b.add(byB, t4));
+    Reg outAddr = b.add(pot, t4);
+    Reg myStack = b.add(stackBase, b.mul(tid, stackStride));
+
+    // In nested modes the child groups atomically add into pot[tid], so
+    // the local accumulator is merged with an atomic at the end.
+    Reg acc = b.mov(0u);
+    b.st(MemSpace::Global, myStack, Val(0u)); // push root
+    Reg sp = b.mov(1u);
+
+    b.whileLoop(
+        [&] { return b.setp(CmpOp::Gt, DataType::U32, sp, Val(0u)); },
+        [&] {
+            b.binaryTo(sp, Opcode::Sub, DataType::U32, sp, Val(1u));
+            Reg node =
+                b.ld(MemSpace::Global, b.add(myStack, b.shl(sp, 2)));
+            Reg n4 = b.shl(node, 2);
+            NodeGeom g = emitDist2(b, bx, by, cx, cy, n4);
+            Reg leaf = b.ld(MemSpace::Global, b.add(isLeaf, n4));
+            Reg h = b.ld(MemSpace::Global, b.add(half, n4));
+            Reg size2 = b.mul(b.mul(Val(4.0f), h, DataType::F32), h,
+                              DataType::F32);
+            Reg thetaD2 =
+                b.mul(Val(BhtApp::theta * BhtApp::theta), g.d2,
+                      DataType::F32);
+
+            Pred isL = b.setp(CmpOp::Ne, DataType::U32, leaf, Val(0u));
+            Pred far = b.setp(CmpOp::Lt, DataType::F32, size2, thetaD2);
+            Reg useCom =
+                b.or_(b.selp(isL, 1u, 0u), b.selp(far, 1u, 0u));
+            Pred direct =
+                b.setp(CmpOp::Eq, DataType::U32, useCom, Val(1u));
+            b.ifElse(
+                direct,
+                [&] {
+                    Reg c = emitContribution(b, mass, n4, g.d2);
+                    b.binaryTo(acc, Opcode::Add, DataType::U32, acc, c);
+                },
+                [&] {
+                    Reg sub =
+                        b.ld(MemSpace::Global, b.add(subSize, n4));
+                    Pred small = b.setp(CmpOp::Le, DataType::U32, sub,
+                                        Val(BhtApp::expandLimit));
+                    b.ifElse(
+                        small,
+                        [&] {
+                            if (mode == Mode::Flat) {
+                                // Serial leaf sweep over the subtree.
+                                Reg endN = b.add(node, sub);
+                                b.forRange(node, endN, [&](Reg k) {
+                                    Reg k4 = b.shl(k, 2);
+                                    Reg kl = b.ld(MemSpace::Global,
+                                                  b.add(isLeaf, k4));
+                                    Pred kIsL =
+                                        b.setp(CmpOp::Ne, DataType::U32,
+                                               kl, Val(0u));
+                                    b.if_(kIsL, [&] {
+                                        NodeGeom kg = emitDist2(
+                                            b, bx, by, cx, cy, k4);
+                                        Reg c = emitContribution(
+                                            b, mass, k4, kg.d2);
+                                        b.binaryTo(acc, Opcode::Add,
+                                                   DataType::U32, acc,
+                                                   c);
+                                    });
+                                });
+                            } else {
+                                Reg ntbs = b.div(
+                                    b.add(sub, BhtApp::childTbSize - 1),
+                                    Val(BhtApp::childTbSize));
+                                emitDynamicLaunch(
+                                    b, mode, child_kernel, ntbs, 36,
+                                    [&](Reg buf) {
+                                        b.st(MemSpace::Global, buf, cx,
+                                             0);
+                                        b.st(MemSpace::Global, buf, cy,
+                                             4);
+                                        b.st(MemSpace::Global, buf,
+                                             mass, 8);
+                                        b.st(MemSpace::Global, buf,
+                                             isLeaf, 12);
+                                        b.st(MemSpace::Global, buf,
+                                             node, 16);
+                                        b.st(MemSpace::Global, buf, sub,
+                                             20);
+                                        b.st(MemSpace::Global, buf, bx,
+                                             24);
+                                        b.st(MemSpace::Global, buf, by,
+                                             28);
+                                        b.st(MemSpace::Global, buf,
+                                             outAddr, 32);
+                                    });
+                            }
+                        },
+                        [&] {
+                            // Push existing children.
+                            Reg c16 = b.shl(node, 4);
+                            for (std::uint32_t q = 0; q < 4; ++q) {
+                                Reg cAddr = b.add(childArr,
+                                                  b.add(c16, 4 * q));
+                                Reg c = b.ld(MemSpace::Global, cAddr);
+                                Pred valid =
+                                    b.setp(CmpOp::Ne, DataType::S32, c,
+                                           Val(0xffffffffu));
+                                b.if_(valid, [&] {
+                                    b.st(MemSpace::Global,
+                                         b.add(myStack, b.shl(sp, 2)),
+                                         c);
+                                    b.binaryTo(sp, Opcode::Add,
+                                               DataType::U32, sp,
+                                               Val(1u));
+                                });
+                            }
+                        });
+                });
+        });
+    // Merge the serial accumulator (atomic: child groups share pot[]).
+    b.atom(AtomOp::Add, DataType::U32, outAddr, acc);
+    return b.build(prog);
+}
+
+} // namespace
+
+void
+BhtApp::build(Program &prog, Mode mode)
+{
+    childKernel_ = buildLeafKernel(prog);
+    parentKernel_ = buildTraverseKernel(prog, mode, childKernel_);
+}
+
+void
+BhtApp::setup(Gpu &gpu)
+{
+    bodies_ = makeClusteredBodies(4000, 3, 0xb0d1e5);
+    tree_ = buildQuadTree(bodies_);
+
+    GlobalMemory &mem = gpu.mem();
+    auto uploadF = [&](const std::vector<float> &v) {
+        std::vector<std::uint32_t> bits(v.size());
+        for (std::size_t i = 0; i < v.size(); ++i)
+            bits[i] = std::bit_cast<std::uint32_t>(v[i]);
+        return mem.upload(bits);
+    };
+    bxAddr_ = uploadF(bodies_.x);
+    byAddr_ = uploadF(bodies_.y);
+    cxAddr_ = uploadF(tree_.cx);
+    cyAddr_ = uploadF(tree_.cy);
+    halfAddr_ = uploadF(tree_.half);
+    massAddr_ = uploadF(tree_.mass);
+    std::vector<std::uint32_t> childBits(tree_.child.size());
+    for (std::size_t i = 0; i < tree_.child.size(); ++i)
+        childBits[i] = std::uint32_t(tree_.child[i]);
+    childAddr_ = mem.upload(childBits);
+    subSizeAddr_ = mem.upload(tree_.subtreeSize);
+    std::vector<std::uint32_t> leaf32(tree_.isLeaf.begin(),
+                                      tree_.isLeaf.end());
+    isLeafAddr_ = mem.upload(leaf32);
+
+    std::vector<std::uint32_t> zeros(bodies_.count(), 0);
+    potAddr_ = mem.upload(zeros);
+    stackAddr_ = mem.allocate(std::uint64_t(bodies_.count()) *
+                              stackEntries * 4);
+}
+
+void
+BhtApp::execute(Gpu &gpu, Mode mode)
+{
+    (void)mode;
+    const std::uint32_t n = bodies_.count();
+    gpu.launch(parentKernel_, Dim3{(n + parentTbSize - 1) / parentTbSize},
+               {n, std::uint32_t(bxAddr_), std::uint32_t(byAddr_),
+                std::uint32_t(cxAddr_), std::uint32_t(cyAddr_),
+                std::uint32_t(halfAddr_), std::uint32_t(massAddr_),
+                std::uint32_t(childAddr_), std::uint32_t(subSizeAddr_),
+                std::uint32_t(isLeafAddr_), std::uint32_t(potAddr_),
+                std::uint32_t(stackAddr_), stackEntries * 4});
+    gpu.synchronize();
+}
+
+bool
+BhtApp::verify(Gpu &gpu)
+{
+    const auto got =
+        gpu.mem().download<std::uint32_t>(potAddr_, bodies_.count());
+    return got ==
+           cpuBhPotential(bodies_, tree_, theta, expandLimit);
+}
+
+} // namespace dtbl

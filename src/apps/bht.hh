@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Barnes-Hut Tree (Table 4: random data points).
+ *
+ * Each body traverses a quadtree accumulating a BH-style potential:
+ * far-away nodes contribute through their center of mass; small nearby
+ * subtrees are evaluated leaf-by-leaf. The leaf-by-leaf evaluation of a
+ * subtree (stored contiguously in DFS order) is the DFP — warp-sized,
+ * matching the paper's observation that bht's dynamic workloads average
+ * ~33 threads. Accumulation is in fixed-point so results are identical
+ * across summation orders.
+ */
+
+#ifndef DTBL_APPS_BHT_HH
+#define DTBL_APPS_BHT_HH
+
+#include "apps/app.hh"
+#include "apps/datasets/generators.hh"
+
+namespace dtbl {
+
+class BhtApp : public App
+{
+  public:
+    BhtApp() = default;
+
+    std::string name() const override { return "bht"; }
+    void build(Program &prog, Mode mode) override;
+    void setup(Gpu &gpu) override;
+    void execute(Gpu &gpu, Mode mode) override;
+    bool verify(Gpu &gpu) override;
+
+    static constexpr float theta = 0.5f;
+    static constexpr std::uint32_t expandLimit = 64; //!< subtree nodes
+    static constexpr std::uint32_t childTbSize = 32;
+    static constexpr std::uint32_t parentTbSize = 64;
+    static constexpr std::uint32_t stackEntries = 128;
+
+  private:
+    Bodies bodies_;
+    QuadTree tree_;
+
+    KernelFuncId parentKernel_ = invalidKernelFunc;
+    KernelFuncId childKernel_ = invalidKernelFunc;
+
+    Addr bxAddr_ = 0, byAddr_ = 0;
+    Addr cxAddr_ = 0, cyAddr_ = 0, halfAddr_ = 0, massAddr_ = 0;
+    Addr childAddr_ = 0, subSizeAddr_ = 0, isLeafAddr_ = 0;
+    Addr potAddr_ = 0;
+    Addr stackAddr_ = 0;
+};
+
+} // namespace dtbl
+
+#endif // DTBL_APPS_BHT_HH

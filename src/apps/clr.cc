@@ -1,0 +1,330 @@
+#include "apps/clr.hh"
+
+#include "common/log.hh"
+#include "common/rng.hh"
+
+namespace dtbl {
+namespace {
+
+constexpr std::uint32_t inf = 0xffffffffu;
+
+/**
+ * Emit the per-neighbor inspection used by both the inline loop and the
+ * child kernel. Writes blocked/forbid state for vertex @p v.
+ * @param atomic use atomics (child threads of the same vertex race).
+ */
+void
+emitInspect(KernelBuilder &b, Reg v, Reg u, Reg color_base, Reg prio_base,
+            Reg blocked_addr, Reg forbid_addr, Reg prio_v)
+{
+    Reg u4 = b.shl(u, 2);
+    Reg cu = b.ld(MemSpace::Global, b.add(color_base, u4));
+    Pred uncolored = b.setp(CmpOp::Eq, DataType::U32, cu, Val(inf));
+    b.ifElse(
+        uncolored,
+        [&] {
+            // Priority comparison with id tie-break; self-edges ignored.
+            Reg pu = b.ld(MemSpace::Global, b.add(prio_base, u4));
+            Pred hi = b.setp(CmpOp::Gt, DataType::U32, pu, prio_v);
+            b.if_(hi, [&] {
+                b.atom(AtomOp::Or, DataType::U32, blocked_addr, Val(1u));
+            });
+            Pred tie = b.setp(CmpOp::Eq, DataType::U32, pu, prio_v);
+            b.if_(tie, [&] {
+                Pred idHi = b.setp(CmpOp::Gt, DataType::U32, u, v);
+                b.if_(idHi, [&] {
+                    b.atom(AtomOp::Or, DataType::U32, blocked_addr,
+                           Val(1u));
+                });
+            });
+        },
+        [&] {
+            Pred small = b.setp(CmpOp::Lt, DataType::U32, cu, Val(32u));
+            b.if_(small, [&] {
+                Reg bit = b.shl(1u, cu);
+                b.atom(AtomOp::Or, DataType::U32, forbid_addr, bit);
+            });
+        });
+}
+
+/**
+ * Child params: [0]=colIdx [4]=color [8]=prio [12]=edgeStart [16]=count
+ *               [20]=v [24]=blocked base [28]=forbid base
+ */
+KernelFuncId
+buildInspectKernel(Program &prog)
+{
+    KernelBuilder b("clr_inspect", Dim3{ClrApp::childTbSize}, 0, 32);
+    Reg gid = b.globalThreadIdX();
+    Reg count = b.ldParam(16);
+    Pred oob = b.setp(CmpOp::Ge, DataType::U32, gid, count);
+    b.exitIf(oob);
+    Reg colIdx = b.ldParam(0);
+    Reg color = b.ldParam(4);
+    Reg prio = b.ldParam(8);
+    Reg edgeStart = b.ldParam(12);
+    Reg v = b.ldParam(20);
+    Reg blockedBase = b.ldParam(24);
+    Reg forbidBase = b.ldParam(28);
+    Reg v4 = b.shl(v, 2);
+    Reg blockedAddr = b.add(blockedBase, v4);
+    Reg forbidAddr = b.add(forbidBase, v4);
+    Reg prioV = b.ld(MemSpace::Global, b.add(prio, v4));
+    Reg e = b.add(edgeStart, gid);
+    Reg u = b.ld(MemSpace::Global, b.add(colIdx, b.shl(e, 2)));
+    Pred self = b.setp(CmpOp::Eq, DataType::U32, u, v);
+    b.exitIf(self);
+    emitInspect(b, v, u, color, prio, blockedAddr, forbidAddr, prioV);
+    return b.build(prog);
+}
+
+/**
+ * Phase 1 params: [0]=listSize [4]=list [8]=rowPtr [12]=colIdx
+ *                 [16]=color [20]=prio [24]=blocked [28]=forbid
+ */
+KernelFuncId
+buildPhase1Kernel(Program &prog, Mode mode, KernelFuncId child)
+{
+    KernelBuilder b(std::string("clr_phase1_") + modeName(mode),
+                    Dim3{ClrApp::parentTbSize}, 0, 32);
+    Reg tid = b.globalThreadIdX();
+    Reg listSize = b.ldParam(0);
+    Pred oob = b.setp(CmpOp::Ge, DataType::U32, tid, listSize);
+    b.exitIf(oob);
+    Reg list = b.ldParam(4);
+    Reg rowPtr = b.ldParam(8);
+    Reg colIdx = b.ldParam(12);
+    Reg color = b.ldParam(16);
+    Reg prio = b.ldParam(20);
+    Reg blockedBase = b.ldParam(24);
+    Reg forbidBase = b.ldParam(28);
+
+    Reg v = b.ld(MemSpace::Global, b.add(list, b.shl(tid, 2)));
+    Reg v4 = b.shl(v, 2);
+    Reg blockedAddr = b.add(blockedBase, v4);
+    Reg forbidAddr = b.add(forbidBase, v4);
+    Reg prioV = b.ld(MemSpace::Global, b.add(prio, v4));
+    Reg rpAddr = b.add(rowPtr, v4);
+    Reg start = b.ld(MemSpace::Global, rpAddr);
+    Reg end = b.ld(MemSpace::Global, rpAddr, 4);
+    Reg deg = b.sub(end, start);
+
+    auto inlineInspect = [&] {
+        b.forRange(start, end, [&](Reg e) {
+            Reg u = b.ld(MemSpace::Global, b.add(colIdx, b.shl(e, 2)));
+            Pred notSelf = b.setp(CmpOp::Ne, DataType::U32, u, v);
+            b.if_(notSelf, [&] {
+                emitInspect(b, v, u, color, prio, blockedAddr, forbidAddr,
+                            prioV);
+            });
+        });
+    };
+
+    if (mode == Mode::Flat) {
+        inlineInspect();
+    } else {
+        Pred big = b.setp(CmpOp::Gt, DataType::U32, deg,
+                          Val(ClrApp::expandThreshold));
+        b.ifElse(
+            big,
+            [&] {
+                Reg ntbs = b.div(b.add(deg, ClrApp::childTbSize - 1),
+                                 Val(ClrApp::childTbSize));
+                emitDynamicLaunch(b, mode, child, ntbs, 32, [&](Reg buf) {
+                    b.st(MemSpace::Global, buf, colIdx, 0);
+                    b.st(MemSpace::Global, buf, color, 4);
+                    b.st(MemSpace::Global, buf, prio, 8);
+                    b.st(MemSpace::Global, buf, start, 12);
+                    b.st(MemSpace::Global, buf, deg, 16);
+                    b.st(MemSpace::Global, buf, v, 20);
+                    b.st(MemSpace::Global, buf, blockedBase, 24);
+                    b.st(MemSpace::Global, buf, forbidBase, 28);
+                });
+            },
+            inlineInspect);
+    }
+    return b.build(prog);
+}
+
+/**
+ * Phase 2 params: [0]=listSize [4]=list [8]=color [12]=blocked
+ *                 [16]=forbid [20]=nextList [24]=nextSize
+ */
+KernelFuncId
+buildPhase2Kernel(Program &prog)
+{
+    KernelBuilder b("clr_phase2", Dim3{ClrApp::parentTbSize}, 0, 28);
+    Reg tid = b.globalThreadIdX();
+    Reg listSize = b.ldParam(0);
+    Pred oob = b.setp(CmpOp::Ge, DataType::U32, tid, listSize);
+    b.exitIf(oob);
+    Reg list = b.ldParam(4);
+    Reg color = b.ldParam(8);
+    Reg blockedBase = b.ldParam(12);
+    Reg forbidBase = b.ldParam(16);
+    Reg nextList = b.ldParam(20);
+    Reg nextSize = b.ldParam(24);
+
+    Reg v = b.ld(MemSpace::Global, b.add(list, b.shl(tid, 2)));
+    Reg v4 = b.shl(v, 2);
+    Reg blocked = b.ld(MemSpace::Global, b.add(blockedBase, v4));
+    Reg forbid = b.ld(MemSpace::Global, b.add(forbidBase, v4));
+    // Reset scratch for the next round.
+    b.st(MemSpace::Global, b.add(blockedBase, v4), Val(0u));
+    b.st(MemSpace::Global, b.add(forbidBase, v4), Val(0u));
+
+    Pred free = b.setp(CmpOp::Eq, DataType::U32, blocked, Val(0u));
+    b.ifElse(
+        free,
+        [&] {
+            // Smallest color not in the forbidden mask.
+            Reg c = b.mov(0u);
+            b.whileLoop(
+                [&] {
+                    Reg bit = b.and_(b.shr(forbid, c), Val(1u));
+                    Pred used =
+                        b.setp(CmpOp::Eq, DataType::U32, bit, Val(1u));
+                    Pred inRange =
+                        b.setp(CmpOp::Lt, DataType::U32, c, Val(32u));
+                    // continue while used && inRange
+                    Reg contRaw = b.selp(used, 1u, 0u);
+                    Reg inR = b.selp(inRange, 1u, 0u);
+                    Reg both = b.and_(contRaw, inR);
+                    return b.setp(CmpOp::Eq, DataType::U32, both,
+                                  Val(1u));
+                },
+                [&] {
+                    b.binaryTo(c, Opcode::Add, DataType::U32, c, Val(1u));
+                });
+            b.st(MemSpace::Global, b.add(color, v4), c);
+        },
+        [&] {
+            Reg idx =
+                b.atom(AtomOp::Add, DataType::U32, nextSize, Val(1u));
+            b.st(MemSpace::Global, b.add(nextList, b.shl(idx, 2)), v);
+        });
+    return b.build(prog);
+}
+
+} // namespace
+
+ClrApp::ClrApp(Dataset d) : dataset_(d)
+{
+}
+
+std::string
+ClrApp::name() const
+{
+    switch (dataset_) {
+      case Dataset::Citation: return "clr_citation";
+      case Dataset::Graph500: return "clr_graph500";
+      case Dataset::Cage15: return "clr_cage15";
+    }
+    return "clr";
+}
+
+void
+ClrApp::build(Program &prog, Mode mode)
+{
+    childKernel_ = buildInspectKernel(prog);
+    phase1Kernel_ = buildPhase1Kernel(prog, mode, childKernel_);
+    phase2Kernel_ = buildPhase2Kernel(prog);
+}
+
+void
+ClrApp::setup(Gpu &gpu)
+{
+    // Coloring requires symmetric adjacency (generator degrees roughly
+    // double when mirrored edges are added).
+    switch (dataset_) {
+      case Dataset::Citation:
+        graph_ = symmetrize(makeCitationGraph(6000, 8, 0xc01017a));
+        break;
+      case Dataset::Graph500:
+        // Balanced degrees just above the expansion threshold: launches
+        // occur uniformly but bring no imbalance benefit (5.2C).
+        graph_ = symmetrize(makeGraph500Graph(2600, 17, 0x500500));
+        break;
+      case Dataset::Cage15:
+        graph_ = symmetrize(makeCageGraph(2500, 24, 0xc0ca9e));
+        break;
+    }
+    Rng rng(0x9910 + std::uint64_t(dataset_));
+    prio_.resize(graph_.n);
+    for (auto &p : prio_)
+        p = std::uint32_t(rng.next() >> 32);
+
+    GlobalMemory &mem = gpu.mem();
+    rowPtrAddr_ = mem.upload(graph_.rowPtr);
+    colIdxAddr_ = mem.upload(graph_.colIdx);
+    prioAddr_ = mem.upload(prio_);
+
+    std::vector<std::uint32_t> colors(graph_.n, inf);
+    colorAddr_ = mem.upload(colors);
+    std::vector<std::uint32_t> zeros(graph_.n, 0);
+    blockedAddr_ = mem.upload(zeros);
+    forbidAddr_ = mem.upload(zeros);
+
+    std::vector<std::uint32_t> list(graph_.n);
+    for (std::uint32_t v = 0; v < graph_.n; ++v)
+        list[v] = v;
+    listAddr_[0] = mem.upload(list);
+    listAddr_[1] = mem.allocate(std::uint64_t(graph_.n) * 4);
+    nextSizeAddr_ = mem.allocate(4);
+}
+
+void
+ClrApp::execute(Gpu &gpu, Mode mode)
+{
+    (void)mode;
+    std::uint32_t listSize = graph_.n;
+    unsigned cur = 0;
+    std::uint32_t rounds = 0;
+    while (listSize > 0) {
+        const Dim3 grid{(listSize + parentTbSize - 1) / parentTbSize};
+        const auto common = std::uint32_t(listAddr_[cur]);
+        gpu.launch(phase1Kernel_, grid,
+                   {listSize, common, std::uint32_t(rowPtrAddr_),
+                    std::uint32_t(colIdxAddr_), std::uint32_t(colorAddr_),
+                    std::uint32_t(prioAddr_), std::uint32_t(blockedAddr_),
+                    std::uint32_t(forbidAddr_)});
+        gpu.synchronize();
+
+        gpu.mem().write32(nextSizeAddr_, 0);
+        gpu.launch(phase2Kernel_, grid,
+                   {listSize, common, std::uint32_t(colorAddr_),
+                    std::uint32_t(blockedAddr_),
+                    std::uint32_t(forbidAddr_),
+                    std::uint32_t(listAddr_[1 - cur]),
+                    std::uint32_t(nextSizeAddr_)});
+        gpu.synchronize();
+
+        const std::uint32_t next = gpu.mem().read32(nextSizeAddr_);
+        DTBL_ASSERT(next < listSize, "coloring made no progress");
+        listSize = next;
+        cur = 1 - cur;
+        DTBL_ASSERT(++rounds <= graph_.n, "coloring failed to converge");
+    }
+}
+
+bool
+ClrApp::verify(Gpu &gpu)
+{
+    const auto got =
+        gpu.mem().download<std::uint32_t>(colorAddr_, graph_.n);
+    const auto want = cpuJpColoring(graph_, prio_);
+    if (got != want)
+        return false;
+    // Independent validity check (colors < 32 must differ on edges).
+    for (std::uint32_t v = 0; v < graph_.n; ++v) {
+        for (std::uint32_t e = graph_.rowPtr[v]; e < graph_.rowPtr[v + 1];
+             ++e) {
+            const std::uint32_t u = graph_.colIdx[e];
+            if (u != v && got[v] < 32 && got[v] == got[u])
+                return false;
+        }
+    }
+    return true;
+}
+
+} // namespace dtbl

@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Graph Coloring (Table 4: citation network, graph500, cage15).
+ *
+ * Jones-Plassmann style greedy coloring: per round, every uncolored
+ * vertex whose random priority is a local maximum among its uncolored
+ * neighbors takes the smallest color not used by its colored neighbors.
+ * Phase 1 (neighbor inspection) carries the DFP: nested variants launch
+ * a child per high-degree vertex that marks blocked/forbidden state
+ * with atomics.
+ */
+
+#ifndef DTBL_APPS_CLR_HH
+#define DTBL_APPS_CLR_HH
+
+#include "apps/app.hh"
+#include "apps/datasets/graph.hh"
+
+namespace dtbl {
+
+class ClrApp : public App
+{
+  public:
+    enum class Dataset { Citation, Graph500, Cage15 };
+
+    explicit ClrApp(Dataset d);
+
+    std::string name() const override;
+    void build(Program &prog, Mode mode) override;
+    void setup(Gpu &gpu) override;
+    void execute(Gpu &gpu, Mode mode) override;
+    bool verify(Gpu &gpu) override;
+
+    static constexpr std::uint32_t expandThreshold = 32;
+    static constexpr std::uint32_t childTbSize = 32;
+    static constexpr std::uint32_t parentTbSize = 64;
+
+  private:
+    Dataset dataset_;
+    CsrGraph graph_;
+    std::vector<std::uint32_t> prio_;
+
+    KernelFuncId phase1Kernel_ = invalidKernelFunc;
+    KernelFuncId phase2Kernel_ = invalidKernelFunc;
+    KernelFuncId childKernel_ = invalidKernelFunc;
+
+    Addr rowPtrAddr_ = 0;
+    Addr colIdxAddr_ = 0;
+    Addr colorAddr_ = 0;
+    Addr prioAddr_ = 0;
+    Addr blockedAddr_ = 0;
+    Addr forbidAddr_ = 0;
+    Addr listAddr_[2] = {0, 0};
+    Addr nextSizeAddr_ = 0;
+};
+
+} // namespace dtbl
+
+#endif // DTBL_APPS_CLR_HH

@@ -1,0 +1,402 @@
+#include "apps/datasets/generators.hh"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <functional>
+#include <utility>
+
+#include "common/log.hh"
+#include "common/rng.hh"
+
+namespace dtbl {
+
+// --- REGX -------------------------------------------------------------
+
+PatternSet
+makePatterns(std::uint32_t count, std::uint32_t min_len,
+             std::uint32_t max_len, unsigned alphabet, std::uint64_t seed)
+{
+    DTBL_ASSERT(count <= 32, "pattern set limited to 32 (bitmask)");
+    DTBL_ASSERT(min_len >= 2 && max_len <= PatternSet::slotBytes);
+    Rng rng(seed);
+    PatternSet p;
+    p.count = count;
+    p.bytes.assign(count * PatternSet::slotBytes, 0);
+    p.lengths.resize(count);
+    p.firstByteMask.assign(256, 0);
+    for (std::uint32_t i = 0; i < count; ++i) {
+        const std::uint32_t len =
+            min_len + std::uint32_t(rng.nextBounded(max_len - min_len + 1));
+        p.lengths[i] = len;
+        for (std::uint32_t b = 0; b < len; ++b) {
+            const std::uint8_t c =
+                alphabet ? std::uint8_t('a' + rng.nextBounded(alphabet))
+                         : std::uint8_t(rng.nextBounded(256));
+            p.bytes[i * PatternSet::slotBytes + b] = c;
+        }
+        p.firstByteMask[p.bytes[i * PatternSet::slotBytes]] |= 1u << i;
+    }
+    return p;
+}
+
+namespace {
+
+PacketSet
+makePackets(std::uint32_t num_packets, std::uint32_t avg_len, Rng &rng,
+            const std::function<std::uint8_t(Rng &)> &gen_byte,
+            const PatternSet *plant)
+{
+    PacketSet ps;
+    ps.offsets.reserve(num_packets);
+    ps.lengths.reserve(num_packets);
+    for (std::uint32_t i = 0; i < num_packets; ++i) {
+        const std::uint32_t len =
+            std::max<std::uint32_t>(16, avg_len / 2 +
+                std::uint32_t(rng.nextBounded(avg_len)));
+        ps.offsets.push_back(std::uint32_t(ps.bytes.size()));
+        ps.lengths.push_back(len);
+        for (std::uint32_t b = 0; b < len; ++b)
+            ps.bytes.push_back(gen_byte(rng));
+        if (plant && plant->count > 0 && rng.nextBool(0.5)) {
+            const std::uint32_t pi =
+                std::uint32_t(rng.nextBounded(plant->count));
+            const std::uint32_t plen = plant->lengths[pi];
+            if (plen < len) {
+                const std::uint32_t pos =
+                    std::uint32_t(rng.nextBounded(len - plen));
+                std::copy_n(&plant->bytes[pi * PatternSet::slotBytes],
+                            plen,
+                            ps.bytes.begin() + ps.offsets.back() + pos);
+            }
+        }
+    }
+    return ps;
+}
+
+} // namespace
+
+PacketSet
+makeDarpaPackets(std::uint32_t num_packets, std::uint32_t avg_len,
+                 const PatternSet &pats, std::uint64_t seed)
+{
+    Rng rng(seed);
+    // Mixed binary/ASCII traffic: wide byte distribution keeps the
+    // first-byte candidate density moderate.
+    auto genByte = [](Rng &r) {
+        if (r.nextBool(0.7))
+            return std::uint8_t(' ' + r.nextBounded(95)); // printable
+        return std::uint8_t(r.nextBounded(256));
+    };
+    return makePackets(num_packets, avg_len, rng, genByte, &pats);
+}
+
+PacketSet
+makeRandomStrings(std::uint32_t num_packets, std::uint32_t avg_len,
+                  unsigned alphabet, std::uint64_t seed)
+{
+    Rng rng(seed);
+    auto genByte = [alphabet](Rng &r) {
+        return std::uint8_t('a' + r.nextBounded(alphabet));
+    };
+    return makePackets(num_packets, avg_len, rng, genByte, nullptr);
+}
+
+std::vector<std::uint32_t>
+cpuMatchCounts(const PacketSet &packets, const PatternSet &pats,
+               std::uint32_t max_candidates)
+{
+    std::vector<std::uint32_t> counts(packets.count(), 0);
+    for (std::uint32_t p = 0; p < packets.count(); ++p) {
+        const std::uint8_t *text = &packets.bytes[packets.offsets[p]];
+        const std::uint32_t len = packets.lengths[p];
+        std::uint32_t taken = 0;
+        for (std::uint32_t pos = 0; pos < len; ++pos) {
+            std::uint32_t cand = pats.firstByteMask[text[pos]];
+            if (cand && max_candidates) {
+                if (taken >= max_candidates)
+                    continue;
+                ++taken;
+            }
+            while (cand) {
+                const unsigned pi = unsigned(std::countr_zero(cand));
+                cand &= cand - 1;
+                const std::uint32_t plen = pats.lengths[pi];
+                if (pos + plen > len)
+                    continue;
+                bool match = true;
+                for (std::uint32_t b = 0; b < plen; ++b) {
+                    if (text[pos + b] !=
+                        pats.bytes[pi * PatternSet::slotBytes + b]) {
+                        match = false;
+                        break;
+                    }
+                }
+                if (match)
+                    ++counts[p];
+            }
+        }
+    }
+    return counts;
+}
+
+// --- PRE ---------------------------------------------------------------
+
+Ratings
+makeMovieLensRatings(std::uint32_t items, std::uint32_t users,
+                     std::uint32_t avg_ratings_per_item,
+                     std::uint64_t seed)
+{
+    Rng rng(seed);
+    Ratings r;
+    r.numItems = items;
+    r.numUsers = users;
+    r.itemPtr.resize(items + 1, 0);
+
+    // Zipf-like item popularity.
+    std::vector<double> pop(items);
+    double totalPop = 0;
+    for (std::uint32_t i = 0; i < items; ++i) {
+        pop[i] = std::pow(double(i + 1), -0.8);
+        totalPop += pop[i];
+    }
+    const double scale =
+        double(avg_ratings_per_item) * items / totalPop;
+    std::vector<std::uint32_t> userCount(users, 0);
+    for (std::uint32_t i = 0; i < items; ++i) {
+        std::uint32_t cnt = std::max<std::uint32_t>(
+            4, std::uint32_t(pop[i] * scale));
+        cnt = std::min(cnt, 3 * avg_ratings_per_item);
+        r.itemPtr[i + 1] = r.itemPtr[i] + cnt;
+        for (std::uint32_t k = 0; k < cnt; ++k) {
+            const std::uint32_t u = std::uint32_t(rng.nextBounded(users));
+            r.userIdx.push_back(u);
+            r.rating.push_back(1 + std::uint32_t(rng.nextBounded(5)));
+            ++userCount[u];
+        }
+    }
+    r.userWeight.resize(users);
+    for (std::uint32_t u = 0; u < users; ++u)
+        r.userWeight[u] = 65536u / (1u + userCount[u]);
+    return r;
+}
+
+std::vector<std::uint32_t>
+cpuItemScores(const Ratings &r)
+{
+    std::vector<std::uint32_t> score(r.numItems, 0);
+    for (std::uint32_t i = 0; i < r.numItems; ++i) {
+        for (std::uint32_t e = r.itemPtr[i]; e < r.itemPtr[i + 1]; ++e)
+            score[i] += r.rating[e] * r.userWeight[r.userIdx[e]];
+    }
+    return score;
+}
+
+// --- JOIN -------------------------------------------------------------
+
+JoinData
+makeJoinData(std::uint32_t n_r, std::uint32_t n_s, std::uint32_t buckets,
+             bool gaussian, std::uint64_t seed)
+{
+    Rng rng(seed);
+    JoinData j;
+    j.numBuckets = buckets;
+
+    const std::uint32_t keySpace = gaussian ? 4096 : n_s * 4;
+    auto drawKey = [&]() -> std::uint32_t {
+        if (!gaussian)
+            return std::uint32_t(rng.nextBounded(keySpace));
+        const double g = rng.nextGaussian() * (keySpace / 256.0) +
+                         keySpace / 2.0;
+        const double c = std::clamp(g, 0.0, double(keySpace - 1));
+        return std::uint32_t(c);
+    };
+
+    std::vector<std::uint32_t> sRaw(n_s);
+    for (auto &k : sRaw)
+        k = drawKey();
+    // R keys probe uniformly: under the Gaussian S distribution a few
+    // probes hit huge hot buckets while most hit small ones -- the
+    // per-warp imbalance the paper's join_gaussian exhibits.
+    j.rKeys.resize(n_r);
+    for (auto &k : j.rKeys)
+        k = std::uint32_t(rng.nextBounded(keySpace));
+
+    // Group S by hash bucket.
+    j.bucketCount.assign(buckets, 0);
+    for (auto k : sRaw)
+        ++j.bucketCount[joinHash(k, buckets)];
+    j.bucketStart.resize(buckets);
+    std::uint32_t acc = 0;
+    for (std::uint32_t b = 0; b < buckets; ++b) {
+        j.bucketStart[b] = acc;
+        acc += j.bucketCount[b];
+    }
+    j.sKeys.resize(n_s);
+    std::vector<std::uint32_t> fill = j.bucketStart;
+    for (auto k : sRaw)
+        j.sKeys[fill[joinHash(k, buckets)]++] = k;
+    return j;
+}
+
+std::vector<std::uint32_t>
+cpuJoinCounts(const JoinData &j)
+{
+    std::vector<std::uint32_t> counts(j.rKeys.size(), 0);
+    for (std::size_t i = 0; i < j.rKeys.size(); ++i) {
+        const std::uint32_t k = j.rKeys[i];
+        const std::uint32_t b = joinHash(k, j.numBuckets);
+        for (std::uint32_t e = 0; e < j.bucketCount[b]; ++e) {
+            if (j.sKeys[j.bucketStart[b] + e] == k)
+                ++counts[i];
+        }
+    }
+    return counts;
+}
+
+// --- BHT ---------------------------------------------------------------
+
+Bodies
+makeClusteredBodies(std::uint32_t n, unsigned clusters, std::uint64_t seed)
+{
+    Rng rng(seed);
+    Bodies b;
+    b.x.reserve(n);
+    b.y.reserve(n);
+    std::vector<std::pair<double, double>> centers(clusters);
+    for (auto &c : centers)
+        c = {0.15 + 0.7 * rng.nextDouble(), 0.15 + 0.7 * rng.nextDouble()};
+    for (std::uint32_t i = 0; i < n; ++i) {
+        const auto &c = centers[rng.nextBounded(clusters)];
+        const double px =
+            std::clamp(c.first + rng.nextGaussian() * 0.06, 0.0, 0.999);
+        const double py =
+            std::clamp(c.second + rng.nextGaussian() * 0.06, 0.0, 0.999);
+        b.x.push_back(float(px));
+        b.y.push_back(float(py));
+    }
+    return b;
+}
+
+namespace {
+
+struct TreeBuilder
+{
+    const Bodies &bodies;
+    QuadTree tree;
+    static constexpr unsigned maxDepth = 24;
+
+    /** Returns the node index; appends the subtree in DFS order. */
+    std::uint32_t
+    build(std::vector<std::uint32_t> idx, float cx, float cy, float half,
+          unsigned depth)
+    {
+        const std::uint32_t node = tree.count();
+        tree.cx.push_back(0);
+        tree.cy.push_back(0);
+        tree.half.push_back(half);
+        tree.mass.push_back(float(idx.size()));
+        for (int k = 0; k < 4; ++k)
+            tree.child.push_back(-1);
+        tree.subtreeSize.push_back(1);
+        tree.isLeaf.push_back(idx.size() <= 1 || depth >= maxDepth);
+
+        // Center of mass of the contained bodies.
+        double sx = 0, sy = 0;
+        for (auto i : idx) {
+            sx += bodies.x[i];
+            sy += bodies.y[i];
+        }
+        tree.cx[node] = idx.empty() ? cx : float(sx / double(idx.size()));
+        tree.cy[node] = idx.empty() ? cy : float(sy / double(idx.size()));
+
+        if (!tree.isLeaf[node]) {
+            std::vector<std::uint32_t> quad[4];
+            for (auto i : idx) {
+                const int q = (bodies.x[i] >= cx ? 1 : 0) |
+                              (bodies.y[i] >= cy ? 2 : 0);
+                quad[q].push_back(i);
+            }
+            const float h2 = half / 2;
+            const float ox[4] = {-h2, h2, -h2, h2};
+            const float oy[4] = {-h2, -h2, h2, h2};
+            for (int q = 0; q < 4; ++q) {
+                if (quad[q].empty())
+                    continue;
+                const std::uint32_t c = build(std::move(quad[q]),
+                                              cx + ox[q], cy + oy[q], h2,
+                                              depth + 1);
+                tree.child[node * 4 + q] = std::int32_t(c);
+                tree.subtreeSize[node] += tree.subtreeSize[c];
+            }
+        }
+        return node;
+    }
+};
+
+} // namespace
+
+QuadTree
+buildQuadTree(const Bodies &b)
+{
+    TreeBuilder tb{b, {}};
+    std::vector<std::uint32_t> all(b.count());
+    for (std::uint32_t i = 0; i < b.count(); ++i)
+        all[i] = i;
+    tb.build(std::move(all), 0.5f, 0.5f, 0.5f, 0);
+    return tb.tree;
+}
+
+std::vector<std::uint32_t>
+cpuBhPotential(const Bodies &b, const QuadTree &t, float theta,
+               std::uint32_t expand_limit)
+{
+    std::vector<std::uint32_t> pot(b.count(), 0);
+    constexpr float eps = 1e-4f;
+    const float theta2 = theta * theta;
+
+    auto contrib = [&](std::uint32_t body, std::uint32_t node)
+        -> std::uint32_t {
+        const float dx = b.x[body] - t.cx[node];
+        const float dy = b.y[body] - t.cy[node];
+        const float d2 = dx * dx + dy * dy + eps;
+        const float q = t.mass[node] / d2;
+        return std::uint32_t(std::int32_t(q * 1024.0f));
+    };
+
+    for (std::uint32_t body = 0; body < b.count(); ++body) {
+        std::vector<std::uint32_t> stack{0};
+        std::uint32_t acc = 0;
+        while (!stack.empty()) {
+            const std::uint32_t node = stack.back();
+            stack.pop_back();
+            const float dx = b.x[body] - t.cx[node];
+            const float dy = b.y[body] - t.cy[node];
+            const float d2 = dx * dx + dy * dy + eps;
+            const float size2 = 4.0f * t.half[node] * t.half[node];
+            if (t.isLeaf[node]) {
+                acc += contrib(body, node);
+            } else if (size2 < theta2 * d2) {
+                acc += contrib(body, node);
+            } else if (t.subtreeSize[node] <= expand_limit) {
+                // Direct evaluation of all leaves in the subtree — the
+                // piece the nested variants offload to a child launch.
+                for (std::uint32_t k = node;
+                     k < node + t.subtreeSize[node]; ++k) {
+                    if (t.isLeaf[k])
+                        acc += contrib(body, k);
+                }
+            } else {
+                for (int q = 0; q < 4; ++q) {
+                    const std::int32_t c = t.child[node * 4 + q];
+                    if (c >= 0)
+                        stack.push_back(std::uint32_t(c));
+                }
+            }
+        }
+        pot[body] = acc;
+    }
+    return pot;
+}
+
+} // namespace dtbl

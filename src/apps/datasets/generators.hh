@@ -1,0 +1,158 @@
+/**
+ * @file
+ * Synthetic input generators for the non-graph benchmarks (Table 4):
+ * REGX packets/patterns, PRE ratings, JOIN tables, BHT bodies + quadtree.
+ */
+
+#ifndef DTBL_APPS_DATASETS_GENERATORS_HH
+#define DTBL_APPS_DATASETS_GENERATORS_HH
+
+#include <cstdint>
+#include <vector>
+
+namespace dtbl {
+
+// --- REGX ------------------------------------------------------------
+
+/** Concatenated packet payloads with per-packet offsets. */
+struct PacketSet
+{
+    std::vector<std::uint8_t> bytes;
+    std::vector<std::uint32_t> offsets; //!< per packet
+    std::vector<std::uint32_t> lengths; //!< per packet
+    std::uint32_t count() const { return std::uint32_t(offsets.size()); }
+};
+
+/** Fixed-width pattern table (each pattern padded to 16 bytes). */
+struct PatternSet
+{
+    static constexpr std::uint32_t slotBytes = 16;
+    std::vector<std::uint8_t> bytes;    //!< count * slotBytes
+    std::vector<std::uint32_t> lengths; //!< per pattern
+    std::uint32_t count = 0;
+    /** 256-entry table: bit p set when pattern p starts with the byte. */
+    std::vector<std::uint32_t> firstByteMask;
+};
+
+/**
+ * DARPA-like traffic: wide byte distribution (binary + ASCII mix),
+ * some planted pattern occurrences; moderate candidate density.
+ */
+PacketSet makeDarpaPackets(std::uint32_t num_packets,
+                           std::uint32_t avg_len, const PatternSet &pats,
+                           std::uint64_t seed);
+
+/**
+ * Random string collection over a small alphabet: very high first-byte
+ * candidate density -> the highest DFP occurrence in the suite.
+ */
+PacketSet makeRandomStrings(std::uint32_t num_packets,
+                            std::uint32_t avg_len, unsigned alphabet,
+                            std::uint64_t seed);
+
+/** Patterns over the given alphabet size (0 = full byte range). */
+PatternSet makePatterns(std::uint32_t count, std::uint32_t min_len,
+                        std::uint32_t max_len, unsigned alphabet,
+                        std::uint64_t seed);
+
+/**
+ * CPU oracle: total number of (position, pattern) matches per packet.
+ * @param max_candidates mirror of the device-side bounded candidate
+ * buffer: positions past the cap are not verified (0 = unbounded).
+ */
+std::vector<std::uint32_t> cpuMatchCounts(const PacketSet &packets,
+                                          const PatternSet &pats,
+                                          std::uint32_t max_candidates = 0);
+
+// --- PRE (item-based collaborative filtering) ------------------------
+
+/** Item -> rating list in CSR form (MovieLens-like popularity skew). */
+struct Ratings
+{
+    std::uint32_t numItems = 0;
+    std::uint32_t numUsers = 0;
+    std::vector<std::uint32_t> itemPtr; //!< numItems + 1
+    std::vector<std::uint32_t> userIdx;
+    std::vector<std::uint32_t> rating;  //!< 1..5
+    /** Per-user weight (scaled inverse activity), fixed-point Q16. */
+    std::vector<std::uint32_t> userWeight;
+};
+
+Ratings makeMovieLensRatings(std::uint32_t items, std::uint32_t users,
+                             std::uint32_t avg_ratings_per_item,
+                             std::uint64_t seed);
+
+/**
+ * CPU oracle: per-item weighted score, computed with the same wrapping
+ * 32-bit arithmetic as the device kernels.
+ */
+std::vector<std::uint32_t> cpuItemScores(const Ratings &r);
+
+// --- JOIN -------------------------------------------------------------
+
+/** Relational join inputs: R tuples probe hash buckets of S. */
+struct JoinData
+{
+    std::uint32_t numBuckets = 0;
+    std::vector<std::uint32_t> rKeys;
+    /** S keys grouped by hash bucket. */
+    std::vector<std::uint32_t> sKeys;
+    std::vector<std::uint32_t> bucketStart; //!< numBuckets
+    std::vector<std::uint32_t> bucketCount; //!< numBuckets
+};
+
+/** Key hash shared by generator, device kernels and oracle. */
+constexpr std::uint32_t
+joinHash(std::uint32_t key, std::uint32_t buckets)
+{
+    return (key * 2654435761u) % buckets;
+}
+
+JoinData makeJoinData(std::uint32_t n_r, std::uint32_t n_s,
+                      std::uint32_t buckets, bool gaussian,
+                      std::uint64_t seed);
+
+/** CPU oracle: per-R-tuple match count. */
+std::vector<std::uint32_t> cpuJoinCounts(const JoinData &j);
+
+// --- BHT ---------------------------------------------------------------
+
+struct Bodies
+{
+    std::vector<float> x, y;
+    std::uint32_t count() const { return std::uint32_t(x.size()); }
+};
+
+/** Gaussian-mixture clustered points in [0, 1)^2. */
+Bodies makeClusteredBodies(std::uint32_t n, unsigned clusters,
+                           std::uint64_t seed);
+
+/**
+ * Quadtree over the bodies, nodes in DFS order (subtrees contiguous).
+ * Leaves hold exactly one body.
+ */
+struct QuadTree
+{
+    std::vector<float> cx, cy;     //!< center of mass
+    std::vector<float> half;       //!< half edge length of the cell
+    std::vector<float> mass;       //!< bodies in subtree
+    std::vector<std::int32_t> child; //!< 4 per node, -1 = absent
+    std::vector<std::uint32_t> subtreeSize; //!< nodes incl. self
+    std::vector<std::uint8_t> isLeaf;
+
+    std::uint32_t count() const { return std::uint32_t(cx.size()); }
+};
+
+QuadTree buildQuadTree(const Bodies &b);
+
+/**
+ * CPU oracle for the BH-style potential used by the benchmark, in the
+ * same fixed-point arithmetic as the device kernels (order-independent).
+ */
+std::vector<std::uint32_t> cpuBhPotential(const Bodies &b,
+                                          const QuadTree &t, float theta,
+                                          std::uint32_t expand_limit);
+
+} // namespace dtbl
+
+#endif // DTBL_APPS_DATASETS_GENERATORS_HH

@@ -1,0 +1,319 @@
+#include "apps/datasets/graph.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <deque>
+#include <limits>
+#include <queue>
+
+#include "common/log.hh"
+#include "common/rng.hh"
+
+namespace dtbl {
+namespace {
+
+constexpr std::uint32_t inf = 0xffffffffu;
+
+CsrGraph
+fromDegrees(const std::vector<std::uint32_t> &degrees, Rng &rng)
+{
+    CsrGraph g;
+    g.n = std::uint32_t(degrees.size());
+    g.rowPtr.resize(g.n + 1, 0);
+    for (std::uint32_t v = 0; v < g.n; ++v)
+        g.rowPtr[v + 1] = g.rowPtr[v] + degrees[v];
+    g.m = g.rowPtr[g.n];
+    g.colIdx.resize(g.m);
+    for (std::uint32_t v = 0; v < g.n; ++v) {
+        for (std::uint32_t e = g.rowPtr[v]; e < g.rowPtr[v + 1]; ++e) {
+            std::uint32_t u;
+            do {
+                u = std::uint32_t(rng.nextBounded(g.n));
+            } while (u == v);
+            g.colIdx[e] = u;
+        }
+    }
+    return g;
+}
+
+} // namespace
+
+std::uint32_t
+CsrGraph::maxDegreeVertex() const
+{
+    std::uint32_t best = 0;
+    for (std::uint32_t v = 1; v < n; ++v) {
+        if (degree(v) > degree(best))
+            best = v;
+    }
+    return best;
+}
+
+double
+CsrGraph::degreeCv() const
+{
+    if (n == 0)
+        return 0.0;
+    double mean = double(m) / n;
+    double var = 0.0;
+    for (std::uint32_t v = 0; v < n; ++v) {
+        const double d = double(degree(v)) - mean;
+        var += d * d;
+    }
+    var /= n;
+    return mean > 0 ? std::sqrt(var) / mean : 0.0;
+}
+
+CsrGraph
+makeCitationGraph(std::uint32_t n, std::uint32_t avg_degree,
+                  std::uint64_t seed)
+{
+    Rng rng(seed);
+    // Zipf-ish degrees: d = min(maxDeg, avg/2 + pareto tail).
+    std::vector<std::uint32_t> degrees(n);
+    const std::uint32_t maxDeg = std::min<std::uint32_t>(128, n / 4);
+    std::uint64_t total = 0;
+    for (auto &d : degrees) {
+        const double u = rng.nextDouble();
+        const double tail = std::pow(1.0 - u, -0.7) - 1.0; // heavy tail
+        d = std::uint32_t(
+            std::min<double>(maxDeg, 1.0 + avg_degree * 0.4 * tail));
+        total += d;
+    }
+    // Rescale roughly to the requested average.
+    const double scale = double(avg_degree) * n / double(total);
+    for (auto &d : degrees) {
+        d = std::uint32_t(std::max(1.0, d * scale));
+        d = std::min(d, maxDeg);
+    }
+    return fromDegrees(degrees, rng);
+}
+
+CsrGraph
+makeRoadGraph(std::uint32_t width, std::uint32_t height, std::uint64_t seed)
+{
+    Rng rng(seed);
+    const std::uint32_t n = width * height;
+    CsrGraph g;
+    g.n = n;
+    g.rowPtr.resize(n + 1, 0);
+    std::vector<std::vector<std::uint32_t>> adj(n);
+    for (std::uint32_t y = 0; y < height; ++y) {
+        for (std::uint32_t x = 0; x < width; ++x) {
+            const std::uint32_t v = y * width + x;
+            // 4-neighborhood, with a few random road closures.
+            if (x + 1 < width && !rng.nextBool(0.05)) {
+                adj[v].push_back(v + 1);
+                adj[v + 1].push_back(v);
+            }
+            if (y + 1 < height && !rng.nextBool(0.05)) {
+                adj[v].push_back(v + width);
+                adj[v + width].push_back(v);
+            }
+        }
+    }
+    for (std::uint32_t v = 0; v < n; ++v)
+        g.rowPtr[v + 1] = g.rowPtr[v] + std::uint32_t(adj[v].size());
+    g.m = g.rowPtr[n];
+    g.colIdx.resize(g.m);
+    for (std::uint32_t v = 0; v < n; ++v) {
+        std::copy(adj[v].begin(), adj[v].end(),
+                  g.colIdx.begin() + g.rowPtr[v]);
+    }
+    return g;
+}
+
+CsrGraph
+makeCageGraph(std::uint32_t n, std::uint32_t avg_degree, std::uint64_t seed)
+{
+    Rng rng(seed);
+    // Near-uniform degrees (avg +- 25%), scattered targets.
+    std::vector<std::uint32_t> degrees(n);
+    const std::uint32_t lo = std::max<std::uint32_t>(1, avg_degree * 3 / 4);
+    const std::uint32_t hi = avg_degree * 5 / 4;
+    for (auto &d : degrees)
+        d = lo + std::uint32_t(rng.nextBounded(hi - lo + 1));
+    return fromDegrees(degrees, rng);
+}
+
+CsrGraph
+makeGraph500Graph(std::uint32_t n, std::uint32_t degree, std::uint64_t seed)
+{
+    Rng rng(seed);
+    // Balanced: every vertex has exactly `degree` +- 1 edges.
+    std::vector<std::uint32_t> degrees(n);
+    for (auto &d : degrees)
+        d = degree - 1 + std::uint32_t(rng.nextBounded(3));
+    return fromDegrees(degrees, rng);
+}
+
+CsrGraph
+makeFlightGraph(std::uint32_t n, std::uint32_t hubs, std::uint64_t seed)
+{
+    Rng rng(seed);
+    DTBL_ASSERT(hubs > 0 && hubs < n);
+    std::vector<std::vector<std::uint32_t>> adj(n);
+    // Every non-hub airport connects to 1-3 hubs; hubs interconnect.
+    for (std::uint32_t v = hubs; v < n; ++v) {
+        const unsigned k = 1 + unsigned(rng.nextBounded(3));
+        for (unsigned i = 0; i < k; ++i) {
+            const std::uint32_t h = std::uint32_t(rng.nextBounded(hubs));
+            adj[v].push_back(h);
+            adj[h].push_back(v);
+        }
+    }
+    // Hubs interconnect sparsely (a clique would blow up hub degrees).
+    for (std::uint32_t a = 0; a < hubs; ++a) {
+        for (unsigned i = 0; i < 4; ++i) {
+            std::uint32_t b;
+            do {
+                b = std::uint32_t(rng.nextBounded(hubs));
+            } while (b == a);
+            adj[a].push_back(b);
+            adj[b].push_back(a);
+        }
+    }
+    CsrGraph g;
+    g.n = n;
+    g.rowPtr.resize(n + 1, 0);
+    for (std::uint32_t v = 0; v < n; ++v)
+        g.rowPtr[v + 1] = g.rowPtr[v] + std::uint32_t(adj[v].size());
+    g.m = g.rowPtr[n];
+    g.colIdx.resize(g.m);
+    for (std::uint32_t v = 0; v < n; ++v) {
+        std::copy(adj[v].begin(), adj[v].end(),
+                  g.colIdx.begin() + g.rowPtr[v]);
+    }
+    return g;
+}
+
+CsrGraph
+symmetrize(const CsrGraph &g)
+{
+    std::vector<std::vector<std::uint32_t>> adj(g.n);
+    for (std::uint32_t v = 0; v < g.n; ++v) {
+        for (std::uint32_t e = g.rowPtr[v]; e < g.rowPtr[v + 1]; ++e) {
+            const std::uint32_t u = g.colIdx[e];
+            if (u == v)
+                continue;
+            adj[v].push_back(u);
+            adj[u].push_back(v);
+        }
+    }
+    CsrGraph s;
+    s.n = g.n;
+    s.rowPtr.resize(g.n + 1, 0);
+    for (std::uint32_t v = 0; v < g.n; ++v) {
+        std::sort(adj[v].begin(), adj[v].end());
+        adj[v].erase(std::unique(adj[v].begin(), adj[v].end()),
+                     adj[v].end());
+        s.rowPtr[v + 1] = s.rowPtr[v] + std::uint32_t(adj[v].size());
+    }
+    s.m = s.rowPtr[g.n];
+    s.colIdx.resize(s.m);
+    for (std::uint32_t v = 0; v < g.n; ++v) {
+        std::copy(adj[v].begin(), adj[v].end(),
+                  s.colIdx.begin() + s.rowPtr[v]);
+    }
+    return s;
+}
+
+void
+addWeights(CsrGraph &g, std::uint64_t seed)
+{
+    Rng rng(seed);
+    g.weights.resize(g.m);
+    for (auto &w : g.weights)
+        w = 1 + std::uint32_t(rng.nextBounded(10));
+}
+
+std::vector<std::uint32_t>
+cpuBfs(const CsrGraph &g, std::uint32_t src)
+{
+    std::vector<std::uint32_t> dist(g.n, inf);
+    dist[src] = 0;
+    std::deque<std::uint32_t> q{src};
+    while (!q.empty()) {
+        const std::uint32_t v = q.front();
+        q.pop_front();
+        for (std::uint32_t e = g.rowPtr[v]; e < g.rowPtr[v + 1]; ++e) {
+            const std::uint32_t u = g.colIdx[e];
+            if (dist[u] == inf) {
+                dist[u] = dist[v] + 1;
+                q.push_back(u);
+            }
+        }
+    }
+    return dist;
+}
+
+std::vector<std::uint32_t>
+cpuSssp(const CsrGraph &g, std::uint32_t src)
+{
+    DTBL_ASSERT(!g.weights.empty(), "cpuSssp needs weights");
+    std::vector<std::uint32_t> dist(g.n, inf);
+    dist[src] = 0;
+    using Item = std::pair<std::uint32_t, std::uint32_t>; // (dist, v)
+    std::priority_queue<Item, std::vector<Item>, std::greater<>> pq;
+    pq.push({0, src});
+    while (!pq.empty()) {
+        const auto [d, v] = pq.top();
+        pq.pop();
+        if (d != dist[v])
+            continue;
+        for (std::uint32_t e = g.rowPtr[v]; e < g.rowPtr[v + 1]; ++e) {
+            const std::uint32_t u = g.colIdx[e];
+            const std::uint32_t nd = d + g.weights[e];
+            if (nd < dist[u]) {
+                dist[u] = nd;
+                pq.push({nd, u});
+            }
+        }
+    }
+    return dist;
+}
+
+std::vector<std::uint32_t>
+cpuJpColoring(const CsrGraph &g, const std::vector<std::uint32_t> &prio)
+{
+    std::vector<std::uint32_t> color(g.n, inf);
+    std::uint32_t remaining = g.n;
+    while (remaining > 0) {
+        // Parallel-round semantics: all decisions in a round are based
+        // on the colors at the start of the round.
+        std::vector<std::pair<std::uint32_t, std::uint32_t>> choose;
+        for (std::uint32_t v = 0; v < g.n; ++v) {
+            if (color[v] != inf)
+                continue;
+            bool isMax = true;
+            std::uint32_t forbid = 0;
+            for (std::uint32_t e = g.rowPtr[v]; e < g.rowPtr[v + 1]; ++e) {
+                const std::uint32_t u = g.colIdx[e];
+                if (u == v)
+                    continue;
+                if (color[u] == inf) {
+                    // Priority ties broken by vertex id.
+                    if (prio[u] > prio[v] ||
+                        (prio[u] == prio[v] && u > v)) {
+                        isMax = false;
+                    }
+                } else if (color[u] < 32) {
+                    forbid |= 1u << color[u];
+                }
+            }
+            if (isMax) {
+                std::uint32_t c = 0;
+                while (c < 32 && (forbid & (1u << c)))
+                    ++c;
+                choose.emplace_back(v, c);
+            }
+        }
+        DTBL_ASSERT(!choose.empty(), "JP coloring made no progress");
+        for (auto [v, c] : choose)
+            color[v] = c;
+        remaining -= std::uint32_t(choose.size());
+    }
+    return color;
+}
+
+} // namespace dtbl

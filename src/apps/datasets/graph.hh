@@ -1,0 +1,101 @@
+/**
+ * @file
+ * CSR graphs and the synthetic generators standing in for the paper's
+ * input data sets (Table 4). Each generator reproduces the structural
+ * property that drives the corresponding benchmark's behaviour; see
+ * DESIGN.md for the substitution rationale.
+ */
+
+#ifndef DTBL_APPS_DATASETS_GRAPH_HH
+#define DTBL_APPS_DATASETS_GRAPH_HH
+
+#include <cstdint>
+#include <vector>
+
+namespace dtbl {
+
+/** Directed graph in Compressed Sparse Row form. */
+struct CsrGraph
+{
+    std::uint32_t n = 0; //!< vertices
+    std::uint32_t m = 0; //!< edges
+    std::vector<std::uint32_t> rowPtr;  //!< size n+1
+    std::vector<std::uint32_t> colIdx;  //!< size m
+    std::vector<std::uint32_t> weights; //!< size m (1..10), optional
+
+    std::uint32_t
+    degree(std::uint32_t v) const
+    {
+        return rowPtr[v + 1] - rowPtr[v];
+    }
+
+    /** Highest-degree vertex (used as BFS/SSSP source). */
+    std::uint32_t maxDegreeVertex() const;
+
+    /** Degree variance / mean (workload-imbalance indicator, tests). */
+    double degreeCv() const;
+};
+
+/**
+ * Citation-network stand-in: heavy-tailed (Zipf-like) out-degrees with
+ * uniformly random targets. High degree variance -> strong DFP skew.
+ */
+CsrGraph makeCitationGraph(std::uint32_t n, std::uint32_t avg_degree,
+                           std::uint64_t seed);
+
+/**
+ * USA-road stand-in: 2D lattice, degree <= 4. Almost no vertex exceeds
+ * the nested-launch threshold, so DFP rarely occurs (Section 5.2C).
+ */
+CsrGraph makeRoadGraph(std::uint32_t width, std::uint32_t height,
+                       std::uint64_t seed);
+
+/**
+ * cage15 stand-in: near-uniform degree, but neighbor ids scattered
+ * uniformly over the id space -> the flat implementation's accesses are
+ * widely distributed in memory (poor locality, Section 5.2A).
+ */
+CsrGraph makeCageGraph(std::uint32_t n, std::uint32_t avg_degree,
+                       std::uint64_t seed);
+
+/**
+ * graph500 logn20 stand-in: balanced degrees (small variance around the
+ * mean), so flat implementations are already well balanced.
+ */
+CsrGraph makeGraph500Graph(std::uint32_t n, std::uint32_t degree,
+                           std::uint64_t seed);
+
+/**
+ * Flight-network stand-in: a few high-degree hubs, everything else
+ * degree 1-3 -> DFP almost never triggers.
+ */
+CsrGraph makeFlightGraph(std::uint32_t n, std::uint32_t hubs,
+                         std::uint64_t seed);
+
+/** Attach uniform random weights in [1, 10] (for SSSP). */
+void addWeights(CsrGraph &g, std::uint64_t seed);
+
+/**
+ * Make the adjacency symmetric (u in adj(v) <=> v in adj(u)), removing
+ * duplicates. Required by algorithms like Jones-Plassmann coloring.
+ */
+CsrGraph symmetrize(const CsrGraph &g);
+
+// --- CPU reference algorithms (verification oracles) ------------------
+
+/** BFS levels from @p src; unreachable = 0xffffffff. */
+std::vector<std::uint32_t> cpuBfs(const CsrGraph &g, std::uint32_t src);
+
+/** Single-source shortest paths (weights required). */
+std::vector<std::uint32_t> cpuSssp(const CsrGraph &g, std::uint32_t src);
+
+/**
+ * Jones-Plassmann greedy coloring with the given vertex priorities;
+ * deterministic, matches the GPU algorithm exactly.
+ */
+std::vector<std::uint32_t>
+cpuJpColoring(const CsrGraph &g, const std::vector<std::uint32_t> &prio);
+
+} // namespace dtbl
+
+#endif // DTBL_APPS_DATASETS_GRAPH_HH

@@ -1,0 +1,158 @@
+#include "apps/join.hh"
+
+#include "common/log.hh"
+
+namespace dtbl {
+namespace {
+
+/** hash = (key * 2654435761) % buckets, same as joinHash(). */
+Reg
+emitHash(KernelBuilder &b, Reg key, Val buckets)
+{
+    Reg h = b.mul(key, 2654435761u);
+    return b.rem(h, buckets);
+}
+
+/**
+ * Child params: [0]=sKeys [4]=probe key [8]=bucket start [12]=count
+ *               [16]=out address (per-R counter)
+ */
+KernelFuncId
+buildProbeKernel(Program &prog)
+{
+    KernelBuilder b("join_probe", Dim3{JoinApp::childTbSize}, 0, 20);
+    Reg gid = b.globalThreadIdX();
+    Reg count = b.ldParam(12);
+    Pred oob = b.setp(CmpOp::Ge, DataType::U32, gid, count);
+    b.exitIf(oob);
+    Reg sKeys = b.ldParam(0);
+    Reg key = b.ldParam(4);
+    Reg start = b.ldParam(8);
+    Reg outAddr = b.ldParam(16);
+    Reg e = b.add(start, gid);
+    Reg s = b.ld(MemSpace::Global, b.add(sKeys, b.shl(e, 2)));
+    Pred match = b.setp(CmpOp::Eq, DataType::U32, s, key);
+    b.if_(match, [&] {
+        b.atom(AtomOp::Add, DataType::U32, outAddr, Val(1u));
+    });
+    return b.build(prog);
+}
+
+/**
+ * Parent params: [0]=nR [4]=rKeys [8]=sKeys [12]=bucketStart
+ *                [16]=bucketCount [20]=outCount [24]=numBuckets
+ */
+KernelFuncId
+buildParentKernel(Program &prog, Mode mode, KernelFuncId child)
+{
+    KernelBuilder b(std::string("join_parent_") + modeName(mode),
+                    Dim3{JoinApp::parentTbSize}, 0, 28);
+    Reg tid = b.globalThreadIdX();
+    Reg nR = b.ldParam(0);
+    Pred oob = b.setp(CmpOp::Ge, DataType::U32, tid, nR);
+    b.exitIf(oob);
+    Reg rKeys = b.ldParam(4);
+    Reg sKeys = b.ldParam(8);
+    Reg bucketStart = b.ldParam(12);
+    Reg bucketCount = b.ldParam(16);
+    Reg outCount = b.ldParam(20);
+    Reg numBuckets = b.ldParam(24);
+
+    Reg key = b.ld(MemSpace::Global, b.add(rKeys, b.shl(tid, 2)));
+    Reg h = emitHash(b, key, numBuckets);
+    Reg h4 = b.shl(h, 2);
+    Reg start = b.ld(MemSpace::Global, b.add(bucketStart, h4));
+    Reg count = b.ld(MemSpace::Global, b.add(bucketCount, h4));
+    Reg outAddr = b.add(outCount, b.shl(tid, 2));
+
+    auto inlineProbe = [&] {
+        Reg acc = b.mov(0u);
+        Reg end = b.add(start, count);
+        b.forRange(start, end, [&](Reg e) {
+            Reg s = b.ld(MemSpace::Global, b.add(sKeys, b.shl(e, 2)));
+            Pred match = b.setp(CmpOp::Eq, DataType::U32, s, key);
+            Reg one = b.selp(match, 1u, 0u);
+            b.binaryTo(acc, Opcode::Add, DataType::U32, acc, one);
+        });
+        b.st(MemSpace::Global, outAddr, acc);
+    };
+
+    if (mode == Mode::Flat) {
+        inlineProbe();
+    } else {
+        Pred big = b.setp(CmpOp::Gt, DataType::U32, count,
+                          Val(JoinApp::expandThreshold));
+        b.ifElse(
+            big,
+            [&] {
+                Reg ntbs = b.div(b.add(count, JoinApp::childTbSize - 1),
+                                 Val(JoinApp::childTbSize));
+                emitDynamicLaunch(b, mode, child, ntbs, 20, [&](Reg buf) {
+                    b.st(MemSpace::Global, buf, sKeys, 0);
+                    b.st(MemSpace::Global, buf, key, 4);
+                    b.st(MemSpace::Global, buf, start, 8);
+                    b.st(MemSpace::Global, buf, count, 12);
+                    b.st(MemSpace::Global, buf, outAddr, 16);
+                });
+            },
+            inlineProbe);
+    }
+    return b.build(prog);
+}
+
+} // namespace
+
+JoinApp::JoinApp(Dataset d) : dataset_(d)
+{
+}
+
+std::string
+JoinApp::name() const
+{
+    return dataset_ == Dataset::Uniform ? "join_uniform" : "join_gaussian";
+}
+
+void
+JoinApp::build(Program &prog, Mode mode)
+{
+    childKernel_ = buildProbeKernel(prog);
+    parentKernel_ = buildParentKernel(prog, mode, childKernel_);
+}
+
+void
+JoinApp::setup(Gpu &gpu)
+{
+    const bool gaussian = dataset_ == Dataset::Gaussian;
+    data_ = makeJoinData(8000, 24000, 2048, gaussian, 0x10b1 + gaussian);
+
+    GlobalMemory &mem = gpu.mem();
+    rKeysAddr_ = mem.upload(data_.rKeys);
+    sKeysAddr_ = mem.upload(data_.sKeys);
+    bucketStartAddr_ = mem.upload(data_.bucketStart);
+    bucketCountAddr_ = mem.upload(data_.bucketCount);
+    std::vector<std::uint32_t> zeros(data_.rKeys.size(), 0);
+    outCountAddr_ = mem.upload(zeros);
+}
+
+void
+JoinApp::execute(Gpu &gpu, Mode mode)
+{
+    (void)mode;
+    const auto nR = std::uint32_t(data_.rKeys.size());
+    gpu.launch(parentKernel_, Dim3{(nR + parentTbSize - 1) / parentTbSize},
+               {nR, std::uint32_t(rKeysAddr_), std::uint32_t(sKeysAddr_),
+                std::uint32_t(bucketStartAddr_),
+                std::uint32_t(bucketCountAddr_),
+                std::uint32_t(outCountAddr_), data_.numBuckets});
+    gpu.synchronize();
+}
+
+bool
+JoinApp::verify(Gpu &gpu)
+{
+    const auto got = gpu.mem().download<std::uint32_t>(
+        outCountAddr_, data_.rKeys.size());
+    return got == cpuJoinCounts(data_);
+}
+
+} // namespace dtbl

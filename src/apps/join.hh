@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Relational hash join (Table 4: uniform / Gaussian key distributions).
+ *
+ * S is pre-partitioned into hash buckets; one thread per R tuple probes
+ * its bucket. The probe loop over the bucket is the DFP: with Gaussian
+ * keys a few buckets are huge, causing severe imbalance in the flat
+ * version — nested variants launch a child per large bucket probe.
+ */
+
+#ifndef DTBL_APPS_JOIN_HH
+#define DTBL_APPS_JOIN_HH
+
+#include "apps/app.hh"
+#include "apps/datasets/generators.hh"
+
+namespace dtbl {
+
+class JoinApp : public App
+{
+  public:
+    enum class Dataset { Uniform, Gaussian };
+
+    explicit JoinApp(Dataset d);
+
+    std::string name() const override;
+    void build(Program &prog, Mode mode) override;
+    void setup(Gpu &gpu) override;
+    void execute(Gpu &gpu, Mode mode) override;
+    bool verify(Gpu &gpu) override;
+
+    static constexpr std::uint32_t expandThreshold = 32;
+    static constexpr std::uint32_t childTbSize = 32;
+    static constexpr std::uint32_t parentTbSize = 64;
+
+  private:
+    Dataset dataset_;
+    JoinData data_;
+
+    KernelFuncId parentKernel_ = invalidKernelFunc;
+    KernelFuncId childKernel_ = invalidKernelFunc;
+
+    Addr rKeysAddr_ = 0;
+    Addr sKeysAddr_ = 0;
+    Addr bucketStartAddr_ = 0;
+    Addr bucketCountAddr_ = 0;
+    Addr outCountAddr_ = 0;
+};
+
+} // namespace dtbl
+
+#endif // DTBL_APPS_JOIN_HH

@@ -1,0 +1,144 @@
+#include "apps/pre.hh"
+
+#include "common/log.hh"
+
+namespace dtbl {
+namespace {
+
+/** score contribution of rating entry e: rating[e] * weight[user[e]]. */
+Reg
+emitContribution(KernelBuilder &b, Reg e, Reg user_idx, Reg rating,
+                 Reg user_weight)
+{
+    Reg e4 = b.shl(e, 2);
+    Reg u = b.ld(MemSpace::Global, b.add(user_idx, e4));
+    Reg r = b.ld(MemSpace::Global, b.add(rating, e4));
+    Reg w = b.ld(MemSpace::Global, b.add(user_weight, b.shl(u, 2)));
+    return b.mul(r, w);
+}
+
+/**
+ * Child params: [0]=userIdx [4]=rating [8]=userWeight [12]=entryStart
+ *               [16]=count [20]=score address (for this item)
+ */
+KernelFuncId
+buildScoreKernel(Program &prog)
+{
+    KernelBuilder b("pre_score", Dim3{PreApp::childTbSize}, 0, 24);
+    Reg gid = b.globalThreadIdX();
+    Reg count = b.ldParam(16);
+    Pred oob = b.setp(CmpOp::Ge, DataType::U32, gid, count);
+    b.exitIf(oob);
+    Reg userIdx = b.ldParam(0);
+    Reg rating = b.ldParam(4);
+    Reg userWeight = b.ldParam(8);
+    Reg entryStart = b.ldParam(12);
+    Reg scoreAddr = b.ldParam(20);
+    Reg e = b.add(entryStart, gid);
+    Reg c = emitContribution(b, e, userIdx, rating, userWeight);
+    b.atom(AtomOp::Add, DataType::U32, scoreAddr, c);
+    return b.build(prog);
+}
+
+/**
+ * Parent params: [0]=numItems [4]=itemPtr [8]=userIdx [12]=rating
+ *                [16]=userWeight [20]=score
+ */
+KernelFuncId
+buildParentKernel(Program &prog, Mode mode, KernelFuncId child)
+{
+    KernelBuilder b(std::string("pre_parent_") + modeName(mode),
+                    Dim3{PreApp::parentTbSize}, 0, 24);
+    Reg tid = b.globalThreadIdX();
+    Reg numItems = b.ldParam(0);
+    Pred oob = b.setp(CmpOp::Ge, DataType::U32, tid, numItems);
+    b.exitIf(oob);
+    Reg itemPtr = b.ldParam(4);
+    Reg userIdx = b.ldParam(8);
+    Reg rating = b.ldParam(12);
+    Reg userWeight = b.ldParam(16);
+    Reg score = b.ldParam(20);
+
+    Reg ipAddr = b.add(itemPtr, b.shl(tid, 2));
+    Reg start = b.ld(MemSpace::Global, ipAddr);
+    Reg end = b.ld(MemSpace::Global, ipAddr, 4);
+    Reg count = b.sub(end, start);
+    Reg scoreAddr = b.add(score, b.shl(tid, 2));
+
+    auto inlineScore = [&] {
+        Reg acc = b.mov(0u);
+        b.forRange(start, end, [&](Reg e) {
+            Reg c = emitContribution(b, e, userIdx, rating, userWeight);
+            b.binaryTo(acc, Opcode::Add, DataType::U32, acc, c);
+        });
+        b.st(MemSpace::Global, scoreAddr, acc);
+    };
+
+    if (mode == Mode::Flat) {
+        inlineScore();
+    } else {
+        Pred big = b.setp(CmpOp::Gt, DataType::U32, count,
+                          Val(PreApp::expandThreshold));
+        b.ifElse(
+            big,
+            [&] {
+                Reg ntbs = b.div(b.add(count, PreApp::childTbSize - 1),
+                                 Val(PreApp::childTbSize));
+                emitDynamicLaunch(b, mode, child, ntbs, 24, [&](Reg buf) {
+                    b.st(MemSpace::Global, buf, userIdx, 0);
+                    b.st(MemSpace::Global, buf, rating, 4);
+                    b.st(MemSpace::Global, buf, userWeight, 8);
+                    b.st(MemSpace::Global, buf, start, 12);
+                    b.st(MemSpace::Global, buf, count, 16);
+                    b.st(MemSpace::Global, buf, scoreAddr, 20);
+                });
+            },
+            inlineScore);
+    }
+    return b.build(prog);
+}
+
+} // namespace
+
+void
+PreApp::build(Program &prog, Mode mode)
+{
+    childKernel_ = buildScoreKernel(prog);
+    parentKernel_ = buildParentKernel(prog, mode, childKernel_);
+}
+
+void
+PreApp::setup(Gpu &gpu)
+{
+    ratings_ = makeMovieLensRatings(4096, 8000, 300, 0x301e1e45);
+
+    GlobalMemory &mem = gpu.mem();
+    itemPtrAddr_ = mem.upload(ratings_.itemPtr);
+    userIdxAddr_ = mem.upload(ratings_.userIdx);
+    ratingAddr_ = mem.upload(ratings_.rating);
+    userWeightAddr_ = mem.upload(ratings_.userWeight);
+    std::vector<std::uint32_t> zeros(ratings_.numItems, 0);
+    scoreAddr_ = mem.upload(zeros);
+}
+
+void
+PreApp::execute(Gpu &gpu, Mode mode)
+{
+    (void)mode;
+    const std::uint32_t n = ratings_.numItems;
+    gpu.launch(parentKernel_, Dim3{(n + parentTbSize - 1) / parentTbSize},
+               {n, std::uint32_t(itemPtrAddr_), std::uint32_t(userIdxAddr_),
+                std::uint32_t(ratingAddr_), std::uint32_t(userWeightAddr_),
+                std::uint32_t(scoreAddr_)});
+    gpu.synchronize();
+}
+
+bool
+PreApp::verify(Gpu &gpu)
+{
+    const auto got = gpu.mem().download<std::uint32_t>(scoreAddr_,
+                                                       ratings_.numItems);
+    return got == cpuItemScores(ratings_);
+}
+
+} // namespace dtbl

@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Product Recommendation (Table 4: MovieLens) — item-based collaborative
+ * filtering. Each item accumulates a user-weighted rating score over its
+ * rating list; the per-item list traversal is the DFP. Item popularity
+ * is Zipf-distributed, so list lengths span orders of magnitude, and the
+ * dynamic workloads are coarse-grained (paper: ~1.5k threads per child).
+ */
+
+#ifndef DTBL_APPS_PRE_HH
+#define DTBL_APPS_PRE_HH
+
+#include "apps/app.hh"
+#include "apps/datasets/generators.hh"
+
+namespace dtbl {
+
+class PreApp : public App
+{
+  public:
+    PreApp() = default;
+
+    std::string name() const override { return "pre_movielens"; }
+    void build(Program &prog, Mode mode) override;
+    void setup(Gpu &gpu) override;
+    void execute(Gpu &gpu, Mode mode) override;
+    bool verify(Gpu &gpu) override;
+
+    static constexpr std::uint32_t expandThreshold = 64;
+    static constexpr std::uint32_t childTbSize = 128;
+    static constexpr std::uint32_t parentTbSize = 64;
+
+  private:
+    Ratings ratings_;
+
+    KernelFuncId parentKernel_ = invalidKernelFunc;
+    KernelFuncId childKernel_ = invalidKernelFunc;
+
+    Addr itemPtrAddr_ = 0;
+    Addr userIdxAddr_ = 0;
+    Addr ratingAddr_ = 0;
+    Addr userWeightAddr_ = 0;
+    Addr scoreAddr_ = 0;
+};
+
+} // namespace dtbl
+
+#endif // DTBL_APPS_PRE_HH

@@ -1,0 +1,59 @@
+#include "apps/registry.hh"
+
+#include "apps/amr.hh"
+#include "apps/bfs.hh"
+#include "apps/bht.hh"
+#include "apps/clr.hh"
+#include "apps/join.hh"
+#include "apps/pre.hh"
+#include "apps/regx.hh"
+#include "apps/sssp.hh"
+#include "common/log.hh"
+
+namespace dtbl {
+namespace {
+
+template <typename T, typename... Args>
+BenchmarkSpec
+spec(std::string id, Args... args)
+{
+    return {std::move(id), [args...] { return std::make_unique<T>(args...); }};
+}
+
+} // namespace
+
+const std::vector<BenchmarkSpec> &
+allBenchmarks()
+{
+    static const std::vector<BenchmarkSpec> specs = {
+        spec<AmrApp>("amr_combustion"),
+        spec<BhtApp>("bht"),
+        spec<BfsApp>("bfs_citation", BfsApp::Dataset::Citation),
+        spec<BfsApp>("bfs_usa_road", BfsApp::Dataset::UsaRoad),
+        spec<BfsApp>("bfs_cage15", BfsApp::Dataset::Cage15),
+        spec<ClrApp>("clr_citation", ClrApp::Dataset::Citation),
+        spec<ClrApp>("clr_graph500", ClrApp::Dataset::Graph500),
+        spec<ClrApp>("clr_cage15", ClrApp::Dataset::Cage15),
+        spec<RegxApp>("regx_darpa", RegxApp::Dataset::Darpa),
+        spec<RegxApp>("regx_string", RegxApp::Dataset::RandomStrings),
+        spec<PreApp>("pre_movielens"),
+        spec<JoinApp>("join_uniform", JoinApp::Dataset::Uniform),
+        spec<JoinApp>("join_gaussian", JoinApp::Dataset::Gaussian),
+        spec<SsspApp>("sssp_citation", SsspApp::Dataset::Citation),
+        spec<SsspApp>("sssp_flight", SsspApp::Dataset::Flight),
+        spec<SsspApp>("sssp_cage15", SsspApp::Dataset::Cage15),
+    };
+    return specs;
+}
+
+std::unique_ptr<App>
+makeBenchmark(const std::string &id)
+{
+    for (const auto &s : allBenchmarks()) {
+        if (s.id == id)
+            return s.make();
+    }
+    DTBL_FATAL("unknown benchmark id: ", id);
+}
+
+} // namespace dtbl

@@ -1,0 +1,33 @@
+/**
+ * @file
+ * Benchmark registry: the 16 application x data-set combinations of the
+ * paper's evaluation (Table 4), addressable by id.
+ */
+
+#ifndef DTBL_APPS_REGISTRY_HH
+#define DTBL_APPS_REGISTRY_HH
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "apps/app.hh"
+
+namespace dtbl {
+
+struct BenchmarkSpec
+{
+    std::string id;
+    std::function<std::unique_ptr<App>()> make;
+};
+
+/** All benchmarks in the paper's figure order. */
+const std::vector<BenchmarkSpec> &allBenchmarks();
+
+/** Instantiate a benchmark by id; fatal on unknown ids. */
+std::unique_ptr<App> makeBenchmark(const std::string &id);
+
+} // namespace dtbl
+
+#endif // DTBL_APPS_REGISTRY_HH

@@ -1,0 +1,232 @@
+#include "apps/regx.hh"
+
+#include "common/log.hh"
+
+namespace dtbl {
+namespace {
+
+/**
+ * Emit full verification of one candidate position: re-derive the
+ * candidate mask from the first byte, then compare every masked pattern.
+ * Adds the number of matches to @p acc (register accumulate) or directly
+ * to @p atomic_out when valid (exactly one of the two is used).
+ */
+void
+emitVerify(KernelBuilder &b, Reg text_base, Reg len, Reg pos, Reg pats,
+           Reg pat_len, Reg fbm, Reg pat_count, Reg acc, Reg atomic_out)
+{
+    Reg byte = b.ld(MemSpace::Global, b.add(text_base, pos), 0, 1);
+    Reg mask = b.ld(MemSpace::Global, b.add(fbm, b.shl(byte, 2)));
+    b.forRange(Val(0u), pat_count, [&](Reg pi) {
+        Reg bit = b.and_(b.shr(mask, pi), Val(1u));
+        Pred cand = b.setp(CmpOp::Eq, DataType::U32, bit, Val(1u));
+        b.if_(cand, [&] {
+            Reg plen = b.ld(MemSpace::Global, b.add(pat_len, b.shl(pi, 2)));
+            Reg endPos = b.add(pos, plen);
+            Pred fits = b.setp(CmpOp::Le, DataType::U32, endPos, len);
+            b.if_(fits, [&] {
+                Reg ok = b.mov(1u);
+                Reg patBase = b.add(pats, b.shl(pi, 4)); // 16B slots
+                b.forRange(Val(0u), plen, [&](Reg k) {
+                    Reg t = b.ld(MemSpace::Global,
+                                 b.add(text_base, b.add(pos, k)), 0, 1);
+                    Reg p = b.ld(MemSpace::Global, b.add(patBase, k), 0,
+                                 1);
+                    Pred ne = b.setp(CmpOp::Ne, DataType::U32, t, p);
+                    b.if_(ne, [&] { b.movTo(ok, Val(0u)); });
+                });
+                Pred hit = b.setp(CmpOp::Eq, DataType::U32, ok, Val(1u));
+                b.if_(hit, [&] {
+                    if (acc.valid()) {
+                        b.binaryTo(acc, Opcode::Add, DataType::U32, acc,
+                                   Val(1u));
+                    } else {
+                        b.atom(AtomOp::Add, DataType::U32, atomic_out,
+                               Val(1u));
+                    }
+                });
+            });
+        });
+    });
+}
+
+/**
+ * Child params: [0]=textBase [4]=len [8]=candBase [12]=candCount
+ *               [16]=pats [20]=patLen [24]=fbm [28]=out addr
+ *               [32]=patCount
+ */
+KernelFuncId
+buildVerifyKernel(Program &prog)
+{
+    KernelBuilder b("regx_verify", Dim3{RegxApp::childTbSize}, 0, 36);
+    Reg gid = b.globalThreadIdX();
+    Reg candCount = b.ldParam(12);
+    Pred oob = b.setp(CmpOp::Ge, DataType::U32, gid, candCount);
+    b.exitIf(oob);
+    Reg textBase = b.ldParam(0);
+    Reg len = b.ldParam(4);
+    Reg candBase = b.ldParam(8);
+    Reg pats = b.ldParam(16);
+    Reg patLen = b.ldParam(20);
+    Reg fbm = b.ldParam(24);
+    Reg outAddr = b.ldParam(28);
+    Reg patCount = b.ldParam(32);
+    Reg pos = b.ld(MemSpace::Global, b.add(candBase, b.shl(gid, 2)));
+    emitVerify(b, textBase, len, pos, pats, patLen, fbm, patCount, Reg{},
+               outAddr);
+    return b.build(prog);
+}
+
+/**
+ * Parent params: [0]=numPackets [4]=text [8]=offsets [12]=lengths
+ *                [16]=pats [20]=patLen [24]=fbm [28]=candScratch
+ *                [32]=out [36]=patCount
+ */
+KernelFuncId
+buildParentKernel(Program &prog, Mode mode, KernelFuncId child)
+{
+    KernelBuilder b(std::string("regx_parent_") + modeName(mode),
+                    Dim3{RegxApp::parentTbSize}, 0, 40);
+    Reg tid = b.globalThreadIdX();
+    Reg numPackets = b.ldParam(0);
+    Pred oob = b.setp(CmpOp::Ge, DataType::U32, tid, numPackets);
+    b.exitIf(oob);
+    Reg text = b.ldParam(4);
+    Reg offsets = b.ldParam(8);
+    Reg lengths = b.ldParam(12);
+    Reg pats = b.ldParam(16);
+    Reg patLen = b.ldParam(20);
+    Reg fbm = b.ldParam(24);
+    Reg candScratch = b.ldParam(28);
+    Reg out = b.ldParam(32);
+    Reg patCount = b.ldParam(36);
+
+    Reg t4 = b.shl(tid, 2);
+    Reg off = b.ld(MemSpace::Global, b.add(offsets, t4));
+    Reg len = b.ld(MemSpace::Global, b.add(lengths, t4));
+    Reg textBase = b.add(text, off);
+    Reg candBase =
+        b.add(candScratch, b.mul(tid, RegxApp::maxCandidates * 4));
+    Reg outAddr = b.add(out, t4);
+
+    // Filter stage: collect candidate positions (bounded).
+    Reg cnt = b.mov(0u);
+    b.forRange(Val(0u), len, [&](Reg pos) {
+        Reg byte = b.ld(MemSpace::Global, b.add(textBase, pos), 0, 1);
+        Reg mask = b.ld(MemSpace::Global, b.add(fbm, b.shl(byte, 2)));
+        Pred hasCand = b.setp(CmpOp::Ne, DataType::U32, mask, Val(0u));
+        b.if_(hasCand, [&] {
+            Pred room = b.setp(CmpOp::Lt, DataType::U32, cnt,
+                               Val(RegxApp::maxCandidates));
+            b.if_(room, [&] {
+                b.st(MemSpace::Global, b.add(candBase, b.shl(cnt, 2)),
+                     pos);
+                b.binaryTo(cnt, Opcode::Add, DataType::U32, cnt, Val(1u));
+            });
+        });
+    });
+
+    auto inlineVerify = [&] {
+        Reg acc = b.mov(0u);
+        b.forRange(Val(0u), cnt, [&](Reg ci) {
+            Reg pos =
+                b.ld(MemSpace::Global, b.add(candBase, b.shl(ci, 2)));
+            emitVerify(b, textBase, len, pos, pats, patLen, fbm, patCount,
+                       acc, Reg{});
+        });
+        b.st(MemSpace::Global, outAddr, acc);
+    };
+
+    if (mode == Mode::Flat) {
+        inlineVerify();
+    } else {
+        Pred big = b.setp(CmpOp::Gt, DataType::U32, cnt,
+                          Val(RegxApp::expandThreshold));
+        b.ifElse(
+            big,
+            [&] {
+                Reg ntbs = b.div(b.add(cnt, RegxApp::childTbSize - 1),
+                                 Val(RegxApp::childTbSize));
+                emitDynamicLaunch(b, mode, child, ntbs, 36, [&](Reg buf) {
+                    b.st(MemSpace::Global, buf, textBase, 0);
+                    b.st(MemSpace::Global, buf, len, 4);
+                    b.st(MemSpace::Global, buf, candBase, 8);
+                    b.st(MemSpace::Global, buf, cnt, 12);
+                    b.st(MemSpace::Global, buf, pats, 16);
+                    b.st(MemSpace::Global, buf, patLen, 20);
+                    b.st(MemSpace::Global, buf, fbm, 24);
+                    b.st(MemSpace::Global, buf, outAddr, 28);
+                    b.st(MemSpace::Global, buf, patCount, 32);
+                });
+            },
+            inlineVerify);
+    }
+    return b.build(prog);
+}
+
+} // namespace
+
+RegxApp::RegxApp(Dataset d) : dataset_(d)
+{
+}
+
+std::string
+RegxApp::name() const
+{
+    return dataset_ == Dataset::Darpa ? "regx_darpa" : "regx_string";
+}
+
+void
+RegxApp::build(Program &prog, Mode mode)
+{
+    childKernel_ = buildVerifyKernel(prog);
+    parentKernel_ = buildParentKernel(prog, mode, childKernel_);
+}
+
+void
+RegxApp::setup(Gpu &gpu)
+{
+    if (dataset_ == Dataset::Darpa) {
+        patterns_ = makePatterns(24, 3, 10, 0, 0xda27a);
+        packets_ = makeDarpaPackets(700, 220, patterns_, 0xda27a9);
+    } else {
+        patterns_ = makePatterns(16, 3, 8, 4, 0x57219);
+        packets_ = makeRandomStrings(500, 180, 4, 0x572199);
+    }
+
+    GlobalMemory &mem = gpu.mem();
+    textAddr_ = mem.upload(packets_.bytes);
+    offsetsAddr_ = mem.upload(packets_.offsets);
+    lengthsAddr_ = mem.upload(packets_.lengths);
+    patBytesAddr_ = mem.upload(patterns_.bytes);
+    patLenAddr_ = mem.upload(patterns_.lengths);
+    fbmAddr_ = mem.upload(patterns_.firstByteMask);
+    candAddr_ = mem.allocate(std::uint64_t(packets_.count()) *
+                             maxCandidates * 4);
+    std::vector<std::uint32_t> zeros(packets_.count(), 0);
+    outAddr_ = mem.upload(zeros);
+}
+
+void
+RegxApp::execute(Gpu &gpu, Mode mode)
+{
+    (void)mode;
+    const std::uint32_t n = packets_.count();
+    gpu.launch(parentKernel_, Dim3{(n + parentTbSize - 1) / parentTbSize},
+               {n, std::uint32_t(textAddr_), std::uint32_t(offsetsAddr_),
+                std::uint32_t(lengthsAddr_), std::uint32_t(patBytesAddr_),
+                std::uint32_t(patLenAddr_), std::uint32_t(fbmAddr_),
+                std::uint32_t(candAddr_), std::uint32_t(outAddr_),
+                patterns_.count});
+    gpu.synchronize();
+}
+
+bool
+RegxApp::verify(Gpu &gpu)
+{
+    const auto got =
+        gpu.mem().download<std::uint32_t>(outAddr_, packets_.count());
+    return got == cpuMatchCounts(packets_, patterns_, maxCandidates);
+}
+
+} // namespace dtbl

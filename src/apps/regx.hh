@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Regular Expression / multi-pattern Match (Table 4: DARPA network
+ * packets, random string collection).
+ *
+ * Filter + verify engine: one thread per packet scans for candidate
+ * positions whose first byte can start a pattern; candidates are then
+ * fully verified. Verification is the DFP — the random-string data set
+ * has a tiny alphabet, hence an extremely high candidate density and the
+ * highest dynamic-launch rate in the suite (Section 5.2).
+ */
+
+#ifndef DTBL_APPS_REGX_HH
+#define DTBL_APPS_REGX_HH
+
+#include "apps/app.hh"
+#include "apps/datasets/generators.hh"
+
+namespace dtbl {
+
+class RegxApp : public App
+{
+  public:
+    enum class Dataset { Darpa, RandomStrings };
+
+    explicit RegxApp(Dataset d);
+
+    std::string name() const override;
+    void build(Program &prog, Mode mode) override;
+    void setup(Gpu &gpu) override;
+    void execute(Gpu &gpu, Mode mode) override;
+    bool verify(Gpu &gpu) override;
+
+    static constexpr std::uint32_t expandThreshold = 16;
+    static constexpr std::uint32_t childTbSize = 32;
+    static constexpr std::uint32_t parentTbSize = 32;
+    static constexpr std::uint32_t maxCandidates = 192;
+
+  private:
+    Dataset dataset_;
+    PatternSet patterns_;
+    PacketSet packets_;
+
+    KernelFuncId parentKernel_ = invalidKernelFunc;
+    KernelFuncId childKernel_ = invalidKernelFunc;
+
+    Addr textAddr_ = 0;
+    Addr offsetsAddr_ = 0;
+    Addr lengthsAddr_ = 0;
+    Addr patBytesAddr_ = 0;
+    Addr patLenAddr_ = 0;
+    Addr fbmAddr_ = 0;
+    Addr candAddr_ = 0;
+    Addr outAddr_ = 0;
+};
+
+} // namespace dtbl
+
+#endif // DTBL_APPS_REGX_HH

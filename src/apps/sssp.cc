@@ -1,0 +1,228 @@
+#include "apps/sssp.hh"
+
+#include "common/log.hh"
+
+namespace dtbl {
+namespace {
+
+constexpr std::uint32_t inf = 0xffffffffu;
+
+/**
+ * Relax edge (v -> u, w): dist[u] = min(dist[u], dv + w); on improvement
+ * enqueue u once (inNext flag).
+ */
+void
+emitRelax(KernelBuilder &b, Reg u, Reg nd, Reg dist_base, Reg in_next_base,
+          Reg next_front_base, Reg next_size_addr)
+{
+    Reg dAddr = b.add(dist_base, b.shl(u, 2));
+    Reg old = b.atom(AtomOp::Min, DataType::U32, dAddr, nd);
+    Pred improved = b.setp(CmpOp::Lt, DataType::U32, nd, old);
+    b.if_(improved, [&] {
+        Reg flagAddr = b.add(in_next_base, b.shl(u, 2));
+        Reg was = b.atom(AtomOp::Exch, DataType::U32, flagAddr, Val(1u));
+        Pred fresh = b.setp(CmpOp::Eq, DataType::U32, was, Val(0u));
+        b.if_(fresh, [&] {
+            Reg idx = b.atom(AtomOp::Add, DataType::U32, next_size_addr,
+                             Val(1u));
+            b.st(MemSpace::Global, b.add(next_front_base, b.shl(idx, 2)),
+                 u);
+        });
+    });
+}
+
+/**
+ * Child kernel params:
+ * [0]=colIdx [4]=weights [8]=dist [12]=inNext [16]=nextFront
+ * [20]=nextSize [24]=edgeStart [28]=count [32]=dv
+ */
+KernelFuncId
+buildRelaxKernel(Program &prog)
+{
+    KernelBuilder b("sssp_relax", Dim3{SsspApp::childTbSize}, 0, 36);
+    Reg gid = b.globalThreadIdX();
+    Reg count = b.ldParam(28);
+    Pred oob = b.setp(CmpOp::Ge, DataType::U32, gid, count);
+    b.exitIf(oob);
+    Reg colIdx = b.ldParam(0);
+    Reg weights = b.ldParam(4);
+    Reg dist = b.ldParam(8);
+    Reg inNext = b.ldParam(12);
+    Reg nextFront = b.ldParam(16);
+    Reg nextSize = b.ldParam(20);
+    Reg edgeStart = b.ldParam(24);
+    Reg dv = b.ldParam(32);
+    Reg e = b.add(edgeStart, gid);
+    Reg e4 = b.shl(e, 2);
+    Reg u = b.ld(MemSpace::Global, b.add(colIdx, e4));
+    Reg w = b.ld(MemSpace::Global, b.add(weights, e4));
+    Reg nd = b.add(dv, w);
+    emitRelax(b, u, nd, dist, inNext, nextFront, nextSize);
+    return b.build(prog);
+}
+
+/**
+ * Parent kernel params:
+ * [0]=frontSize [4]=front [8]=rowPtr [12]=colIdx [16]=weights [20]=dist
+ * [24]=inNext [28]=nextFront [32]=nextSize
+ */
+KernelFuncId
+buildParentKernel(Program &prog, Mode mode, KernelFuncId child)
+{
+    KernelBuilder b(std::string("sssp_parent_") + modeName(mode),
+                    Dim3{SsspApp::parentTbSize}, 0, 36);
+    Reg tid = b.globalThreadIdX();
+    Reg frontSize = b.ldParam(0);
+    Pred oob = b.setp(CmpOp::Ge, DataType::U32, tid, frontSize);
+    b.exitIf(oob);
+    Reg front = b.ldParam(4);
+    Reg rowPtr = b.ldParam(8);
+    Reg colIdx = b.ldParam(12);
+    Reg weights = b.ldParam(16);
+    Reg dist = b.ldParam(20);
+    Reg inNext = b.ldParam(24);
+    Reg nextFront = b.ldParam(28);
+    Reg nextSize = b.ldParam(32);
+
+    Reg v = b.ld(MemSpace::Global, b.add(front, b.shl(tid, 2)));
+    // Leaving the frontier: clear the dedup flag, then read dist[v].
+    b.st(MemSpace::Global, b.add(inNext, b.shl(v, 2)), Val(0u));
+    Reg dv = b.ld(MemSpace::Global, b.add(dist, b.shl(v, 2)));
+    Reg rpAddr = b.add(rowPtr, b.shl(v, 2));
+    Reg start = b.ld(MemSpace::Global, rpAddr);
+    Reg end = b.ld(MemSpace::Global, rpAddr, 4);
+    Reg deg = b.sub(end, start);
+
+    auto inlineRelax = [&] {
+        b.forRange(start, end, [&](Reg e) {
+            Reg e4 = b.shl(e, 2);
+            Reg u = b.ld(MemSpace::Global, b.add(colIdx, e4));
+            Reg w = b.ld(MemSpace::Global, b.add(weights, e4));
+            Reg nd = b.add(dv, w);
+            emitRelax(b, u, nd, dist, inNext, nextFront, nextSize);
+        });
+    };
+
+    if (mode == Mode::Flat) {
+        inlineRelax();
+    } else {
+        Pred big = b.setp(CmpOp::Gt, DataType::U32, deg,
+                          Val(SsspApp::expandThreshold));
+        b.ifElse(
+            big,
+            [&] {
+                Reg ntbs = b.div(b.add(deg, SsspApp::childTbSize - 1),
+                                 Val(SsspApp::childTbSize));
+                emitDynamicLaunch(b, mode, child, ntbs, 36, [&](Reg buf) {
+                    b.st(MemSpace::Global, buf, colIdx, 0);
+                    b.st(MemSpace::Global, buf, weights, 4);
+                    b.st(MemSpace::Global, buf, dist, 8);
+                    b.st(MemSpace::Global, buf, inNext, 12);
+                    b.st(MemSpace::Global, buf, nextFront, 16);
+                    b.st(MemSpace::Global, buf, nextSize, 20);
+                    b.st(MemSpace::Global, buf, start, 24);
+                    b.st(MemSpace::Global, buf, deg, 28);
+                    b.st(MemSpace::Global, buf, dv, 32);
+                });
+            },
+            inlineRelax);
+    }
+    return b.build(prog);
+}
+
+} // namespace
+
+SsspApp::SsspApp(Dataset d) : dataset_(d)
+{
+}
+
+std::string
+SsspApp::name() const
+{
+    switch (dataset_) {
+      case Dataset::Citation: return "sssp_citation";
+      case Dataset::Flight: return "sssp_flight";
+      case Dataset::Cage15: return "sssp_cage15";
+    }
+    return "sssp";
+}
+
+void
+SsspApp::build(Program &prog, Mode mode)
+{
+    childKernel_ = buildRelaxKernel(prog);
+    parentKernel_ = buildParentKernel(prog, mode, childKernel_);
+}
+
+void
+SsspApp::setup(Gpu &gpu)
+{
+    switch (dataset_) {
+      case Dataset::Citation:
+        graph_ = makeCitationGraph(8000, 14, 0x55517a);
+        break;
+      case Dataset::Flight:
+        graph_ = makeFlightGraph(6000, 800, 0xf1194);
+        break;
+      case Dataset::Cage15:
+        graph_ = makeCageGraph(3000, 48, 0x55ca9e);
+        break;
+    }
+    addWeights(graph_, 0x3e19 + std::uint64_t(dataset_));
+    src_ = graph_.maxDegreeVertex();
+
+    GlobalMemory &mem = gpu.mem();
+    rowPtrAddr_ = mem.upload(graph_.rowPtr);
+    colIdxAddr_ = mem.upload(graph_.colIdx);
+    weightAddr_ = mem.upload(graph_.weights);
+
+    std::vector<std::uint32_t> dist(graph_.n, inf);
+    dist[src_] = 0;
+    distAddr_ = mem.upload(dist);
+
+    std::vector<std::uint32_t> zeros(graph_.n, 0);
+    inNextAddr_ = mem.upload(zeros);
+
+    std::vector<std::uint32_t> front(graph_.n, 0);
+    front[0] = src_;
+    frontAddr_[0] = mem.upload(front);
+    frontAddr_[1] = mem.allocate(std::uint64_t(graph_.n) * 4);
+    nextSizeAddr_ = mem.allocate(4);
+}
+
+void
+SsspApp::execute(Gpu &gpu, Mode mode)
+{
+    (void)mode;
+    std::uint32_t frontSize = 1;
+    unsigned cur = 0;
+    std::uint32_t iterations = 0;
+    while (frontSize > 0) {
+        gpu.mem().write32(nextSizeAddr_, 0);
+        const Dim3 grid{(frontSize + parentTbSize - 1) / parentTbSize};
+        gpu.launch(parentKernel_, grid,
+                   {frontSize, std::uint32_t(frontAddr_[cur]),
+                    std::uint32_t(rowPtrAddr_),
+                    std::uint32_t(colIdxAddr_),
+                    std::uint32_t(weightAddr_), std::uint32_t(distAddr_),
+                    std::uint32_t(inNextAddr_),
+                    std::uint32_t(frontAddr_[1 - cur]),
+                    std::uint32_t(nextSizeAddr_)});
+        gpu.synchronize();
+        frontSize = gpu.mem().read32(nextSizeAddr_);
+        cur = 1 - cur;
+        DTBL_ASSERT(++iterations <= 12 * (graph_.n + 1),
+                    "SSSP failed to converge");
+    }
+}
+
+bool
+SsspApp::verify(Gpu &gpu)
+{
+    const auto got =
+        gpu.mem().download<std::uint32_t>(distAddr_, graph_.n);
+    const auto want = cpuSssp(graph_, src_);
+    return got == want;
+}
+
+} // namespace dtbl

@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Single-Source Shortest Path (Table 4: citation network, flight
+ * network, cage15).
+ *
+ * Frontier-based Bellman-Ford: each iteration relaxes the out-edges of
+ * the current frontier; vertices whose distance improved join the next
+ * frontier (deduplicated with an in-frontier flag). Nested variants
+ * launch a child per high-degree vertex, as in BFS.
+ */
+
+#ifndef DTBL_APPS_SSSP_HH
+#define DTBL_APPS_SSSP_HH
+
+#include "apps/app.hh"
+#include "apps/datasets/graph.hh"
+
+namespace dtbl {
+
+class SsspApp : public App
+{
+  public:
+    enum class Dataset { Citation, Flight, Cage15 };
+
+    explicit SsspApp(Dataset d);
+
+    std::string name() const override;
+    void build(Program &prog, Mode mode) override;
+    void setup(Gpu &gpu) override;
+    void execute(Gpu &gpu, Mode mode) override;
+    bool verify(Gpu &gpu) override;
+
+    static constexpr std::uint32_t expandThreshold = 32;
+    static constexpr std::uint32_t childTbSize = 32;
+    static constexpr std::uint32_t parentTbSize = 64;
+
+  private:
+    Dataset dataset_;
+    CsrGraph graph_;
+    std::uint32_t src_ = 0;
+
+    KernelFuncId parentKernel_ = invalidKernelFunc;
+    KernelFuncId childKernel_ = invalidKernelFunc;
+
+    Addr rowPtrAddr_ = 0;
+    Addr colIdxAddr_ = 0;
+    Addr weightAddr_ = 0;
+    Addr distAddr_ = 0;
+    Addr inNextAddr_ = 0;
+    Addr frontAddr_[2] = {0, 0};
+    Addr nextSizeAddr_ = 0;
+};
+
+} // namespace dtbl
+
+#endif // DTBL_APPS_SSSP_HH

@@ -1,0 +1,80 @@
+#include "common/config.hh"
+
+#include <sstream>
+
+#include "common/log.hh"
+
+namespace dtbl {
+
+std::string
+Dim3::str() const
+{
+    std::ostringstream os;
+    os << "(" << x << "," << y << "," << z << ")";
+    return os.str();
+}
+
+void
+GpuConfig::validate() const
+{
+    if (numSmx == 0)
+        DTBL_FATAL("numSmx must be > 0");
+    if (maxResidentWarpsPerSmx * warpSize != maxResidentThreadsPerSmx)
+        DTBL_FATAL("maxResidentWarpsPerSmx inconsistent with ",
+                   "maxResidentThreadsPerSmx");
+    if (numHwqs != maxConcurrentKernels)
+        DTBL_FATAL("Kernel Distributor size must match HWQ count "
+                   "(Section 2.2): ", numHwqs, " vs ",
+                   maxConcurrentKernels);
+    if ((agtSize & (agtSize - 1)) != 0)
+        DTBL_FATAL("agtSize must be a power of two (hash is "
+                   "hw_tid & (AGT_size - 1)): ", agtSize);
+    if (l1.lineBytes != l2.lineBytes)
+        DTBL_FATAL("L1/L2 line sizes must match");
+    if ((l1.lineBytes & (l1.lineBytes - 1)) != 0)
+        DTBL_FATAL("cache line size must be a power of two");
+    if (warpSchedulersPerSmx == 0)
+        DTBL_FATAL("need at least one warp scheduler per SMX");
+    if (dram.numPartitions == 0 || dram.banksPerPartition == 0)
+        DTBL_FATAL("DRAM needs at least one partition and bank");
+}
+
+std::string
+GpuConfig::summary() const
+{
+    std::ostringstream os;
+    os << "SMX Clock Freq.                          " << smxClockMhz
+       << "MHz\n"
+       << "Memory Clock Freq.                       " << memClockMhz
+       << "MHz\n"
+       << "# of SMX                                 " << numSmx << "\n"
+       << "Max # of Resident Thread Blocks per SMX  " << maxResidentTbPerSmx
+       << "\n"
+       << "Max # of Resident Threads per SMX        "
+       << maxResidentThreadsPerSmx << "\n"
+       << "# of 32-bit Registers per SMX            " << regsPerSmx << "\n"
+       << "L1 Cache / Shared Mem Size per SMX       " << l1.sizeBytes / 1024
+       << "KB / " << sharedMemPerSmx / 1024 << "KB\n"
+       << "Max # of Concurrent Kernels              " << maxConcurrentKernels
+       << "\n"
+       << "AGT entries                              " << agtSize << "\n"
+       << "Launch latency modeled                   "
+       << (modelLaunchLatency ? "yes" : "no (ideal)") << "\n";
+    return os.str();
+}
+
+GpuConfig
+GpuConfig::k20c()
+{
+    return GpuConfig{};
+}
+
+GpuConfig
+GpuConfig::k20cIdeal()
+{
+    GpuConfig cfg;
+    cfg.modelLaunchLatency = false;
+    return cfg;
+}
+
+} // namespace dtbl

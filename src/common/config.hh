@@ -1,0 +1,170 @@
+/**
+ * @file
+ * Simulator configuration: Table 2 (GPGPU-Sim / K20c parameters),
+ * Table 3 (CDP & DTBL launch latency model) and the DTBL extension
+ * parameters of the ISCA'15 paper.
+ */
+
+#ifndef DTBL_COMMON_CONFIG_HH
+#define DTBL_COMMON_CONFIG_HH
+
+#include <cstdint>
+#include <string>
+
+#include "common/types.hh"
+
+namespace dtbl {
+
+/**
+ * Per-warp latency model for a device runtime API call: latency for a
+ * warp in which x threads invoke the call is base + per * x
+ * (the paper's Ax + b with A = per, b = base).
+ */
+struct ApiLatency
+{
+    Cycle base = 0;
+    Cycle per = 0;
+
+    Cycle
+    forCallers(unsigned x) const
+    {
+        return base + per * Cycle(x);
+    }
+};
+
+/**
+ * Launch-path latencies from Table 3, measured on a Tesla K20c and
+ * injected into the timing model exactly as the paper does.
+ */
+struct LaunchLatencyConfig
+{
+    /** cudaStreamCreateWithFlags (CDP only). */
+    Cycle streamCreate = 7165;
+    /** cudaGetParameterBuffer (CDP and DTBL). */
+    ApiLatency getParameterBuffer{8023, 129};
+    /** cudaLaunchDevice (CDP only). */
+    ApiLatency launchDevice{12187, 1592};
+    /** Kernel dispatching, KMU -> Kernel Distributor. */
+    Cycle kernelDispatch = 283;
+};
+
+/** DRAM timing parameters (memory-controller clock domain). */
+struct DramConfig
+{
+    /** Number of memory partitions (GDDR5 channels on K20c). */
+    unsigned numPartitions = 6;
+    /** Banks per partition. */
+    unsigned banksPerPartition = 8;
+    /** Row size per bank (bytes); determines row-hit behaviour. */
+    unsigned rowBytes = 2048;
+    /** Data-bus occupancy per 128B command (controller cycles). */
+    Cycle burstCycles = 2;
+    /** Extra latency for a row-buffer miss (precharge + activate). */
+    Cycle rowMissCycles = 18;
+    /** Flat controller pipeline latency added to every access. */
+    Cycle accessLatency = 40;
+};
+
+/** Cache geometry + latency. */
+struct CacheConfig
+{
+    std::uint32_t sizeBytes = 16 * 1024;
+    std::uint32_t lineBytes = 128;
+    std::uint32_t ways = 4;
+    Cycle hitLatency = 28;
+};
+
+/**
+ * Top-level configuration, defaulting to the Tesla K20c model of Table 2.
+ */
+struct GpuConfig
+{
+    // --- Table 2 ----------------------------------------------------
+    double smxClockMhz = 706.0;
+    double memClockMhz = 2600.0;
+    unsigned numSmx = 13;
+    unsigned maxResidentTbPerSmx = 16;
+    unsigned maxResidentThreadsPerSmx = 2048;
+    unsigned regsPerSmx = 65536;
+    std::uint32_t sharedMemPerSmx = 48 * 1024;
+    unsigned maxConcurrentKernels = 32;
+
+    /** Hardware work queues (Hyper-Q); equals Kernel Distributor size. */
+    unsigned numHwqs = 32;
+    /** Max resident warps per SMX (2048 threads / 32). */
+    unsigned maxResidentWarpsPerSmx = 64;
+    /** Warp schedulers per SMX (GK110 has 4). */
+    unsigned warpSchedulersPerSmx = 4;
+
+    // --- Memory system ----------------------------------------------
+    CacheConfig l1{16 * 1024, 128, 4, 28};
+    CacheConfig l2{1536 * 1024, 128, 8, 150};
+    DramConfig dram;
+    /** Shared-memory access latency. */
+    Cycle sharedMemLatency = 24;
+
+    // --- Execution latencies ----------------------------------------
+    Cycle aluLatency = 1;      //!< issue-to-issue for simple ALU ops
+    Cycle sfuLatency = 8;      //!< div/rem/transcendental issue cost
+    Cycle atomicLatency = 120; //!< warp-visible latency of a global atomic
+
+    // --- Launch model (Table 3) -------------------------------------
+    LaunchLatencyConfig launch;
+    /**
+     * When false, all launch-path latencies are zero: this is the
+     * CDPI/DTBLI "ideal" configuration of Section 5.2.
+     */
+    bool modelLaunchLatency = true;
+
+    // --- DTBL extension (Section 4) ---------------------------------
+    /** Aggregated Group Table entries (Figure 12 sweeps this). */
+    unsigned agtSize = 1024;
+    /** Cycles to search the 32 KDE entries for an eligible kernel. */
+    Cycle kdeSearchCycles = 32;
+    /** Cycles to probe the AGT with the hash function. */
+    Cycle agtProbeCycles = 1;
+    /**
+     * When a group finds no eligible kernel but a fallback device
+     * kernel of the same function is already in flight, wait for it to
+     * land in the Kernel Distributor instead of spawning another device
+     * kernel. Disabled only for ablation studies.
+     */
+    bool fallbackRetryWindow = true;
+    /**
+     * Latency to fetch an aggregated group's metadata from global
+     * memory when the AGT had no free slot. The record was written by
+     * the launching SMX shortly before, so it is usually L2-resident.
+     */
+    Cycle agtOverflowFetchCycles = 200;
+    /**
+     * The scheduling pool is a linked list known ahead of time, so the
+     * SMX scheduler pipelines metadata fetches for upcoming spilled
+     * groups this many entries ahead of the distribution head.
+     */
+    unsigned agtPrefetchDepth = 8;
+
+    // --- Device memory ----------------------------------------------
+    /** Simulated global-memory size. */
+    std::uint64_t globalMemBytes = 64ull * 1024 * 1024;
+
+    /** Metadata bytes reserved per pending device-launched kernel. */
+    std::uint32_t cdpKernelRecordBytes = 256;
+    /** Metadata bytes reserved per pending aggregated group. */
+    std::uint32_t aggGroupRecordBytes = 20;
+
+    /** Validate internal consistency; DTBL_FATALs on bad user config. */
+    void validate() const;
+
+    /** Human-readable multi-line summary (used by bench_table2_config). */
+    std::string summary() const;
+
+    /** K20c baseline (the defaults). */
+    static GpuConfig k20c();
+
+    /** K20c with zeroed launch latencies (CDPI / DTBLI). */
+    static GpuConfig k20cIdeal();
+};
+
+} // namespace dtbl
+
+#endif // DTBL_COMMON_CONFIG_HH

@@ -1,0 +1,33 @@
+#include "common/log.hh"
+
+#include <cstdlib>
+#include <iostream>
+#include <stdexcept>
+
+namespace dtbl {
+
+void
+panicImpl(const char *file, int line, const std::string &msg)
+{
+    std::cerr << "panic: " << msg << " @ " << file << ":" << line
+              << std::endl;
+    // Throw instead of abort() so tests can assert on panics.
+    throw std::logic_error("panic: " + msg);
+}
+
+void
+fatalImpl(const char *file, int line, const std::string &msg)
+{
+    std::cerr << "fatal: " << msg << " @ " << file << ":" << line
+              << std::endl;
+    throw std::runtime_error("fatal: " + msg);
+}
+
+void
+warnImpl(const char *file, int line, const std::string &msg)
+{
+    std::cerr << "warn: " << msg << " @ " << file << ":" << line
+              << std::endl;
+}
+
+} // namespace dtbl

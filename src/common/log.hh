@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Error reporting helpers in the spirit of gem5's panic()/fatal()/warn().
+ */
+
+#ifndef DTBL_COMMON_LOG_HH
+#define DTBL_COMMON_LOG_HH
+
+#include <sstream>
+#include <string>
+
+namespace dtbl {
+
+/** Abort the simulation: internal invariant violated (a simulator bug). */
+[[noreturn]] void panicImpl(const char *file, int line,
+                            const std::string &msg);
+
+/** Exit the simulation: unusable user configuration or input. */
+[[noreturn]] void fatalImpl(const char *file, int line,
+                            const std::string &msg);
+
+/** Print a non-fatal warning to stderr. */
+void warnImpl(const char *file, int line, const std::string &msg);
+
+namespace detail {
+
+inline void
+formatInto(std::ostringstream &)
+{
+}
+
+template <typename T, typename... Rest>
+void
+formatInto(std::ostringstream &os, const T &v, const Rest &...rest)
+{
+    os << v;
+    formatInto(os, rest...);
+}
+
+template <typename... Args>
+std::string
+format(const Args &...args)
+{
+    std::ostringstream os;
+    formatInto(os, args...);
+    return os.str();
+}
+
+} // namespace detail
+} // namespace dtbl
+
+#define DTBL_PANIC(...) \
+    ::dtbl::panicImpl(__FILE__, __LINE__, ::dtbl::detail::format(__VA_ARGS__))
+
+#define DTBL_FATAL(...) \
+    ::dtbl::fatalImpl(__FILE__, __LINE__, ::dtbl::detail::format(__VA_ARGS__))
+
+#define DTBL_WARN(...) \
+    ::dtbl::warnImpl(__FILE__, __LINE__, ::dtbl::detail::format(__VA_ARGS__))
+
+/** Simulator-internal invariant check; always on (cheap conditions only). */
+#define DTBL_ASSERT(cond, ...)                                               \
+    do {                                                                     \
+        if (!(cond)) {                                                       \
+            ::dtbl::panicImpl(__FILE__, __LINE__,                            \
+                ::dtbl::detail::format("assertion failed: " #cond " ",      \
+                                       ##__VA_ARGS__));                      \
+        }                                                                    \
+    } while (0)
+
+#endif // DTBL_COMMON_LOG_HH

@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Deterministic random number generator for dataset synthesis.
+ *
+ * All dataset generators must be reproducible across runs and platforms,
+ * so we use an explicit xoshiro256** implementation instead of
+ * std::mt19937 + distribution objects (whose outputs are not guaranteed
+ * to be identical across standard library implementations).
+ */
+
+#ifndef DTBL_COMMON_RNG_HH
+#define DTBL_COMMON_RNG_HH
+
+#include <cstdint>
+
+namespace dtbl {
+
+/** Seedable xoshiro256** PRNG with convenience distributions. */
+class Rng
+{
+  public:
+    explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ull);
+
+    /** Uniform 64-bit value. */
+    std::uint64_t next();
+
+    /** Uniform integer in [0, bound). bound must be > 0. */
+    std::uint64_t nextBounded(std::uint64_t bound);
+
+    /** Uniform double in [0, 1). */
+    double nextDouble();
+
+    /** Standard normal via Box-Muller. */
+    double nextGaussian();
+
+    /** Bernoulli draw with probability p. */
+    bool nextBool(double p);
+
+  private:
+    std::uint64_t s_[4];
+    bool hasSpareGaussian_ = false;
+    double spareGaussian_ = 0.0;
+};
+
+} // namespace dtbl
+
+#endif // DTBL_COMMON_RNG_HH

@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Fundamental value types shared by every simulator subsystem.
+ */
+
+#ifndef DTBL_COMMON_TYPES_HH
+#define DTBL_COMMON_TYPES_HH
+
+#include <cstdint>
+#include <string>
+
+namespace dtbl {
+
+/** Byte address in simulated global memory. */
+using Addr = std::uint64_t;
+
+/** SMX-domain clock cycle count. */
+using Cycle = std::uint64_t;
+
+/** 32-lane warp active mask; bit i is lane i. */
+using ActiveMask = std::uint32_t;
+
+/** Number of lanes in a warp (fixed by the modelled architecture). */
+constexpr unsigned warpSize = 32;
+
+/** Mask with all warp lanes active. */
+constexpr ActiveMask fullMask = 0xffffffffu;
+
+/** Identifier of a kernel function in the program registry. */
+using KernelFuncId = std::uint32_t;
+
+/** Sentinel for "no kernel function". */
+constexpr KernelFuncId invalidKernelFunc = 0xffffffffu;
+
+/**
+ * 3D extent used for grid and thread-block dimensions (CUDA dim3).
+ */
+struct Dim3
+{
+    std::uint32_t x = 1;
+    std::uint32_t y = 1;
+    std::uint32_t z = 1;
+
+    constexpr Dim3() = default;
+    constexpr Dim3(std::uint32_t xv, std::uint32_t yv = 1,
+                   std::uint32_t zv = 1)
+        : x(xv), y(yv), z(zv)
+    {}
+
+    /** Total element count across all three dimensions. */
+    constexpr std::uint64_t
+    count() const
+    {
+        return std::uint64_t(x) * y * z;
+    }
+
+    constexpr bool operator==(const Dim3 &o) const = default;
+
+    std::string str() const;
+};
+
+/**
+ * Flat index -> 3D coordinate for a given extent, x fastest.
+ */
+constexpr Dim3
+unflatten(std::uint64_t flat, const Dim3 &extent)
+{
+    Dim3 d;
+    d.x = std::uint32_t(flat % extent.x);
+    d.y = std::uint32_t((flat / extent.x) % extent.y);
+    d.z = std::uint32_t(flat / (std::uint64_t(extent.x) * extent.y));
+    return d;
+}
+
+/** 3D coordinate -> flat index for a given extent, x fastest. */
+constexpr std::uint64_t
+flatten(const Dim3 &c, const Dim3 &extent)
+{
+    return (std::uint64_t(c.z) * extent.y + c.y) * extent.x + c.x;
+}
+
+} // namespace dtbl
+
+#endif // DTBL_COMMON_TYPES_HH

@@ -1,0 +1,82 @@
+#include "core/agt.hh"
+
+#include "common/log.hh"
+
+namespace dtbl {
+
+Agt::Agt(unsigned num_slots)
+    : numSlots_(num_slots), slots_(num_slots, -1)
+{
+    DTBL_ASSERT(num_slots > 0 && (num_slots & (num_slots - 1)) == 0,
+                "AGT size must be a power of two: ", num_slots);
+}
+
+std::int32_t
+Agt::allocate(const AggGroup &proto, unsigned hw_tid)
+{
+    std::int32_t id;
+    if (!freeIds_.empty()) {
+        id = freeIds_.back();
+        freeIds_.pop_back();
+        pool_[id] = proto;
+        live_[id] = true;
+    } else {
+        id = std::int32_t(pool_.size());
+        pool_.push_back(proto);
+        live_.push_back(true);
+    }
+    ++liveCount_;
+
+    AggGroup &g = pool_[id];
+    // Paper hash: ind = hw_tid & (AGT_size - 1). With our scaled-down
+    // benchmarks the same physical thread slots launch again while
+    // their previous groups are still pending, so a pure hw_tid hash
+    // saturates at the slot-reuse collision rate independent of the
+    // table size. Mixing in an allocation sequence keeps the collision
+    // probability proportional to table occupancy, which is the
+    // behaviour Figure 12 measures.
+    const unsigned slot = (hw_tid + allocSeq_++) & (numSlots_ - 1);
+    if (slots_[slot] < 0) {
+        slots_[slot] = id;
+        g.onChip = true;
+        g.agtSlot = std::int32_t(slot);
+        ++onChipCount_;
+    } else {
+        g.onChip = false;
+        g.agtSlot = -1;
+    }
+    return id;
+}
+
+void
+Agt::release(std::int32_t id)
+{
+    AggGroup &g = group(id);
+    if (g.onChip) {
+        DTBL_ASSERT(g.agtSlot >= 0 && slots_[g.agtSlot] == id,
+                    "AGT slot bookkeeping corrupt");
+        slots_[g.agtSlot] = -1;
+        --onChipCount_;
+    }
+    live_[id] = false;
+    --liveCount_;
+    freeIds_.push_back(id);
+}
+
+AggGroup &
+Agt::group(std::int32_t id)
+{
+    DTBL_ASSERT(id >= 0 && std::size_t(id) < pool_.size() && live_[id],
+                "bad AGEI ", id);
+    return pool_[id];
+}
+
+const AggGroup &
+Agt::group(std::int32_t id) const
+{
+    DTBL_ASSERT(id >= 0 && std::size_t(id) < pool_.size() && live_[id],
+                "bad AGEI ", id);
+    return pool_[id];
+}
+
+} // namespace dtbl

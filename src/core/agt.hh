@@ -1,0 +1,114 @@
+/**
+ * @file
+ * Aggregated Group Table (AGT) — the main microarchitecture extension of
+ * the DTBL paper (Section 4.2, Figure 4).
+ *
+ * Each Aggregated Group Entry (AGE) tracks one dynamically launched
+ * aggregated group: its TB count, parameter address, the Next link that
+ * chains groups coalesced to the same kernel, and the ExeBL count of its
+ * TBs still executing. The table is a fixed-size on-chip SRAM indexed by
+ * a hash of the launching hardware thread id; when the hashed slot is
+ * occupied, the group's metadata stays in global memory and the SMX
+ * scheduler pays a fetch penalty when it schedules the group.
+ *
+ * The implementation separates the *logical* group record (which must
+ * exist for correctness even when the AGT overflows — the hardware keeps
+ * it in global memory) from the *on-chip slot* occupancy that the AGT
+ * size limits. Group records live in a pooled free list so AGEI values
+ * are stable until release.
+ */
+
+#ifndef DTBL_CORE_AGT_HH
+#define DTBL_CORE_AGT_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace dtbl {
+
+/** Logical Aggregated Group Entry (AGE) contents plus tracking state. */
+struct AggGroup
+{
+    /** TBs in the aggregated group (AggDim; x-dimension only). */
+    std::uint32_t numTbs = 0;
+    /** Next TB (within the group) to distribute to an SMX. */
+    std::uint32_t nextTb = 0;
+    /** Parameter-buffer device address (Param field of the AGE). */
+    Addr paramAddr = 0;
+    /** Next AGE in the per-kernel scheduling list; -1 terminates. */
+    std::int32_t next = -1;
+    /** TBs of this group currently executing on SMXs (ExeBL). */
+    std::uint32_t exeBl = 0;
+
+    /** Kernel Distributor entry this group coalesced to (KDEI). */
+    std::uint32_t kdeIdx = 0;
+    /** True when the group metadata resides in an on-chip AGT slot. */
+    bool onChip = false;
+    /** Occupied AGT slot when onChip (for release). */
+    std::int32_t agtSlot = -1;
+
+    /** Launch command time (waiting-time metric, Figure 9). */
+    Cycle launchCycle = 0;
+    /** Set when the first TB of the group is dispatched. */
+    bool firstDispatchDone = false;
+    /**
+     * For spilled groups: the scheduler must fetch the metadata from
+     * global memory before distributing; this is the ready cycle.
+     */
+    Cycle fetchReadyAt = 0;
+    bool fetchIssued = false;
+
+    /** Reserved launch-metadata bytes to release when fully scheduled. */
+    std::uint64_t footprintBytes = 0;
+
+    bool
+    fullyDistributed() const
+    {
+        return nextTb >= numTbs;
+    }
+};
+
+/**
+ * The AGT: a pool of AggGroup records plus the on-chip slot table.
+ */
+class Agt
+{
+  public:
+    /** @param num_slots on-chip entries; must be a power of two. */
+    explicit Agt(unsigned num_slots);
+
+    /**
+     * Allocate a group record; attempts to claim the on-chip slot
+     * selected by the paper's hash (hw_tid & (AGT_size - 1)).
+     * @return the stable group id (AGEI).
+     */
+    std::int32_t allocate(const AggGroup &proto, unsigned hw_tid);
+
+    /** Release a completed group (frees its AGT slot if on-chip). */
+    void release(std::int32_t id);
+
+    AggGroup &group(std::int32_t id);
+    const AggGroup &group(std::int32_t id) const;
+
+    unsigned numSlots() const { return numSlots_; }
+    /** Groups currently holding an on-chip slot. */
+    unsigned onChipCount() const { return onChipCount_; }
+    /** Live group records (on-chip + spilled). */
+    unsigned liveCount() const { return liveCount_; }
+
+  private:
+    unsigned numSlots_;
+    std::vector<std::int32_t> slots_; //!< slot -> group id (-1 free)
+    std::vector<AggGroup> pool_;
+    std::vector<std::int32_t> freeIds_;
+    std::vector<bool> live_;
+    unsigned onChipCount_ = 0;
+    unsigned liveCount_ = 0;
+    unsigned allocSeq_ = 0;
+};
+
+} // namespace dtbl
+
+#endif // DTBL_CORE_AGT_HH

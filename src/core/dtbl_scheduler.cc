@@ -1,0 +1,69 @@
+#include "core/dtbl_scheduler.hh"
+
+#include "common/log.hh"
+
+namespace dtbl {
+
+DtblScheduler::DtblScheduler(Agt &agt, const GpuConfig &cfg, SimStats &stats)
+    : agt_(agt), cfg_(cfg), stats_(stats)
+{
+}
+
+CoalesceResult
+DtblScheduler::process(const AggLaunchRequest &req,
+                       const std::vector<CoalesceTarget> &kdes, Cycle now)
+{
+    CoalesceResult res;
+
+    // Search the KDE for an eligible kernel: same entry PC (function id)
+    // and TB configuration. In this ISA the TB shape is a static property
+    // of the function, so matching the function id matches the shape;
+    // shared-memory size is checked explicitly.
+    std::int32_t eligible = -1;
+    for (std::size_t i = 0; i < kdes.size(); ++i) {
+        const CoalesceTarget &t = kdes[i];
+        if (t.valid && t.accepting && t.func == req.func &&
+            t.sharedMemBytes == req.sharedMemBytes) {
+            eligible = std::int32_t(i);
+            break;
+        }
+    }
+    if (eligible < 0)
+        return res;
+
+    AggGroup proto;
+    proto.numTbs = req.numTbs;
+    proto.paramAddr = req.paramAddr;
+    proto.kdeIdx = std::uint32_t(eligible);
+    proto.launchCycle = req.launchCycle;
+    proto.footprintBytes = req.footprintBytes;
+    const std::int32_t agei = agt_.allocate(proto, req.hwTid);
+    AggGroup &g = agt_.group(agei);
+    if (!g.onChip) {
+        ++stats_.agtOverflows;
+        // Metadata stays in global memory; the SMX scheduler will pay
+        // the fetch penalty when it reaches this group (4.3).
+        g.fetchReadyAt = 0;
+        g.fetchIssued = false;
+    }
+    (void)now;
+
+    ++stats_.aggGroupsCoalesced;
+    res.coalesced = true;
+    res.kdeIdx = eligible;
+    res.agei = agei;
+    res.onChip = g.onChip;
+    return res;
+}
+
+Cycle
+DtblScheduler::launchLatency(unsigned groups_in_warp) const
+{
+    if (!cfg_.modelLaunchLatency)
+        return 0;
+    // KDE search is pipelined across the warp's simultaneous launches
+    // (max 32 cycles, 1 per entry); each group adds one AGT probe cycle.
+    return cfg_.kdeSearchCycles + cfg_.agtProbeCycles * groups_in_warp;
+}
+
+} // namespace dtbl

@@ -1,0 +1,89 @@
+/**
+ * @file
+ * The DTBL coalescing decision procedure (Figure 5 of the paper).
+ *
+ * Given an aggregated-group launch request and the current Kernel
+ * Distributor contents, decide whether the group coalesces with an
+ * eligible kernel (same entry PC / function, TB shape and shared-memory
+ * size) and allocate its AGE, or whether it must fall back to a regular
+ * device-kernel launch. Linking the new AGE into the eligible kernel's
+ * NAGEI/LAGEI scheduling pool is done by the Kernel Distributor, which
+ * owns those registers.
+ */
+
+#ifndef DTBL_CORE_DTBL_SCHEDULER_HH
+#define DTBL_CORE_DTBL_SCHEDULER_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/config.hh"
+#include "common/types.hh"
+#include "core/agt.hh"
+#include "stats/metrics.hh"
+
+namespace dtbl {
+
+/** Minimal view of a Kernel Distributor entry for eligibility checks. */
+struct CoalesceTarget
+{
+    bool valid = false;
+    /** The entry can no longer accept new groups (being torn down). */
+    bool accepting = false;
+    KernelFuncId func = invalidKernelFunc;
+    std::uint32_t sharedMemBytes = 0;
+};
+
+/** One aggregated-group launch produced by a GPU thread. */
+struct AggLaunchRequest
+{
+    KernelFuncId func = invalidKernelFunc;
+    std::uint32_t numTbs = 0;
+    Addr paramAddr = 0;
+    std::uint32_t sharedMemBytes = 0;
+    /** Per-SMX hardware thread index of the launching thread (hash key). */
+    unsigned hwTid = 0;
+    Cycle launchCycle = 0;
+    std::uint64_t footprintBytes = 0;
+};
+
+struct CoalesceResult
+{
+    bool coalesced = false;
+    /** Eligible KDE index when coalesced. */
+    std::int32_t kdeIdx = -1;
+    /** Allocated AGE id when coalesced. */
+    std::int32_t agei = -1;
+    /** Whether the AGE got an on-chip AGT slot. */
+    bool onChip = false;
+};
+
+class DtblScheduler
+{
+  public:
+    DtblScheduler(Agt &agt, const GpuConfig &cfg, SimStats &stats);
+
+    /**
+     * Run the Figure-5 procedure for one request.
+     * On success the AGE is allocated (not yet linked); on failure the
+     * caller must launch the group as a device kernel.
+     */
+    CoalesceResult process(const AggLaunchRequest &req,
+                           const std::vector<CoalesceTarget> &kdes,
+                           Cycle now);
+
+    /**
+     * Per-request launch-side latency (KDE search pipelined across the
+     * warp + AGT probe); zero in the ideal configuration.
+     */
+    Cycle launchLatency(unsigned groups_in_warp) const;
+
+  private:
+    Agt &agt_;
+    const GpuConfig &cfg_;
+    SimStats &stats_;
+};
+
+} // namespace dtbl
+
+#endif // DTBL_CORE_DTBL_SCHEDULER_HH

@@ -1,0 +1,55 @@
+#include "gpu/device_runtime.hh"
+
+namespace dtbl {
+
+DeviceRuntime::DeviceRuntime(const GpuConfig &cfg, GlobalMemory &mem,
+                             SimStats &stats)
+    : cfg_(cfg), mem_(mem), stats_(stats)
+{
+}
+
+Addr
+DeviceRuntime::getParameterBuffer(std::uint32_t bytes)
+{
+    const Addr a = mem_.allocate(bytes, 256);
+    paramSizes_[a] = bytes;
+    stats_.reserveLaunchBytes(bytes);
+    return a;
+}
+
+std::uint32_t
+DeviceRuntime::claimParamBytes(Addr addr)
+{
+    auto it = paramSizes_.find(addr);
+    if (it == paramSizes_.end())
+        return 0;
+    const std::uint32_t bytes = it->second;
+    paramSizes_.erase(it);
+    return bytes;
+}
+
+Cycle
+DeviceRuntime::latGetParameterBuffer(unsigned callers) const
+{
+    if (!cfg_.modelLaunchLatency)
+        return 0;
+    return cfg_.launch.getParameterBuffer.forCallers(callers);
+}
+
+Cycle
+DeviceRuntime::latLaunchDevice(unsigned callers) const
+{
+    if (!cfg_.modelLaunchLatency)
+        return 0;
+    return cfg_.launch.launchDevice.forCallers(callers);
+}
+
+Cycle
+DeviceRuntime::latStreamCreate() const
+{
+    if (!cfg_.modelLaunchLatency)
+        return 0;
+    return cfg_.launch.streamCreate;
+}
+
+} // namespace dtbl

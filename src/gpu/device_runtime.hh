@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Device runtime services: parameter-buffer allocation and the Table 3
+ * latency model for the CDP / DTBL device API calls.
+ */
+
+#ifndef DTBL_GPU_DEVICE_RUNTIME_HH
+#define DTBL_GPU_DEVICE_RUNTIME_HH
+
+#include <unordered_map>
+
+#include "common/config.hh"
+#include "mem/global_memory.hh"
+#include "stats/metrics.hh"
+
+namespace dtbl {
+
+class DeviceRuntime
+{
+  public:
+    DeviceRuntime(const GpuConfig &cfg, GlobalMemory &mem, SimStats &stats);
+
+    /**
+     * cudaGetParameterBuffer: allocate a parameter buffer in global
+     * memory and reserve its bytes in the pending-launch footprint.
+     */
+    Addr getParameterBuffer(std::uint32_t bytes);
+
+    /**
+     * Transfer ownership of a parameter buffer to a launch; returns its
+     * size so the launch can release it once scheduled (0 if the address
+     * is not a tracked parameter buffer).
+     */
+    std::uint32_t claimParamBytes(Addr addr);
+
+    // --- Table 3 latency model (zero when modelLaunchLatency is off) --
+    Cycle latGetParameterBuffer(unsigned callers) const;
+    Cycle latLaunchDevice(unsigned callers) const;
+    Cycle latStreamCreate() const;
+
+  private:
+    const GpuConfig &cfg_;
+    GlobalMemory &mem_;
+    SimStats &stats_;
+    std::unordered_map<Addr, std::uint32_t> paramSizes_;
+};
+
+} // namespace dtbl
+
+#endif // DTBL_GPU_DEVICE_RUNTIME_HH

@@ -1,0 +1,147 @@
+#include "gpu/gpu.hh"
+
+#include <algorithm>
+
+#include "common/log.hh"
+
+namespace dtbl {
+
+Gpu::Gpu(const GpuConfig &cfg, const Program &prog)
+    : cfg_(cfg), prog_(prog), mem_(cfg.globalMemBytes),
+      memSys_(cfg_, stats_), runtime_(cfg_, mem_, stats_),
+      streams_(cfg.numHwqs), kmu_(cfg_), kd_(cfg_), agt_(cfg.agtSize),
+      dtblSched_(agt_, cfg_, stats_)
+{
+    cfg_.validate();
+    for (unsigned i = 0; i < cfg_.numSmx; ++i)
+        smxs_.push_back(std::make_unique<Smx>(i, *this));
+    sched_ = std::make_unique<SmxScheduler>(cfg_, prog_, kd_, kmu_, agt_,
+                                            dtblSched_, streams_, stats_,
+                                            smxs_);
+}
+
+void
+Gpu::launch(KernelFuncId func, Dim3 grid,
+            const std::vector<std::uint32_t> &params, std::int32_t stream,
+            std::uint32_t dyn_smem)
+{
+    const KernelFunction &fn = prog_.function(func);
+    const std::uint32_t paramBytes =
+        std::max<std::uint32_t>(fn.paramBytes,
+                                std::uint32_t(params.size()) * 4);
+    const Addr paramAddr = mem_.allocate(std::max(paramBytes, 4u), 256);
+    for (std::size_t i = 0; i < params.size(); ++i)
+        mem_.write32(paramAddr + i * 4, params[i]);
+
+    KernelLaunch l;
+    l.func = func;
+    l.grid = grid;
+    l.paramAddr = paramAddr;
+    l.sharedMemBytes = dyn_smem;
+    l.stream = stream;
+    l.launchCycle = now_;
+    kmu_.enqueueHost(l, streams_.hwqFor(stream));
+    streams_.kernelLaunched(stream);
+}
+
+void
+Gpu::deviceLaunchKernel(KernelFuncId func, std::uint32_t num_tbs,
+                        Addr param, std::uint32_t smem, Cycle arrival,
+                        Cycle launch_cycle, std::uint64_t footprint_bytes)
+{
+    const KernelFunction &fn = prog_.function(func);
+    ++stats_.deviceKernelLaunches;
+    stats_.dynamicLaunchThreadSum +=
+        std::uint64_t(num_tbs) * fn.tbDim.count();
+
+    KernelLaunch l;
+    l.func = func;
+    l.grid = Dim3{num_tbs, 1, 1};
+    l.paramAddr = param;
+    l.sharedMemBytes = smem;
+    l.deviceLaunched = true;
+    l.launchCycle = launch_cycle;
+    l.footprintBytes = footprint_bytes;
+    l.trackWaitingTime = true;
+    kmu_.enqueueDevice(l, arrival);
+}
+
+void
+Gpu::submitAggLaunches(std::vector<AggLaunchRequest> reqs, Cycle when)
+{
+    sched_->enqueueAggRequests(std::move(reqs), when);
+}
+
+void
+Gpu::notifyTbComplete(const TbAssignment &asg, Cycle now)
+{
+    sched_->notifyTbComplete(asg, now);
+}
+
+bool
+Gpu::idle() const
+{
+    if (!kmu_.idle() || !kd_.empty() || !sched_->idle())
+        return false;
+    for (const auto &s : smxs_) {
+        if (!s->idle())
+            return false;
+    }
+    return true;
+}
+
+void
+Gpu::synchronize()
+{
+    while (!idle()) {
+        const bool progress = sched_->tick(now_);
+
+        unsigned issued = 0;
+        unsigned resident = 0;
+        for (auto &s : smxs_) {
+            issued += s->tick(now_);
+            resident += s->residentWarps();
+        }
+        if (resident > 0) {
+            ++stats_.busyCycles;
+            stats_.residentWarpCycleSum += resident;
+        }
+
+        if (!progress && issued == 0) {
+            // Nothing happened this cycle: fast-forward to the next
+            // event (warp wakeup, KMU arrival, dispatch-latency expiry).
+            Cycle next = sched_->nextEventCycle(now_);
+            for (const auto &s : smxs_)
+                next = std::min(next, s->earliestReady());
+            if (next == infiniteCycle) {
+                if (idle())
+                    break;
+                DTBL_PANIC("simulation deadlock at cycle ", now_);
+            }
+            if (next > now_ + 1) {
+                const Cycle skip = next - now_ - 1;
+                if (resident > 0) {
+                    stats_.busyCycles += skip;
+                    stats_.residentWarpCycleSum +=
+                        std::uint64_t(resident) * skip;
+                }
+                now_ += skip;
+            }
+        }
+        ++now_;
+        if (now_ > maxCycles_)
+            DTBL_FATAL("simulation exceeded ", maxCycles_, " cycles");
+    }
+    stats_.totalCycles = now_;
+}
+
+MetricsReport
+Gpu::report(const std::string &bench, const std::string &mode)
+{
+    memSys_.finalizeInto(stats_);
+    stats_.totalCycles = now_;
+    return MetricsReport::from(stats_, bench, mode, cfg_.numSmx,
+                               cfg_.maxResidentWarpsPerSmx);
+}
+
+} // namespace dtbl

@@ -1,0 +1,113 @@
+/**
+ * @file
+ * Top-level GPU device model: owns all subsystems and exposes the host
+ * API (memory management, kernel launch, synchronize) plus the
+ * device-side hooks the SMXs call for dynamic parallelism.
+ */
+
+#ifndef DTBL_GPU_GPU_HH
+#define DTBL_GPU_GPU_HH
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/config.hh"
+#include "core/agt.hh"
+#include "core/dtbl_scheduler.hh"
+#include "gpu/device_runtime.hh"
+#include "gpu/kernel_distributor.hh"
+#include "gpu/kmu.hh"
+#include "gpu/launch.hh"
+#include "gpu/smx.hh"
+#include "gpu/smx_scheduler.hh"
+#include "gpu/stream.hh"
+#include "isa/kernel_function.hh"
+#include "mem/global_memory.hh"
+#include "mem/memory_system.hh"
+#include "stats/metrics.hh"
+
+namespace dtbl {
+
+class Gpu
+{
+  public:
+    Gpu(const GpuConfig &cfg, const Program &prog);
+
+    // --- host API ---------------------------------------------------
+    GlobalMemory &mem() { return mem_; }
+    std::int32_t createStream() { return streams_.create(); }
+
+    /**
+     * Launch a kernel from the host: parameters are written to a
+     * device-side buffer; the launch command is queued on @p stream.
+     */
+    void launch(KernelFuncId func, Dim3 grid,
+                const std::vector<std::uint32_t> &params,
+                std::int32_t stream = 0, std::uint32_t dyn_smem = 0);
+
+    /** Run the device until all queued work completes. */
+    void synchronize();
+
+    Cycle now() const { return now_; }
+    SimStats &stats() { return stats_; }
+    const GpuConfig &config() const { return cfg_; }
+    const Program &program() const { return prog_; }
+
+    const KernelFunction &
+    function(KernelFuncId id) const
+    {
+        return prog_.function(id);
+    }
+
+    /** Finalize counters and build the derived metrics report. */
+    MetricsReport report(const std::string &bench, const std::string &mode);
+
+    // --- device-side hooks (called by the SMXs) ------------------------
+    MemorySystem &memSys() { return memSys_; }
+    DeviceRuntime &runtime() { return runtime_; }
+    DtblScheduler &dtblScheduler() { return dtblSched_; }
+    Agt &agt() { return agt_; }
+
+    /** CDP cudaLaunchDevice: command reaches the KMU at @p arrival. */
+    void deviceLaunchKernel(KernelFuncId func, std::uint32_t num_tbs,
+                            Addr param, std::uint32_t smem, Cycle arrival,
+                            Cycle launch_cycle,
+                            std::uint64_t footprint_bytes);
+
+    /** DTBL aggregation command: processed by the SMX scheduler. */
+    void submitAggLaunches(std::vector<AggLaunchRequest> reqs, Cycle when);
+
+    /** An SMX finished a TB. */
+    void notifyTbComplete(const TbAssignment &asg, Cycle now);
+
+    // --- introspection (tests) ------------------------------------------
+    const KernelDistributor &kernelDistributor() const { return kd_; }
+    const Kmu &kmu() const { return kmu_; }
+    SmxScheduler &scheduler() { return *sched_; }
+    const Smx &smx(unsigned i) const { return *smxs_[i]; }
+
+  private:
+    bool idle() const;
+
+    GpuConfig cfg_;
+    const Program &prog_;
+    SimStats stats_;
+    GlobalMemory mem_;
+    MemorySystem memSys_;
+    DeviceRuntime runtime_;
+    StreamTable streams_;
+    Kmu kmu_;
+    KernelDistributor kd_;
+    Agt agt_;
+    DtblScheduler dtblSched_;
+    std::vector<std::unique_ptr<Smx>> smxs_;
+    std::unique_ptr<SmxScheduler> sched_;
+
+    Cycle now_ = 0;
+    Cycle maxCycles_ = 2'000'000'000ull;
+};
+
+} // namespace dtbl
+
+#endif // DTBL_GPU_GPU_HH

@@ -1,0 +1,127 @@
+#include "gpu/kernel_distributor.hh"
+
+#include "common/log.hh"
+#include "core/agt.hh"
+
+namespace dtbl {
+
+KernelDistributor::KernelDistributor(const GpuConfig &cfg)
+    : entries_(cfg.maxConcurrentKernels)
+{
+}
+
+std::int32_t
+KernelDistributor::allocate(const KernelLaunch &launch, std::int32_t hwq,
+                            Cycle now, Cycle dispatch_latency)
+{
+    for (std::size_t i = 0; i < entries_.size(); ++i) {
+        Kde &e = entries_[i];
+        if (e.valid)
+            continue;
+        e = Kde{};
+        e.valid = true;
+        e.func = launch.func;
+        e.grid = launch.grid;
+        e.paramAddr = launch.paramAddr;
+        e.sharedMemBytes = launch.sharedMemBytes;
+        e.totalNativeTbs = launch.grid.count();
+        e.hwq = hwq;
+        e.stream = launch.stream;
+        e.deviceLaunched = launch.deviceLaunched;
+        e.launchCycle = launch.launchCycle;
+        e.schedulableAt = now + dispatch_latency;
+        e.trackWaitingTime = launch.trackWaitingTime;
+        e.footprintBytes = launch.footprintBytes;
+        return std::int32_t(i);
+    }
+    return -1;
+}
+
+void
+KernelDistributor::release(std::int32_t idx)
+{
+    Kde &e = entry(idx);
+    DTBL_ASSERT(e.complete(), "releasing incomplete KDE ", idx);
+    e.valid = false;
+}
+
+Kde &
+KernelDistributor::entry(std::int32_t idx)
+{
+    DTBL_ASSERT(idx >= 0 && std::size_t(idx) < entries_.size(),
+                "bad KDE index ", idx);
+    return entries_[idx];
+}
+
+const Kde &
+KernelDistributor::entry(std::int32_t idx) const
+{
+    DTBL_ASSERT(idx >= 0 && std::size_t(idx) < entries_.size(),
+                "bad KDE index ", idx);
+    return entries_[idx];
+}
+
+bool
+KernelDistributor::hasFreeEntry() const
+{
+    for (const auto &e : entries_) {
+        if (!e.valid)
+            return true;
+    }
+    return false;
+}
+
+bool
+KernelDistributor::empty() const
+{
+    for (const auto &e : entries_) {
+        if (e.valid)
+            return false;
+    }
+    return true;
+}
+
+std::vector<CoalesceTarget>
+KernelDistributor::coalesceTargets() const
+{
+    std::vector<CoalesceTarget> t(entries_.size());
+    for (std::size_t i = 0; i < entries_.size(); ++i) {
+        t[i].valid = entries_[i].valid;
+        t[i].accepting = entries_[i].valid;
+        t[i].func = entries_[i].func;
+        t[i].sharedMemBytes = entries_[i].sharedMemBytes;
+    }
+    return t;
+}
+
+bool
+KernelDistributor::linkAggGroup(std::int32_t kde_idx, std::int32_t agei,
+                                Agt &agt)
+{
+    Kde &e = entry(kde_idx);
+    DTBL_ASSERT(e.valid, "coalescing to an invalid KDE");
+
+    // Chain behind the current tail (Next field of the AGE).
+    if (e.lagei >= 0)
+        agt.group(e.lagei).next = agei;
+    e.lagei = agei;
+    ++e.pendingAggGroups;
+    ++e.liveAggGroups;
+
+    bool needMark = false;
+    if (!e.fcfsMarked) {
+        // Scenario 1: the kernel had all TBs scheduled and was unmarked
+        // (or is brand-new); point NAGEI at the new group and re-mark.
+        if (e.nagei < 0)
+            e.nagei = agei;
+        needMark = true;
+    } else {
+        // Scenario 2: still marked; NAGEI is updated only when this is
+        // the first pending aggregated group for the kernel.
+        if (e.nagei < 0)
+            e.nagei = agei;
+    }
+    return needMark;
+}
+
+} // namespace dtbl

@@ -1,0 +1,120 @@
+/**
+ * @file
+ * Kernel Distributor (Section 2.2) with the DTBL extensions (Section 4.2):
+ * each entry gains the NAGEI/LAGEI registers that head/tail the linked
+ * list of aggregated groups coalesced to the kernel, and the FCFS
+ * controller state gains the marked / first-time-marked bits.
+ */
+
+#ifndef DTBL_GPU_KERNEL_DISTRIBUTOR_HH
+#define DTBL_GPU_KERNEL_DISTRIBUTOR_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/config.hh"
+#include "common/types.hh"
+#include "core/dtbl_scheduler.hh"
+#include "gpu/launch.hh"
+
+namespace dtbl {
+
+class Agt;
+
+/** One Kernel Distributor Entry (PC, Dim, Param, ExeBL + extensions). */
+struct Kde
+{
+    bool valid = false;
+
+    // --- baseline fields ------------------------------------------------
+    KernelFuncId func = invalidKernelFunc;
+    Dim3 grid{1, 1, 1};
+    Addr paramAddr = 0;
+    std::uint32_t sharedMemBytes = 0;
+    /** Next native TB (flat index) to distribute. */
+    std::uint64_t nextNativeTb = 0;
+    std::uint64_t totalNativeTbs = 0;
+    /** TBs (native + aggregated) currently executing on SMXs. */
+    std::uint32_t exeBl = 0;
+
+    // --- DTBL extension ---------------------------------------------------
+    /** Next aggregated group to schedule (AGEI); -1 = none pending. */
+    std::int32_t nagei = -1;
+    /** Last aggregated group coalesced to this kernel; -1 = none. */
+    std::int32_t lagei = -1;
+    /** Aggregated groups linked but not yet fully distributed. */
+    std::uint32_t pendingAggGroups = 0;
+    /** Groups coalesced whose TBs still execute (for release timing). */
+    std::uint32_t liveAggGroups = 0;
+
+    // --- FCFS controller state ---------------------------------------------
+    bool fcfsMarked = false;
+    /** Extra bit: has this kernel ever been marked before? (4.2) */
+    bool everMarked = false;
+
+    // --- provenance / bookkeeping -----------------------------------------
+    std::int32_t hwq = -1;
+    std::int32_t stream = -1;
+    bool deviceLaunched = false;
+    Cycle launchCycle = 0;
+    /** Kernel may be scheduled only after the KMU dispatch latency. */
+    Cycle schedulableAt = 0;
+    bool firstDispatchDone = false;
+    bool trackWaitingTime = false;
+    std::uint64_t footprintBytes = 0;
+
+    bool
+    nativeFullyDistributed() const
+    {
+        return nextNativeTb >= totalNativeTbs;
+    }
+
+    /**
+     * All work known so far is distributed and executed. New aggregated
+     * groups may still arrive while exeBl > 0.
+     */
+    bool
+    complete() const
+    {
+        return valid && !fcfsMarked && nativeFullyDistributed() &&
+               nagei < 0 && pendingAggGroups == 0 && exeBl == 0 &&
+               liveAggGroups == 0;
+    }
+};
+
+class KernelDistributor
+{
+  public:
+    explicit KernelDistributor(const GpuConfig &cfg);
+
+    /** Allocate a free entry; returns its index or -1 when full. */
+    std::int32_t allocate(const KernelLaunch &launch, std::int32_t hwq,
+                          Cycle now, Cycle dispatch_latency);
+
+    /** Release a completed entry. */
+    void release(std::int32_t idx);
+
+    Kde &entry(std::int32_t idx);
+    const Kde &entry(std::int32_t idx) const;
+    std::size_t size() const { return entries_.size(); }
+
+    bool hasFreeEntry() const;
+    bool empty() const;
+
+    /** Snapshot for the DTBL eligibility search (Figure 5). */
+    std::vector<CoalesceTarget> coalesceTargets() const;
+
+    /**
+     * Link a freshly allocated AGE into @p kde's scheduling pool,
+     * updating NAGEI/LAGEI (the two update scenarios of Section 4.2).
+     * @return true when the kernel must be (re)marked by the FCFS.
+     */
+    bool linkAggGroup(std::int32_t kde_idx, std::int32_t agei, Agt &agt);
+
+  private:
+    std::vector<Kde> entries_;
+};
+
+} // namespace dtbl
+
+#endif // DTBL_GPU_KERNEL_DISTRIBUTOR_HH

@@ -1,0 +1,81 @@
+#include "gpu/kmu.hh"
+
+#include "common/log.hh"
+
+namespace dtbl {
+
+Kmu::Kmu(const GpuConfig &cfg)
+    : cfg_(cfg), hwqs_(cfg.numHwqs)
+{
+}
+
+void
+Kmu::enqueueHost(const KernelLaunch &launch, unsigned hwq)
+{
+    DTBL_ASSERT(hwq < hwqs_.size(), "bad HWQ ", hwq);
+    hwqs_[hwq].queue.push_back(launch);
+}
+
+void
+Kmu::enqueueDevice(const KernelLaunch &launch, Cycle arrival)
+{
+    // Keep the pending queue sorted by arrival so a long-latency launch
+    // issued earlier does not head-of-line block a short one.
+    auto it = device_.end();
+    while (it != device_.begin() && std::prev(it)->arrival > arrival)
+        --it;
+    device_.insert(it, {launch, arrival});
+}
+
+Cycle
+Kmu::nextDeviceArrival() const
+{
+    return device_.empty() ? ~Cycle(0) : device_.front().arrival;
+}
+
+std::optional<Kmu::Dispatched>
+Kmu::nextDispatch(Cycle now)
+{
+    // Device-launched / suspended kernels are dispatched "in the same
+    // manner" as host kernels; serve the earliest-arrived device kernel
+    // first, then round-robin over unblocked HWQ heads.
+    if (!device_.empty() && device_.front().arrival <= now) {
+        Dispatched d{device_.front().launch, -1};
+        device_.pop_front();
+        return d;
+    }
+    for (unsigned i = 0; i < hwqs_.size(); ++i) {
+        const unsigned q = (rrNext_ + i) % hwqs_.size();
+        Hwq &hwq = hwqs_[q];
+        if (hwq.blocked || hwq.queue.empty())
+            continue;
+        Dispatched d{hwq.queue.front(), std::int32_t(q)};
+        hwq.queue.pop_front();
+        hwq.blocked = true;
+        rrNext_ = (q + 1) % hwqs_.size();
+        return d;
+    }
+    return std::nullopt;
+}
+
+void
+Kmu::hwqKernelCompleted(unsigned hwq)
+{
+    DTBL_ASSERT(hwq < hwqs_.size() && hwqs_[hwq].blocked,
+                "HWQ completion without a dispatched kernel");
+    hwqs_[hwq].blocked = false;
+}
+
+bool
+Kmu::idle() const
+{
+    if (!device_.empty())
+        return false;
+    for (const auto &q : hwqs_) {
+        if (!q.queue.empty() || q.blocked)
+            return false;
+    }
+    return true;
+}
+
+} // namespace dtbl

@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Kernel Management Unit (Section 2.2).
+ *
+ * Manages the hardware work queues fed by host streams and the pending
+ * queue of device-launched kernels (CDP launches and DTBL fallbacks).
+ * A HWQ stops being inspected once its head kernel is dispatched, until
+ * that kernel completes. Dispatch to the Kernel Distributor costs the
+ * measured kernel-dispatch latency (Table 3).
+ */
+
+#ifndef DTBL_GPU_KMU_HH
+#define DTBL_GPU_KMU_HH
+
+#include <deque>
+#include <optional>
+#include <vector>
+
+#include "common/config.hh"
+#include "gpu/launch.hh"
+
+namespace dtbl {
+
+class Kmu
+{
+  public:
+    explicit Kmu(const GpuConfig &cfg);
+
+    /** Enqueue a host-launched kernel on its HWQ. */
+    void enqueueHost(const KernelLaunch &launch, unsigned hwq);
+
+    /** Enqueue a device-launched kernel arriving at @p arrival. */
+    void enqueueDevice(const KernelLaunch &launch, Cycle arrival);
+
+    /**
+     * Pick the next kernel ready to dispatch at @p now, if any.
+     * Device-launched kernels and unblocked HWQ heads are considered
+     * FCFS by arrival. The chosen kernel is removed; the caller must
+     * mark the owning HWQ blocked-until-complete via the return value.
+     */
+    struct Dispatched
+    {
+        KernelLaunch launch;
+        /** HWQ to unblock on completion; -1 for device-launched. */
+        std::int32_t hwq = -1;
+    };
+    std::optional<Dispatched> nextDispatch(Cycle now);
+
+    /** The kernel dispatched from @p hwq completed; resume inspection. */
+    void hwqKernelCompleted(unsigned hwq);
+
+    bool idle() const;
+
+    std::size_t pendingDeviceKernels() const { return device_.size(); }
+
+    /** Arrival cycle of the earliest pending device kernel (or ~0). */
+    Cycle nextDeviceArrival() const;
+
+  private:
+    struct Hwq
+    {
+        std::deque<KernelLaunch> queue;
+        bool blocked = false;
+    };
+
+    struct PendingDevice
+    {
+        KernelLaunch launch;
+        Cycle arrival;
+    };
+
+    const GpuConfig &cfg_;
+    std::vector<Hwq> hwqs_;
+    std::deque<PendingDevice> device_;
+    unsigned rrNext_ = 0; //!< round-robin fairness over HWQs
+};
+
+} // namespace dtbl
+
+#endif // DTBL_GPU_KMU_HH

@@ -1,0 +1,37 @@
+/**
+ * @file
+ * Kernel launch descriptors shared by the host API, KMU and Kernel
+ * Distributor.
+ */
+
+#ifndef DTBL_GPU_LAUNCH_HH
+#define DTBL_GPU_LAUNCH_HH
+
+#include <cstdint>
+
+#include "common/types.hh"
+
+namespace dtbl {
+
+/** A kernel launch command (host-side or device-side). */
+struct KernelLaunch
+{
+    KernelFuncId func = invalidKernelFunc;
+    Dim3 grid{1, 1, 1};
+    Addr paramAddr = 0;
+    std::uint32_t sharedMemBytes = 0;
+
+    /** Host stream id; -1 for device-side launches. */
+    std::int32_t stream = -1;
+    bool deviceLaunched = false;
+    /** Cycle the launch command was issued (waiting-time metric). */
+    Cycle launchCycle = 0;
+    /** Reserved metadata+parameter bytes, released when scheduled. */
+    std::uint64_t footprintBytes = 0;
+    /** Count this launch in the dynamic-launch waiting-time stats. */
+    bool trackWaitingTime = false;
+};
+
+} // namespace dtbl
+
+#endif // DTBL_GPU_LAUNCH_HH

@@ -1,0 +1,649 @@
+#include "gpu/smx.hh"
+
+#include <algorithm>
+#include <array>
+#include <bit>
+#include <cmath>
+
+#include "common/log.hh"
+#include "gpu/gpu.hh"
+
+namespace dtbl {
+namespace {
+
+std::uint32_t
+aluCompute(const Instruction &inst, std::uint32_t a, std::uint32_t b,
+           std::uint32_t c)
+{
+    const auto s = [](std::uint32_t v) { return std::int32_t(v); };
+    const auto f = [](std::uint32_t v) { return std::bit_cast<float>(v); };
+    const auto fu = [](float v) { return std::bit_cast<std::uint32_t>(v); };
+
+    switch (inst.op) {
+      case Opcode::Mov:
+        return a;
+      case Opcode::Add:
+        return inst.type == DataType::F32 ? fu(f(a) + f(b)) : a + b;
+      case Opcode::Sub:
+        return inst.type == DataType::F32 ? fu(f(a) - f(b)) : a - b;
+      case Opcode::Mul:
+        return inst.type == DataType::F32 ? fu(f(a) * f(b)) : a * b;
+      case Opcode::Mad:
+        return inst.type == DataType::F32 ? fu(f(a) * f(b) + f(c))
+                                          : a * b + c;
+      case Opcode::Div:
+        if (inst.type == DataType::F32)
+            return fu(f(a) / f(b));
+        if (b == 0)
+            return 0xffffffffu; // PTX-like: integer div by zero saturates
+        return inst.type == DataType::S32
+                   ? std::uint32_t(s(a) / s(b))
+                   : a / b;
+      case Opcode::Rem:
+        if (b == 0)
+            return a;
+        return inst.type == DataType::S32
+                   ? std::uint32_t(s(a) % s(b))
+                   : a % b;
+      case Opcode::Min:
+        switch (inst.type) {
+          case DataType::F32: return fu(std::min(f(a), f(b)));
+          case DataType::S32: return std::uint32_t(std::min(s(a), s(b)));
+          case DataType::U32: return std::min(a, b);
+        }
+        break;
+      case Opcode::Max:
+        switch (inst.type) {
+          case DataType::F32: return fu(std::max(f(a), f(b)));
+          case DataType::S32: return std::uint32_t(std::max(s(a), s(b)));
+          case DataType::U32: return std::max(a, b);
+        }
+        break;
+      case Opcode::And: return a & b;
+      case Opcode::Or: return a | b;
+      case Opcode::Xor: return a ^ b;
+      case Opcode::Not: return ~a;
+      case Opcode::Shl: return b >= 32 ? 0 : a << b;
+      case Opcode::Shr:
+        if (inst.type == DataType::S32)
+            return b >= 32 ? std::uint32_t(s(a) >> 31)
+                           : std::uint32_t(s(a) >> b);
+        return b >= 32 ? 0 : a >> b;
+      case Opcode::CvtF2I:
+        return std::uint32_t(std::int32_t(f(a)));
+      case Opcode::CvtI2F:
+        return fu(float(s(a)));
+      default:
+        break;
+    }
+    DTBL_PANIC("aluCompute on non-ALU opcode");
+}
+
+bool
+compare(CmpOp cmp, DataType t, std::uint32_t a, std::uint32_t b)
+{
+    const auto docmp = [&](auto x, auto y) {
+        switch (cmp) {
+          case CmpOp::Eq: return x == y;
+          case CmpOp::Ne: return x != y;
+          case CmpOp::Lt: return x < y;
+          case CmpOp::Le: return x <= y;
+          case CmpOp::Gt: return x > y;
+          case CmpOp::Ge: return x >= y;
+        }
+        return false;
+    };
+    switch (t) {
+      case DataType::U32: return docmp(a, b);
+      case DataType::S32: return docmp(std::int32_t(a), std::int32_t(b));
+      case DataType::F32:
+        return docmp(std::bit_cast<float>(a), std::bit_cast<float>(b));
+    }
+    return false;
+}
+
+} // namespace
+
+Smx::Smx(unsigned id, Gpu &gpu)
+    : id_(id), gpu_(gpu), cfg_(gpu.config()),
+      coalescer_(gpu.config().l1.lineBytes),
+      warps_(gpu.config().maxResidentWarpsPerSmx),
+      lastIssued_(gpu.config().warpSchedulersPerSmx, -1),
+      freeTbSlots_(gpu.config().maxResidentTbPerSmx),
+      freeThreads_(gpu.config().maxResidentThreadsPerSmx),
+      freeRegs_(gpu.config().regsPerSmx),
+      freeSmem_(gpu.config().sharedMemPerSmx)
+{
+}
+
+bool
+Smx::canAccept(const KernelFunction &fn, std::uint32_t dyn_smem_bytes) const
+{
+    const unsigned threads = unsigned(fn.tbDim.count());
+    const unsigned numWarps = (threads + warpSize - 1) / warpSize;
+    const unsigned hwThreads = numWarps * warpSize;
+    const unsigned regs = hwThreads * fn.numRegs;
+    const std::uint32_t smem = fn.sharedMemBytes + dyn_smem_bytes;
+    if (freeTbSlots_ == 0 || freeThreads_ < hwThreads || freeRegs_ < regs ||
+        freeSmem_ < smem) {
+        return false;
+    }
+    // Need numWarps contiguous-free warp slots (any slots suffice).
+    unsigned freeSlots = 0;
+    for (const auto &w : warps_) {
+        if (!w)
+            ++freeSlots;
+    }
+    return freeSlots >= numWarps;
+}
+
+void
+Smx::startTb(const TbAssignment &asg, Cycle now)
+{
+    const KernelFunction &fn = gpu_.function(asg.func);
+    auto tb = std::make_unique<ThreadBlock>();
+    tb->asg = asg;
+    tb->ctaId = unflatten(asg.blkFlat, asg.gridDim);
+    tb->numThreads = unsigned(fn.tbDim.count());
+    tb->numWarps = (tb->numThreads + warpSize - 1) / warpSize;
+    tb->sharedMem.assign(fn.sharedMemBytes + asg.sharedMemBytes, 0);
+
+    const unsigned hwThreads = tb->numWarps * warpSize;
+    tb->threadsUsed = hwThreads;
+    tb->regsUsed = hwThreads * fn.numRegs;
+    tb->smemUsed = fn.sharedMemBytes + asg.sharedMemBytes;
+
+    DTBL_ASSERT(freeTbSlots_ > 0 && freeThreads_ >= hwThreads &&
+                    freeRegs_ >= tb->regsUsed && freeSmem_ >= tb->smemUsed,
+                "startTb without resources on SMX ", id_);
+    --freeTbSlots_;
+    freeThreads_ -= hwThreads;
+    freeRegs_ -= tb->regsUsed;
+    freeSmem_ -= tb->smemUsed;
+
+    ThreadBlock *tbp = tb.get();
+    for (unsigned w = 0; w < tb->numWarps; ++w) {
+        // Find a free warp slot.
+        unsigned slot = 0;
+        while (slot < warps_.size() && warps_[slot])
+            ++slot;
+        DTBL_ASSERT(slot < warps_.size(), "no free warp slot");
+        warps_[slot] = std::make_unique<Warp>(tbp, &fn, w, slot,
+                                              nextAgeStamp_++);
+        warps_[slot]->readyCycle = now + 1;
+        tbp->warpSlots.push_back(slot);
+        ++residentWarps_;
+    }
+    tbs_.push_back(std::move(tb));
+}
+
+Warp *
+Smx::pickWarp(unsigned sched, Cycle now)
+{
+    const unsigned nsched = cfg_.warpSchedulersPerSmx;
+    const auto ready = [&](const std::unique_ptr<Warp> &w) {
+        return w && !w->finished && !w->atBarrier && w->readyCycle <= now;
+    };
+
+    // Greedy: stick with the last-issued warp while it remains ready.
+    const std::int32_t last = lastIssued_[sched];
+    if (last >= 0 && ready(warps_[last]))
+        return warps_[last].get();
+
+    // Then oldest: smallest age stamp among this scheduler's warps.
+    Warp *best = nullptr;
+    for (unsigned slot = sched; slot < warps_.size(); slot += nsched) {
+        if (!ready(warps_[slot]))
+            continue;
+        if (!best || warps_[slot]->ageStamp() < best->ageStamp())
+            best = warps_[slot].get();
+    }
+    if (best)
+        lastIssued_[sched] = std::int32_t(best->slot());
+    return best;
+}
+
+unsigned
+Smx::tick(Cycle now)
+{
+    if (residentWarps_ == 0)
+        return 0;
+    unsigned issued = 0;
+    for (unsigned sched = 0; sched < cfg_.warpSchedulersPerSmx; ++sched) {
+        if (Warp *w = pickWarp(sched, now)) {
+            issue(*w, now);
+            ++issued;
+        }
+    }
+    return issued;
+}
+
+Cycle
+Smx::earliestReady() const
+{
+    Cycle next = infiniteCycle;
+    for (const auto &w : warps_) {
+        if (w && !w->finished && !w->atBarrier)
+            next = std::min(next, w->readyCycle);
+    }
+    return next;
+}
+
+std::uint32_t
+Smx::readOperand(const Warp &w, const Operand &op, unsigned lane) const
+{
+    switch (op.kind) {
+      case Operand::Kind::Reg:
+        return w.readReg(op.value, lane);
+      case Operand::Kind::Imm:
+        return op.value;
+      case Operand::Kind::Special:
+        return w.sreg(SReg(op.value), lane);
+      case Operand::Kind::None:
+        return 0;
+    }
+    return 0;
+}
+
+void
+Smx::issue(Warp &w, Cycle now)
+{
+    StackEntry &t = w.top();
+    const Instruction &inst = w.fn()->code[t.pc];
+    const ActiveMask active = t.mask & ~w.exitedMask();
+    DTBL_ASSERT(active != 0, "issuing a warp with no live lanes");
+
+    ActiveMask exec = active;
+    if (inst.pred >= 0) {
+        const ActiveMask pm = w.predMask(unsigned(inst.pred));
+        exec &= inst.predSense ? pm : ~pm;
+    }
+
+    SimStats &stats = gpu_.stats();
+    ++stats.warpInstrsIssued;
+    stats.activeLaneSum += std::popcount(exec);
+
+    switch (inst.op) {
+      case Opcode::Bra:
+        execBranch(w, inst, exec, active);
+        w.readyCycle = now + cfg_.aluLatency;
+        break;
+      case Opcode::Ld:
+      case Opcode::St:
+      case Opcode::Atom:
+        execMemory(w, inst, exec, now);
+        t.pc += 1;
+        break;
+      case Opcode::Bar:
+        t.pc += 1;
+        execBarrier(w, now);
+        break;
+      case Opcode::Exit:
+        execExit(w, exec);
+        t.pc += 1;
+        w.readyCycle = now + 1;
+        break;
+      case Opcode::GetPBuf:
+      case Opcode::StreamCreate:
+      case Opcode::LaunchDevice:
+      case Opcode::LaunchAgg:
+        execLaunch(w, inst, exec, now);
+        t.pc += 1;
+        break;
+      case Opcode::Nop:
+        t.pc += 1;
+        w.readyCycle = now + cfg_.aluLatency;
+        break;
+      default:
+        execAlu(w, inst, exec, now);
+        t.pc += 1;
+        break;
+    }
+
+    w.cleanupStack();
+    if (w.finished)
+        finishWarp(w, now);
+}
+
+void
+Smx::execAlu(Warp &w, const Instruction &inst, ActiveMask exec, Cycle now)
+{
+    for (unsigned lane = 0; lane < warpSize; ++lane) {
+        if (!(exec & (1u << lane)))
+            continue;
+        const std::uint32_t a = readOperand(w, inst.src[0], lane);
+        const std::uint32_t b = readOperand(w, inst.src[1], lane);
+        switch (inst.op) {
+          case Opcode::Setp:
+            w.writePred(unsigned(inst.pdst), lane,
+                        compare(inst.cmp, inst.type, a, b));
+            break;
+          case Opcode::Selp: {
+            const bool p = w.readPred(inst.src[2].value, lane);
+            w.writeReg(unsigned(inst.dst), lane, p ? a : b);
+            break;
+          }
+          default: {
+            const std::uint32_t c = readOperand(w, inst.src[2], lane);
+            w.writeReg(unsigned(inst.dst), lane,
+                       aluCompute(inst, a, b, c));
+            break;
+          }
+        }
+    }
+    const bool heavy = inst.op == Opcode::Div || inst.op == Opcode::Rem;
+    w.readyCycle = now + (heavy ? cfg_.sfuLatency : cfg_.aluLatency);
+}
+
+void
+Smx::execMemory(Warp &w, const Instruction &inst, ActiveMask exec,
+                Cycle now)
+{
+    GlobalMemory &mem = gpu_.mem();
+    ThreadBlock &tb = *w.tb();
+
+    std::array<Addr, warpSize> addrs{};
+    for (unsigned lane = 0; lane < warpSize; ++lane) {
+        if (!(exec & (1u << lane)))
+            continue;
+        addrs[lane] = Addr(readOperand(w, inst.src[0], lane)) +
+                      Addr(std::int64_t(inst.memOffset));
+    }
+
+    if (exec == 0) {
+        w.readyCycle = now + cfg_.aluLatency;
+        return;
+    }
+
+    switch (inst.space) {
+      case MemSpace::Param: {
+        // Parameter buffers live in global memory but are served by a
+        // constant-cache-like path with L1-hit latency.
+        for (unsigned lane = 0; lane < warpSize; ++lane) {
+            if (!(exec & (1u << lane)))
+                continue;
+            const Addr a = tb.asg.paramAddr + addrs[lane];
+            if (inst.op == Opcode::Ld) {
+                w.writeReg(unsigned(inst.dst), lane,
+                           mem.read(a, inst.width));
+            } else {
+                DTBL_PANIC("stores to parameter space are not allowed");
+            }
+        }
+        w.readyCycle = now + cfg_.l1.hitLatency;
+        return;
+      }
+      case MemSpace::Shared: {
+        for (unsigned lane = 0; lane < warpSize; ++lane) {
+            if (!(exec & (1u << lane)))
+                continue;
+            const Addr a = addrs[lane];
+            DTBL_ASSERT(a + inst.width <= tb.sharedMem.size(),
+                        "shared-memory access out of bounds in ",
+                        w.fn()->name, " addr=", a, " size=",
+                        tb.sharedMem.size());
+            if (inst.op == Opcode::Ld) {
+                std::uint32_t v = 0;
+                std::memcpy(&v, &tb.sharedMem[a], inst.width);
+                w.writeReg(unsigned(inst.dst), lane, v);
+            } else if (inst.op == Opcode::St) {
+                const std::uint32_t v = readOperand(w, inst.src[1], lane);
+                std::memcpy(&tb.sharedMem[a], &v, inst.width);
+            } else {
+                DTBL_PANIC("shared-memory atomics not modelled");
+            }
+        }
+        w.readyCycle = now + cfg_.sharedMemLatency;
+        return;
+      }
+      case MemSpace::Global:
+        break;
+    }
+
+    // Global memory: functional at issue + coalesced timing.
+    if (inst.op == Opcode::Ld) {
+        for (unsigned lane = 0; lane < warpSize; ++lane) {
+            if (exec & (1u << lane)) {
+                w.writeReg(unsigned(inst.dst), lane,
+                           mem.read(addrs[lane], inst.width));
+            }
+        }
+        Cycle done = now;
+        for (Addr seg : coalescer_.coalesce(addrs, exec, inst.width))
+            done = std::max(done, gpu_.memSys().load(id_, seg, now));
+        w.readyCycle = done;
+    } else if (inst.op == Opcode::St) {
+        for (unsigned lane = 0; lane < warpSize; ++lane) {
+            if (exec & (1u << lane)) {
+                mem.write(addrs[lane],
+                          readOperand(w, inst.src[1], lane), inst.width);
+            }
+        }
+        for (Addr seg : coalescer_.coalesce(addrs, exec, inst.width))
+            gpu_.memSys().store(id_, seg, now);
+        // Stores retire through the write queue without stalling.
+        w.readyCycle = now + cfg_.aluLatency;
+    } else { // Atom
+        for (unsigned lane = 0; lane < warpSize; ++lane) {
+            if (!(exec & (1u << lane)))
+                continue;
+            const Addr a = addrs[lane];
+            const std::uint32_t v = readOperand(w, inst.src[1], lane);
+            const std::uint32_t old = mem.read32(a);
+            std::uint32_t next = old;
+            switch (inst.atom) {
+              case AtomOp::Add:
+                next = inst.type == DataType::F32
+                           ? std::bit_cast<std::uint32_t>(
+                                 std::bit_cast<float>(old) +
+                                 std::bit_cast<float>(v))
+                           : old + v;
+                break;
+              case AtomOp::Min:
+                next = inst.type == DataType::S32
+                           ? std::uint32_t(std::min(std::int32_t(old),
+                                                    std::int32_t(v)))
+                           : std::min(old, v);
+                break;
+              case AtomOp::Max:
+                next = inst.type == DataType::S32
+                           ? std::uint32_t(std::max(std::int32_t(old),
+                                                    std::int32_t(v)))
+                           : std::max(old, v);
+                break;
+              case AtomOp::Cas: {
+                const std::uint32_t cmp =
+                    readOperand(w, inst.src[2], lane);
+                next = old == cmp ? v : old;
+                break;
+              }
+              case AtomOp::Exch:
+                next = v;
+                break;
+              case AtomOp::Or:
+                next = old | v;
+                break;
+              case AtomOp::And:
+                next = old & v;
+                break;
+            }
+            mem.write32(a, next);
+            if (inst.dst >= 0)
+                w.writeReg(unsigned(inst.dst), lane, old);
+        }
+        Cycle done = now + cfg_.atomicLatency;
+        for (Addr seg : coalescer_.coalesce(addrs, exec, inst.width))
+            done = std::max(done, gpu_.memSys().atomic(id_, seg, now));
+        w.readyCycle = done;
+    }
+}
+
+void
+Smx::execBranch(Warp &w, const Instruction &inst, ActiveMask exec,
+                ActiveMask active)
+{
+    StackEntry &t = w.top();
+    const ActiveMask taken = exec;
+    const ActiveMask fall = active & ~exec;
+    if (taken == 0) {
+        t.pc += 1;
+    } else if (fall == 0) {
+        t.pc = inst.target;
+    } else {
+        w.diverge(inst.reconv, taken, inst.target, fall, t.pc + 1);
+    }
+}
+
+void
+Smx::execBarrier(Warp &w, Cycle now)
+{
+    ThreadBlock &tb = *w.tb();
+    w.atBarrier = true;
+    ++tb.warpsAtBarrier;
+    if (tb.warpsAtBarrier == tb.numWarps - tb.warpsFinished)
+        releaseBarrier(tb, now);
+}
+
+void
+Smx::releaseBarrier(ThreadBlock &tb, Cycle now)
+{
+    tb.warpsAtBarrier = 0;
+    for (unsigned slot : tb.warpSlots) {
+        Warp *w = warps_[slot].get();
+        if (w && w->atBarrier) {
+            w->atBarrier = false;
+            w->readyCycle = now + 1;
+        }
+    }
+}
+
+void
+Smx::execExit(Warp &w, ActiveMask exec)
+{
+    w.exitLanes(exec);
+}
+
+void
+Smx::execLaunch(Warp &w, const Instruction &inst, ActiveMask exec,
+                Cycle now)
+{
+    DeviceRuntime &rt = gpu_.runtime();
+    const unsigned callers = std::popcount(exec);
+    const GpuConfig &cfg = cfg_;
+
+    switch (inst.op) {
+      case Opcode::GetPBuf: {
+        const std::uint32_t bytes = inst.src[0].value;
+        for (unsigned lane = 0; lane < warpSize; ++lane) {
+            if (exec & (1u << lane)) {
+                w.writeReg(unsigned(inst.dst), lane,
+                           std::uint32_t(rt.getParameterBuffer(bytes)));
+            }
+        }
+        w.readyCycle =
+            now + std::max<Cycle>(1, rt.latGetParameterBuffer(callers));
+        return;
+      }
+      case Opcode::StreamCreate:
+        w.readyCycle =
+            now + std::max<Cycle>(1, callers ? rt.latStreamCreate() : 1);
+        return;
+      case Opcode::LaunchDevice: {
+        const Cycle lat = rt.latLaunchDevice(callers);
+        for (unsigned lane = 0; lane < warpSize; ++lane) {
+            if (!(exec & (1u << lane)))
+                continue;
+            const std::uint32_t numTbs =
+                readOperand(w, inst.launch.numTbs, lane);
+            if (numTbs == 0)
+                continue;
+            const Addr param = readOperand(w, inst.launch.paramAddr, lane);
+            const std::uint32_t paramBytes = rt.claimParamBytes(param);
+            gpu_.stats().reserveLaunchBytes(cfg.cdpKernelRecordBytes);
+            gpu_.deviceLaunchKernel(
+                inst.launch.func, numTbs, param,
+                inst.launch.sharedMemBytes, now + std::max<Cycle>(1, lat),
+                now, paramBytes + cfg.cdpKernelRecordBytes);
+        }
+        w.readyCycle = now + std::max<Cycle>(1, lat);
+        return;
+      }
+      case Opcode::LaunchAgg: {
+        std::vector<AggLaunchRequest> reqs;
+        for (unsigned lane = 0; lane < warpSize; ++lane) {
+            if (!(exec & (1u << lane)))
+                continue;
+            const std::uint32_t numTbs =
+                readOperand(w, inst.launch.numTbs, lane);
+            if (numTbs == 0)
+                continue;
+            const Addr param = readOperand(w, inst.launch.paramAddr, lane);
+            const std::uint32_t paramBytes = rt.claimParamBytes(param);
+            gpu_.stats().reserveLaunchBytes(cfg.aggGroupRecordBytes);
+            AggLaunchRequest r;
+            r.func = inst.launch.func;
+            r.numTbs = numTbs;
+            r.paramAddr = param;
+            r.sharedMemBytes = inst.launch.sharedMemBytes;
+            // Device-wide hardware thread index: distinct SMXs must map
+            // to distinct AGT slots or the spill rate saturates at the
+            // cross-SMX collision rate independent of the table size.
+            r.hwTid = id_ * cfg.maxResidentThreadsPerSmx +
+                      w.slot() * warpSize + lane;
+            r.launchCycle = now;
+            r.footprintBytes = paramBytes + cfg.aggGroupRecordBytes;
+            reqs.push_back(r);
+        }
+        const Cycle lat =
+            reqs.empty() ? 1
+                         : gpu_.dtblScheduler().launchLatency(
+                               unsigned(reqs.size()));
+        if (!reqs.empty()) {
+            gpu_.submitAggLaunches(std::move(reqs),
+                                   now + std::max<Cycle>(1, lat));
+        }
+        w.readyCycle = now + std::max<Cycle>(1, lat);
+        return;
+      }
+      default:
+        DTBL_PANIC("execLaunch on non-launch opcode");
+    }
+}
+
+void
+Smx::finishWarp(Warp &w, Cycle now)
+{
+    ThreadBlock &tb = *w.tb();
+    const unsigned slot = w.slot();
+    for (auto &li : lastIssued_) {
+        if (li == std::int32_t(slot))
+            li = -1;
+    }
+    ++tb.warpsFinished;
+    --residentWarps_;
+    warps_[slot].reset(); // destroys w; do not touch it afterwards
+
+    if (tb.finished()) {
+        finishTb(tb, now);
+    } else if (tb.warpsAtBarrier > 0 &&
+               tb.warpsAtBarrier == tb.numWarps - tb.warpsFinished) {
+        releaseBarrier(tb, now);
+    }
+}
+
+void
+Smx::finishTb(ThreadBlock &tb, Cycle now)
+{
+    ++freeTbSlots_;
+    freeThreads_ += tb.threadsUsed;
+    freeRegs_ += tb.regsUsed;
+    freeSmem_ += tb.smemUsed;
+    const TbAssignment asg = tb.asg;
+    auto it = std::find_if(tbs_.begin(), tbs_.end(),
+                           [&](const auto &p) { return p.get() == &tb; });
+    DTBL_ASSERT(it != tbs_.end(), "finishing unknown TB");
+    tbs_.erase(it);
+    gpu_.notifyTbComplete(asg, now);
+}
+
+} // namespace dtbl

@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Streaming Multiprocessor (SMX) model: resident thread blocks, warp
+ * contexts, greedy-then-oldest warp schedulers, and the SIMT interpreter
+ * that executes the kernel IR with PDOM-based divergence handling and a
+ * coalescing memory path.
+ */
+
+#ifndef DTBL_GPU_SMX_HH
+#define DTBL_GPU_SMX_HH
+
+#include <memory>
+#include <vector>
+
+#include "common/config.hh"
+#include "gpu/thread_block.hh"
+#include "gpu/warp.hh"
+#include "mem/coalescer.hh"
+
+namespace dtbl {
+
+class Gpu;
+
+class Smx
+{
+  public:
+    Smx(unsigned id, Gpu &gpu);
+
+    unsigned id() const { return id_; }
+
+    /** Can a TB of this function + dynamic smem start here now? */
+    bool canAccept(const KernelFunction &fn,
+                   std::uint32_t dyn_smem_bytes) const;
+
+    /** Begin executing a TB (allocates warps + resources). */
+    void startTb(const TbAssignment &asg, Cycle now);
+
+    /** Issue up to one instruction per warp scheduler; returns #issued. */
+    unsigned tick(Cycle now);
+
+    bool idle() const { return residentWarps_ == 0; }
+    unsigned residentWarps() const { return residentWarps_; }
+
+    /**
+     * Earliest readyCycle among waiting (non-barrier) warps, or
+     * max Cycle when none — used for idle fast-forwarding.
+     */
+    Cycle earliestReady() const;
+
+    unsigned freeTbSlots() const { return freeTbSlots_; }
+    unsigned freeThreads() const { return freeThreads_; }
+
+  private:
+    /** Pick a warp for scheduler @p sched (greedy-then-oldest). */
+    Warp *pickWarp(unsigned sched, Cycle now);
+
+    /** Execute one instruction for @p warp. */
+    void issue(Warp &warp, Cycle now);
+
+    // Opcode-family handlers (functional + timing).
+    void execAlu(Warp &w, const Instruction &inst, ActiveMask exec,
+                 Cycle now);
+    void execMemory(Warp &w, const Instruction &inst, ActiveMask exec,
+                    Cycle now);
+    void execBranch(Warp &w, const Instruction &inst, ActiveMask exec,
+                    ActiveMask active);
+    void execBarrier(Warp &w, Cycle now);
+    void execExit(Warp &w, ActiveMask exec);
+    void execLaunch(Warp &w, const Instruction &inst, ActiveMask exec,
+                    Cycle now);
+
+    std::uint32_t readOperand(const Warp &w, const Operand &op,
+                              unsigned lane) const;
+
+    void finishWarp(Warp &w, Cycle now);
+    void finishTb(ThreadBlock &tb, Cycle now);
+    void releaseBarrier(ThreadBlock &tb, Cycle now);
+
+    unsigned id_;
+    Gpu &gpu_;
+    const GpuConfig &cfg_;
+    Coalescer coalescer_;
+
+    std::vector<std::unique_ptr<ThreadBlock>> tbs_;
+    /** Warp contexts by SMX warp slot; null when slot free. */
+    std::vector<std::unique_ptr<Warp>> warps_;
+    /** Last-issued slot per scheduler (greedy part of GTO). */
+    std::vector<std::int32_t> lastIssued_;
+
+    unsigned freeTbSlots_;
+    unsigned freeThreads_;
+    unsigned freeRegs_;
+    std::uint32_t freeSmem_;
+    unsigned residentWarps_ = 0;
+    std::uint64_t nextAgeStamp_ = 0;
+};
+
+} // namespace dtbl
+
+#endif // DTBL_GPU_SMX_HH

@@ -1,0 +1,375 @@
+#include "gpu/smx_scheduler.hh"
+
+#include <algorithm>
+
+#include "common/log.hh"
+
+namespace dtbl {
+
+SmxScheduler::SmxScheduler(const GpuConfig &cfg, const Program &prog,
+                           KernelDistributor &kd, Kmu &kmu, Agt &agt,
+                           DtblScheduler &dtbl, StreamTable &streams,
+                           SimStats &stats,
+                           std::vector<std::unique_ptr<Smx>> &smxs)
+    : cfg_(cfg), prog_(prog), kd_(kd), kmu_(kmu), agt_(agt), dtbl_(dtbl),
+      streams_(streams), stats_(stats), smxs_(smxs)
+{
+}
+
+bool
+SmxScheduler::tick(Cycle now)
+{
+    bool progress = false;
+    progress |= dispatchFromKmu(now);
+    markSchedulableKernels(now);
+    progress |= processAggArrivals(now);
+    progress |= distribute(now);
+    return progress;
+}
+
+bool
+SmxScheduler::dispatchFromKmu(Cycle now)
+{
+    bool progress = false;
+    while (kd_.hasFreeEntry()) {
+        auto d = kmu_.nextDispatch(now);
+        if (!d)
+            break;
+        const std::int32_t idx =
+            kd_.allocate(d->launch, d->hwq, now,
+                         cfg_.modelLaunchLatency
+                             ? cfg_.launch.kernelDispatch
+                             : 0);
+        DTBL_ASSERT(idx >= 0, "KDE allocation failed with a free entry");
+        progress = true;
+    }
+    return progress;
+}
+
+void
+SmxScheduler::markSchedulableKernels(Cycle now)
+{
+    for (std::size_t i = 0; i < kd_.size(); ++i) {
+        Kde &e = kd_.entry(std::int32_t(i));
+        if (e.valid && !e.fcfsMarked && !e.everMarked &&
+            e.schedulableAt <= now) {
+            markKernel(std::int32_t(i));
+        }
+    }
+}
+
+bool
+SmxScheduler::processAggArrivals(Cycle now)
+{
+    bool progress = false;
+    // Retried requests first (they arrived earlier than anything new).
+    const std::size_t retries = retryQueue_.size();
+    for (std::size_t i = 0; i < retries; ++i) {
+        if (retryQueue_.front().when > now)
+            break;
+        const AggLaunchRequest req = retryQueue_.front().req;
+        retryQueue_.pop_front();
+        handleAggRequest(req, now);
+        progress = true;
+    }
+    while (!aggQueue_.empty() && aggQueue_.front().when <= now) {
+        const AggLaunchRequest req = aggQueue_.front().req;
+        aggQueue_.pop_front();
+        handleAggRequest(req, now);
+        progress = true;
+    }
+    return progress;
+}
+
+void
+SmxScheduler::handleAggRequest(const AggLaunchRequest &req, Cycle now)
+{
+    CoalesceResult res = dtbl_.process(req, kd_.coalesceTargets(), now);
+    if (res.coalesced) {
+        AggGroup &g = agt_.group(res.agei);
+        g.footprintBytes = req.footprintBytes;
+        if (kd_.linkAggGroup(res.kdeIdx, res.agei, agt_))
+            markKernel(res.kdeIdx);
+        return;
+    }
+
+    // No eligible kernel in the KDE. If a fallback kernel for the same
+    // function is already on its way to the Kernel Distributor, wait for
+    // it rather than spawning another device kernel.
+    const std::uint64_t key =
+        (std::uint64_t(req.func) << 32) | req.sharedMemBytes;
+    auto it = fallbackWindowUntil_.find(key);
+    if (cfg_.fallbackRetryWindow && it != fallbackWindowUntil_.end() &&
+        now < it->second) {
+        retryQueue_.push_back({now + 1, req});
+        return;
+    }
+    fallbackWindowUntil_[key] =
+        now + (cfg_.modelLaunchLatency ? cfg_.launch.kernelDispatch : 0) +
+        32;
+
+    // Launch as a regular device kernel (Figure 5, left branch). The
+    // pending-launch record grows from an AGE record to a kernel record.
+    ++stats_.aggGroupsFallback;
+    const std::uint64_t extra =
+        cfg_.cdpKernelRecordBytes - cfg_.aggGroupRecordBytes;
+    stats_.reserveLaunchBytes(extra);
+    KernelLaunch l;
+    l.func = req.func;
+    l.grid = Dim3{req.numTbs, 1, 1};
+    l.paramAddr = req.paramAddr;
+    l.sharedMemBytes = req.sharedMemBytes;
+    l.deviceLaunched = true;
+    l.launchCycle = req.launchCycle;
+    l.footprintBytes = req.footprintBytes + extra;
+    l.trackWaitingTime = true;
+    kmu_.enqueueDevice(l, now);
+}
+
+bool
+SmxScheduler::peekAssignment(std::int32_t kde_idx, Cycle now,
+                             TbAssignment &out)
+{
+    Kde &e = kd_.entry(kde_idx);
+    if (!e.valid || now < e.schedulableAt)
+        return false;
+
+    if (!e.nativeFullyDistributed()) {
+        out = TbAssignment{};
+        out.kdeIdx = kde_idx;
+        out.agei = -1;
+        out.blkFlat = e.nextNativeTb;
+        out.func = e.func;
+        out.gridDim = e.grid;
+        out.paramAddr = e.paramAddr;
+        out.sharedMemBytes = e.sharedMemBytes;
+        out.isAggregated = false;
+        return true;
+    }
+
+    if (e.nagei >= 0) {
+        // Spilled AGEs must be fetched from global memory before they
+        // can be scheduled (Section 4.3). The chain is known ahead of
+        // time, so fetches are pipelined up to agtPrefetchDepth deep.
+        if (cfg_.modelLaunchLatency) {
+            std::int32_t cur = e.nagei;
+            for (unsigned d = 0;
+                 d < cfg_.agtPrefetchDepth && cur >= 0;
+                 ++d) {
+                AggGroup &p = agt_.group(cur);
+                if (!p.onChip && !p.fetchIssued) {
+                    p.fetchIssued = true;
+                    p.fetchReadyAt = now + cfg_.agtOverflowFetchCycles;
+                }
+                cur = p.next;
+            }
+        }
+        AggGroup &g = agt_.group(e.nagei);
+        if (!g.onChip && cfg_.modelLaunchLatency) {
+            if (!g.fetchIssued || now < g.fetchReadyAt)
+                return false;
+        }
+        out = TbAssignment{};
+        out.kdeIdx = kde_idx;
+        out.agei = e.nagei;
+        out.blkFlat = g.nextTb;
+        out.func = e.func;
+        out.gridDim = Dim3{g.numTbs, 1, 1};
+        out.paramAddr = g.paramAddr;
+        out.sharedMemBytes = e.sharedMemBytes;
+        out.isAggregated = true;
+        return true;
+    }
+    return false;
+}
+
+void
+SmxScheduler::commitAssignment(std::int32_t kde_idx, const TbAssignment &asg,
+                               Cycle now)
+{
+    Kde &e = kd_.entry(kde_idx);
+    ++e.exeBl;
+
+    if (!e.firstDispatchDone) {
+        e.firstDispatchDone = true;
+        if (e.trackWaitingTime) {
+            stats_.launchWaitCycleSum += now - e.launchCycle;
+            ++stats_.launchWaitSamples;
+        }
+    }
+
+    if (asg.agei < 0) {
+        ++e.nextNativeTb;
+        if (e.nativeFullyDistributed() && e.footprintBytes > 0) {
+            stats_.releaseLaunchBytes(e.footprintBytes);
+            e.footprintBytes = 0;
+        }
+    } else {
+        AggGroup &g = agt_.group(asg.agei);
+        ++g.exeBl;
+        if (!g.firstDispatchDone) {
+            g.firstDispatchDone = true;
+            stats_.launchWaitCycleSum += now - g.launchCycle;
+            ++stats_.launchWaitSamples;
+        }
+        ++g.nextTb;
+        if (g.fullyDistributed()) {
+            // Advance NAGEI to the next group in the scheduling pool.
+            e.nagei = g.next;
+            DTBL_ASSERT(e.pendingAggGroups > 0);
+            --e.pendingAggGroups;
+            if (e.nagei < 0)
+                DTBL_ASSERT(e.pendingAggGroups == 0,
+                            "NAGEI chain lost pending groups");
+            if (g.footprintBytes > 0) {
+                stats_.releaseLaunchBytes(g.footprintBytes);
+                g.footprintBytes = 0;
+            }
+        }
+    }
+    unmarkIfExhausted(kde_idx);
+}
+
+bool
+SmxScheduler::distribute(Cycle now)
+{
+    if (fcfs_.empty())
+        return false;
+    bool progress = false;
+    // Round-robin over SMXs; each SMX receives at most one TB per cycle.
+    for (unsigned i = 0; i < smxs_.size(); ++i) {
+        const unsigned s = (rrSmx_ + i) % smxs_.size();
+        Smx &smx = *smxs_[s];
+        // FCFS over marked kernels; a later kernel may fill SMXs the
+        // head kernel cannot use (concurrent kernel execution, 2.3).
+        for (std::int32_t kdeIdx : fcfs_) {
+            TbAssignment asg;
+            if (!peekAssignment(kdeIdx, now, asg))
+                continue;
+            const auto &fn = prog_.function(asg.func);
+            if (!smx.canAccept(fn, asg.sharedMemBytes))
+                continue;
+            commitAssignment(kdeIdx, asg, now);
+            smx.startTb(asg, now);
+            progress = true;
+            break;
+        }
+    }
+    rrSmx_ = (rrSmx_ + 1) % smxs_.size();
+    return progress;
+}
+
+void
+SmxScheduler::markKernel(std::int32_t kde_idx)
+{
+    Kde &e = kd_.entry(kde_idx);
+    if (e.fcfsMarked)
+        return;
+    e.fcfsMarked = true;
+    e.everMarked = true;
+    fcfs_.push_back(kde_idx);
+}
+
+void
+SmxScheduler::unmarkIfExhausted(std::int32_t kde_idx)
+{
+    Kde &e = kd_.entry(kde_idx);
+    if (!e.fcfsMarked)
+        return;
+    if (e.nativeFullyDistributed() && e.nagei < 0) {
+        e.fcfsMarked = false;
+        fcfs_.erase(std::find(fcfs_.begin(), fcfs_.end(), kde_idx));
+    }
+}
+
+void
+SmxScheduler::notifyTbComplete(const TbAssignment &asg, Cycle now)
+{
+    Kde &e = kd_.entry(asg.kdeIdx);
+    DTBL_ASSERT(e.valid && e.exeBl > 0, "TB completion for idle KDE");
+    --e.exeBl;
+    ++stats_.tbsCompleted;
+
+    if (asg.agei >= 0) {
+        AggGroup &g = agt_.group(asg.agei);
+        DTBL_ASSERT(g.exeBl > 0);
+        --g.exeBl;
+        if (g.fullyDistributed() && g.exeBl == 0) {
+            DTBL_ASSERT(e.liveAggGroups > 0);
+            --e.liveAggGroups;
+            // The tail register must not dangle into the released pool:
+            // if the last coalesced group dies, the chain is empty
+            // (everything before it was already fully distributed).
+            if (e.lagei == asg.agei)
+                e.lagei = -1;
+            DTBL_ASSERT(e.nagei != asg.agei,
+                        "releasing the group NAGEI points at");
+            agt_.release(asg.agei);
+        }
+    }
+    maybeCompleteKernel(asg.kdeIdx, now);
+}
+
+void
+SmxScheduler::maybeCompleteKernel(std::int32_t kde_idx, Cycle now)
+{
+    Kde &e = kd_.entry(kde_idx);
+    if (!e.complete())
+        return;
+    ++stats_.kernelsCompleted;
+    if (e.footprintBytes > 0) {
+        stats_.releaseLaunchBytes(e.footprintBytes);
+        e.footprintBytes = 0;
+    }
+    if (e.hwq >= 0)
+        kmu_.hwqKernelCompleted(unsigned(e.hwq));
+    if (e.stream >= 0)
+        streams_.kernelCompleted(e.stream);
+    kd_.release(kde_idx);
+    (void)now;
+}
+
+void
+SmxScheduler::enqueueAggRequests(std::vector<AggLaunchRequest> reqs,
+                                 Cycle when)
+{
+    for (auto &r : reqs) {
+        ++stats_.aggGroupLaunches;
+        stats_.dynamicLaunchThreadSum +=
+            std::uint64_t(r.numTbs) *
+            prog_.function(r.func).tbDim.count();
+        aggQueue_.push_back({when, r});
+    }
+}
+
+Cycle
+SmxScheduler::nextEventCycle(Cycle now) const
+{
+    Cycle next = infiniteCycle;
+    if (!aggQueue_.empty())
+        next = std::min(next, aggQueue_.front().when);
+    if (!retryQueue_.empty())
+        next = std::min(next, retryQueue_.front().when);
+    next = std::min(next, kmu_.nextDeviceArrival());
+    for (std::size_t i = 0; i < kd_.size(); ++i) {
+        const Kde &e = kd_.entry(std::int32_t(i));
+        if (!e.valid)
+            continue;
+        if (e.schedulableAt > now)
+            next = std::min(next, e.schedulableAt);
+        if (e.nagei >= 0) {
+            const AggGroup &g = agt_.group(e.nagei);
+            if (g.fetchIssued && g.fetchReadyAt > now)
+                next = std::min(next, g.fetchReadyAt);
+        }
+    }
+    return next;
+}
+
+bool
+SmxScheduler::idle() const
+{
+    return fcfs_.empty() && aggQueue_.empty() && retryQueue_.empty();
+}
+
+} // namespace dtbl

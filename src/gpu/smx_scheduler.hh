@@ -1,0 +1,111 @@
+/**
+ * @file
+ * SMX scheduler: FCFS controller, TB distribution to SMXs (including the
+ * DTBL scheduling pools of aggregated TBs), kernel dispatch from the KMU
+ * into the Kernel Distributor, and completion bookkeeping.
+ */
+
+#ifndef DTBL_GPU_SMX_SCHEDULER_HH
+#define DTBL_GPU_SMX_SCHEDULER_HH
+
+#include <deque>
+#include <unordered_map>
+#include <memory>
+#include <vector>
+
+#include "common/config.hh"
+#include "core/agt.hh"
+#include "core/dtbl_scheduler.hh"
+#include "gpu/kernel_distributor.hh"
+#include "gpu/kmu.hh"
+#include "gpu/smx.hh"
+#include "gpu/stream.hh"
+#include "isa/kernel_function.hh"
+
+namespace dtbl {
+
+constexpr Cycle infiniteCycle = ~Cycle(0);
+
+class SmxScheduler
+{
+  public:
+    SmxScheduler(const GpuConfig &cfg, const Program &prog,
+                 KernelDistributor &kd, Kmu &kmu, Agt &agt,
+                 DtblScheduler &dtbl, StreamTable &streams, SimStats &stats,
+                 std::vector<std::unique_ptr<Smx>> &smxs);
+
+    /**
+     * One scheduler cycle: dispatch kernels KMU->KD, process arrived
+     * aggregation commands, distribute TBs to SMXs.
+     * @return true when any forward progress was made.
+     */
+    bool tick(Cycle now);
+
+    /** Aggregation operation command from an SMX (arrives at @p when). */
+    void enqueueAggRequests(std::vector<AggLaunchRequest> reqs, Cycle when);
+
+    /** An SMX finished a TB. */
+    void notifyTbComplete(const TbAssignment &asg, Cycle now);
+
+    /** Earliest future cycle at which this unit has work (fast-forward). */
+    Cycle nextEventCycle(Cycle now) const;
+
+    bool idle() const;
+
+    /** FCFS queue length (tests). */
+    std::size_t fcfsDepth() const { return fcfs_.size(); }
+
+  private:
+    bool dispatchFromKmu(Cycle now);
+    void markSchedulableKernels(Cycle now);
+    bool processAggArrivals(Cycle now);
+    void handleAggRequest(const AggLaunchRequest &req, Cycle now);
+    bool distribute(Cycle now);
+
+    /**
+     * Compute the next TB of kernel @p kde_idx; returns false when none
+     * is currently available (exhausted / overflow fetch pending /
+     * dispatch latency not elapsed).
+     */
+    bool peekAssignment(std::int32_t kde_idx, Cycle now, TbAssignment &out);
+
+    /** Commit the previously peeked assignment (advance cursors). */
+    void commitAssignment(std::int32_t kde_idx, const TbAssignment &asg,
+                          Cycle now);
+
+    void markKernel(std::int32_t kde_idx);
+    void unmarkIfExhausted(std::int32_t kde_idx);
+    void maybeCompleteKernel(std::int32_t kde_idx, Cycle now);
+
+    struct PendingAgg
+    {
+        Cycle when;
+        AggLaunchRequest req;
+    };
+
+    const GpuConfig &cfg_;
+    const Program &prog_;
+    KernelDistributor &kd_;
+    Kmu &kmu_;
+    Agt &agt_;
+    DtblScheduler &dtbl_;
+    StreamTable &streams_;
+    SimStats &stats_;
+    std::vector<std::unique_ptr<Smx>> &smxs_;
+
+    std::deque<std::int32_t> fcfs_;
+    std::deque<PendingAgg> aggQueue_;
+    /**
+     * Requests waiting for an in-flight fallback kernel of the same
+     * function to land in the Kernel Distributor so they can coalesce
+     * with it instead of spawning further device kernels.
+     */
+    std::deque<PendingAgg> retryQueue_;
+    /** (func, smem) -> end of the window during which requests wait. */
+    std::unordered_map<std::uint64_t, Cycle> fallbackWindowUntil_;
+    unsigned rrSmx_ = 0;
+};
+
+} // namespace dtbl
+
+#endif // DTBL_GPU_SMX_SCHEDULER_HH

@@ -1,0 +1,48 @@
+#include "gpu/stream.hh"
+
+#include "common/log.hh"
+
+namespace dtbl {
+
+StreamTable::StreamTable(unsigned num_hwqs)
+    : numHwqs_(num_hwqs)
+{
+    DTBL_ASSERT(num_hwqs > 0);
+    outstanding_.push_back(0); // stream 0 (the default stream)
+}
+
+std::int32_t
+StreamTable::create()
+{
+    outstanding_.push_back(0);
+    return std::int32_t(outstanding_.size() - 1);
+}
+
+unsigned
+StreamTable::hwqFor(std::int32_t stream) const
+{
+    DTBL_ASSERT(stream >= 0 && std::size_t(stream) < outstanding_.size(),
+                "bad stream id ", stream);
+    return unsigned(stream) % numHwqs_;
+}
+
+void
+StreamTable::kernelLaunched(std::int32_t stream)
+{
+    ++outstanding_.at(stream);
+}
+
+void
+StreamTable::kernelCompleted(std::int32_t stream)
+{
+    DTBL_ASSERT(outstanding_.at(stream) > 0, "stream underflow");
+    --outstanding_[stream];
+}
+
+std::uint32_t
+StreamTable::outstanding(std::int32_t stream) const
+{
+    return outstanding_.at(stream);
+}
+
+} // namespace dtbl

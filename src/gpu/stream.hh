@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Host-side software streams and their mapping onto hardware work queues.
+ *
+ * Kernels in one stream execute in launch order; kernels in different
+ * streams may run concurrently. Streams map onto the fixed set of HWQs
+ * (Hyper-Q); when more streams than HWQs exist they share queues and
+ * serialize, as on real hardware (Section 2.2).
+ */
+
+#ifndef DTBL_GPU_STREAM_HH
+#define DTBL_GPU_STREAM_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace dtbl {
+
+class StreamTable
+{
+  public:
+    explicit StreamTable(unsigned num_hwqs);
+
+    /** Create a stream; returns its id. Stream 0 always exists. */
+    std::int32_t create();
+
+    /** HWQ a stream maps to (round-robin over HWQs). */
+    unsigned hwqFor(std::int32_t stream) const;
+
+    /** Outstanding-kernel bookkeeping (for per-stream sync). */
+    void kernelLaunched(std::int32_t stream);
+    void kernelCompleted(std::int32_t stream);
+    std::uint32_t outstanding(std::int32_t stream) const;
+
+    std::size_t numStreams() const { return outstanding_.size(); }
+
+  private:
+    unsigned numHwqs_;
+    std::vector<std::uint32_t> outstanding_;
+};
+
+} // namespace dtbl
+
+#endif // DTBL_GPU_STREAM_HH

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Resident thread-block state on an SMX, including the Thread Block
+ * Control Register (TBCR) contents of the DTBL extension: KDEI, AGEI and
+ * BLKID identify where the TB came from (native kernel or aggregated
+ * group) so the SMX can locate its function entry and parameters.
+ */
+
+#ifndef DTBL_GPU_THREAD_BLOCK_HH
+#define DTBL_GPU_THREAD_BLOCK_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace dtbl {
+
+/** TB dispatch record: the TBCR values plus cached launch context. */
+struct TbAssignment
+{
+    /** Kernel Distributor entry index (KDEI). */
+    std::int32_t kdeIdx = -1;
+    /** Aggregated group id (AGEI); -1 for a native TB. */
+    std::int32_t agei = -1;
+    /** Flat TB index within the kernel grid or aggregated group (BLKID). */
+    std::uint64_t blkFlat = 0;
+
+    KernelFuncId func = invalidKernelFunc;
+    /** Grid extent the TB indexes into (kernel grid or group AggDim). */
+    Dim3 gridDim{1, 1, 1};
+    Addr paramAddr = 0;
+    std::uint32_t sharedMemBytes = 0;
+    bool isAggregated = false;
+};
+
+/** A thread block resident on an SMX. */
+struct ThreadBlock
+{
+    TbAssignment asg;
+    Dim3 ctaId{0, 0, 0};
+
+    unsigned numThreads = 0;
+    unsigned numWarps = 0;
+    unsigned warpsFinished = 0;
+    /** Warps currently blocked at a barrier. */
+    unsigned warpsAtBarrier = 0;
+    /** SMX warp-slot indices owned by this TB. */
+    std::vector<unsigned> warpSlots;
+
+    /** Functional backing for the TB's shared-memory segment. */
+    std::vector<std::uint8_t> sharedMem;
+
+    // Resources to return on completion.
+    unsigned regsUsed = 0;
+    unsigned threadsUsed = 0;
+    std::uint32_t smemUsed = 0;
+
+    bool
+    finished() const
+    {
+        return warpsFinished == numWarps;
+    }
+};
+
+} // namespace dtbl
+
+#endif // DTBL_GPU_THREAD_BLOCK_HH

@@ -1,0 +1,107 @@
+#include "gpu/warp.hh"
+
+#include "common/log.hh"
+#include "gpu/thread_block.hh"
+
+namespace dtbl {
+
+Warp::Warp(ThreadBlock *tb, const KernelFunction *fn, unsigned warp_in_tb,
+           unsigned slot, std::uint64_t age_stamp)
+    : tb_(tb), fn_(fn), warpInTb_(warp_in_tb), slot_(slot),
+      ageStamp_(age_stamp)
+{
+    regs_.assign(std::size_t(fn->numRegs) * warpSize, 0);
+    preds_.assign(fn->numPreds, 0);
+
+    const unsigned firstThread = warp_in_tb * warpSize;
+    const unsigned tbThreads = tb->numThreads;
+    for (unsigned lane = 0; lane < warpSize; ++lane) {
+        if (firstThread + lane < tbThreads)
+            validMask_ |= 1u << lane;
+    }
+    DTBL_ASSERT(validMask_ != 0, "warp with no threads");
+    stack_.push_back(StackEntry{0, -1, validMask_});
+}
+
+std::uint32_t
+Warp::sreg(SReg s, unsigned lane) const
+{
+    const Dim3 &ntid = fn_->tbDim;
+    const unsigned flatTid = warpInTb_ * warpSize + lane;
+    const Dim3 tid = unflatten(flatTid, ntid);
+    const TbAssignment &asg = tb_->asg;
+    switch (s) {
+      case SReg::TidX: return tid.x;
+      case SReg::TidY: return tid.y;
+      case SReg::TidZ: return tid.z;
+      case SReg::NTidX: return ntid.x;
+      case SReg::NTidY: return ntid.y;
+      case SReg::NTidZ: return ntid.z;
+      case SReg::CtaIdX: return tb_->ctaId.x;
+      case SReg::CtaIdY: return tb_->ctaId.y;
+      case SReg::CtaIdZ: return tb_->ctaId.z;
+      case SReg::NCtaIdX: return asg.gridDim.x;
+      case SReg::NCtaIdY: return asg.gridDim.y;
+      case SReg::NCtaIdZ: return asg.gridDim.z;
+      case SReg::LaneId: return lane;
+      case SReg::IsAggregated: return asg.isAggregated ? 1 : 0;
+    }
+    DTBL_PANIC("bad special register");
+}
+
+ActiveMask
+Warp::activeMask() const
+{
+    if (stack_.empty())
+        return 0;
+    return stack_.back().mask & ~exitedMask_;
+}
+
+void
+Warp::exitLanes(ActiveMask lanes)
+{
+    exitedMask_ |= lanes;
+}
+
+void
+Warp::diverge(std::int32_t reconv, ActiveMask taken_mask,
+              std::int32_t taken_pc, ActiveMask fall_mask,
+              std::int32_t fall_pc)
+{
+    DTBL_ASSERT(reconv >= 0, "divergent branch without reconvergence PC");
+    DTBL_ASSERT(taken_mask && fall_mask, "diverge() on a uniform branch");
+    // The current entry waits at the reconvergence point with the full
+    // mask; the split paths execute from pushed child entries.
+    stack_.back().pc = reconv;
+    if (fall_pc != reconv)
+        stack_.push_back(StackEntry{fall_pc, reconv, fall_mask});
+    if (taken_pc != reconv)
+        stack_.push_back(StackEntry{taken_pc, reconv, taken_mask});
+}
+
+void
+Warp::cleanupStack()
+{
+    for (;;) {
+        if (stack_.empty()) {
+            finished = true;
+            return;
+        }
+        StackEntry &t = stack_.back();
+        const ActiveMask live = t.mask & ~exitedMask_;
+        if (live == 0) {
+            stack_.pop_back();
+            continue;
+        }
+        if (stack_.size() > 1 && t.pc == t.rpc) {
+            stack_.pop_back();
+            continue;
+        }
+        if (t.pc >= std::int32_t(fn_->code.size())) {
+            DTBL_PANIC("warp ran off the end of kernel ", fn_->name);
+        }
+        return;
+    }
+}
+
+} // namespace dtbl

@@ -1,0 +1,79 @@
+#include "harness/report.hh"
+
+#include <cmath>
+#include <iomanip>
+#include <sstream>
+
+#include "common/log.hh"
+
+namespace dtbl {
+
+Table::Table(std::vector<std::string> header) : header_(std::move(header))
+{
+}
+
+void
+Table::addRow(std::vector<std::string> row)
+{
+    DTBL_ASSERT(row.size() == header_.size(), "table row width mismatch");
+    rows_.push_back(std::move(row));
+}
+
+std::string
+Table::num(double v, int prec)
+{
+    std::ostringstream os;
+    os << std::fixed << std::setprecision(prec) << v;
+    return os.str();
+}
+
+void
+Table::print(std::ostream &os) const
+{
+    std::vector<std::size_t> width(header_.size());
+    for (std::size_t c = 0; c < header_.size(); ++c)
+        width[c] = header_[c].size();
+    for (const auto &row : rows_) {
+        for (std::size_t c = 0; c < row.size(); ++c)
+            width[c] = std::max(width[c], row[c].size());
+    }
+    auto line = [&](const std::vector<std::string> &row) {
+        for (std::size_t c = 0; c < row.size(); ++c) {
+            os << std::left << std::setw(int(width[c]) + 2) << row[c];
+        }
+        os << "\n";
+    };
+    line(header_);
+    std::size_t total = 0;
+    for (auto w : width)
+        total += w + 2;
+    os << std::string(total, '-') << "\n";
+    for (const auto &row : rows_)
+        line(row);
+}
+
+void
+Table::printCsv(std::ostream &os) const
+{
+    auto line = [&](const std::vector<std::string> &row) {
+        for (std::size_t c = 0; c < row.size(); ++c)
+            os << (c ? "," : "") << row[c];
+        os << "\n";
+    };
+    line(header_);
+    for (const auto &row : rows_)
+        line(row);
+}
+
+double
+Table::geomean(const std::vector<double> &v)
+{
+    if (v.empty())
+        return 0.0;
+    double acc = 0.0;
+    for (double x : v)
+        acc += std::log(std::max(x, 1e-12));
+    return std::exp(acc / double(v.size()));
+}
+
+} // namespace dtbl

@@ -1,0 +1,39 @@
+/**
+ * @file
+ * Table/CSV output helpers used by the per-figure bench binaries.
+ */
+
+#ifndef DTBL_HARNESS_REPORT_HH
+#define DTBL_HARNESS_REPORT_HH
+
+#include <iostream>
+#include <string>
+#include <vector>
+
+namespace dtbl {
+
+/** Fixed-width text table with an optional CSV dump. */
+class Table
+{
+  public:
+    explicit Table(std::vector<std::string> header);
+
+    void addRow(std::vector<std::string> row);
+
+    /** Format a double with @p prec decimals. */
+    static std::string num(double v, int prec = 3);
+
+    void print(std::ostream &os = std::cout) const;
+    void printCsv(std::ostream &os) const;
+
+    /** Geometric mean over a series (paper-style "average" speedups). */
+    static double geomean(const std::vector<double> &v);
+
+  private:
+    std::vector<std::string> header_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+} // namespace dtbl
+
+#endif // DTBL_HARNESS_REPORT_HH

@@ -1,0 +1,22 @@
+#include "harness/runner.hh"
+
+namespace dtbl {
+
+BenchResult
+runBenchmark(App &app, Mode mode, const GpuConfig &base)
+{
+    Program prog;
+    app.build(prog, mode);
+    const GpuConfig cfg = configForMode(mode, base);
+    Gpu gpu(cfg, prog);
+    app.setup(gpu);
+    app.execute(gpu, mode);
+
+    BenchResult r;
+    r.report = gpu.report(app.name(), modeName(mode));
+    r.stats = gpu.stats();
+    r.verified = app.verify(gpu);
+    return r;
+}
+
+} // namespace dtbl

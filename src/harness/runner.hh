@@ -1,0 +1,33 @@
+/**
+ * @file
+ * Benchmark runner: builds, executes and verifies one (application,
+ * mode) combination on a fresh simulated GPU and returns its metrics.
+ */
+
+#ifndef DTBL_HARNESS_RUNNER_HH
+#define DTBL_HARNESS_RUNNER_HH
+
+#include <array>
+
+#include "apps/app.hh"
+
+namespace dtbl {
+
+struct BenchResult
+{
+    MetricsReport report;
+    SimStats stats;
+    bool verified = false;
+};
+
+/** Run one benchmark in one mode. */
+BenchResult runBenchmark(App &app, Mode mode,
+                         const GpuConfig &base = GpuConfig::k20c());
+
+/** The five evaluation modes in the paper's plotting order. */
+constexpr std::array<Mode, 5> evalModes = {
+    Mode::Flat, Mode::CdpIdeal, Mode::DtblIdeal, Mode::Cdp, Mode::Dtbl};
+
+} // namespace dtbl
+
+#endif // DTBL_HARNESS_RUNNER_HH

@@ -1,0 +1,174 @@
+#include <sstream>
+
+#include "isa/instruction.hh"
+
+namespace dtbl {
+namespace {
+
+const char *
+opName(Opcode op)
+{
+    switch (op) {
+      case Opcode::Nop: return "nop";
+      case Opcode::Mov: return "mov";
+      case Opcode::Add: return "add";
+      case Opcode::Sub: return "sub";
+      case Opcode::Mul: return "mul";
+      case Opcode::Mad: return "mad";
+      case Opcode::Div: return "div";
+      case Opcode::Rem: return "rem";
+      case Opcode::Min: return "min";
+      case Opcode::Max: return "max";
+      case Opcode::And: return "and";
+      case Opcode::Or: return "or";
+      case Opcode::Xor: return "xor";
+      case Opcode::Not: return "not";
+      case Opcode::Shl: return "shl";
+      case Opcode::Shr: return "shr";
+      case Opcode::Setp: return "setp";
+      case Opcode::Selp: return "selp";
+      case Opcode::CvtF2I: return "cvt.f2i";
+      case Opcode::CvtI2F: return "cvt.i2f";
+      case Opcode::Ld: return "ld";
+      case Opcode::St: return "st";
+      case Opcode::Atom: return "atom";
+      case Opcode::Bra: return "bra";
+      case Opcode::Bar: return "bar.sync";
+      case Opcode::Exit: return "exit";
+      case Opcode::GetPBuf: return "getpbuf";
+      case Opcode::StreamCreate: return "stream.create";
+      case Opcode::LaunchDevice: return "launch.device";
+      case Opcode::LaunchAgg: return "launch.agg";
+    }
+    return "???";
+}
+
+const char *
+typeName(DataType t)
+{
+    switch (t) {
+      case DataType::U32: return "u32";
+      case DataType::S32: return "s32";
+      case DataType::F32: return "f32";
+    }
+    return "?";
+}
+
+const char *
+cmpName(CmpOp c)
+{
+    switch (c) {
+      case CmpOp::Eq: return "eq";
+      case CmpOp::Ne: return "ne";
+      case CmpOp::Lt: return "lt";
+      case CmpOp::Le: return "le";
+      case CmpOp::Gt: return "gt";
+      case CmpOp::Ge: return "ge";
+    }
+    return "?";
+}
+
+const char *
+spaceName(MemSpace s)
+{
+    switch (s) {
+      case MemSpace::Global: return "global";
+      case MemSpace::Shared: return "shared";
+      case MemSpace::Param: return "param";
+    }
+    return "?";
+}
+
+const char *
+sregName(SReg s)
+{
+    switch (s) {
+      case SReg::TidX: return "%tid.x";
+      case SReg::TidY: return "%tid.y";
+      case SReg::TidZ: return "%tid.z";
+      case SReg::NTidX: return "%ntid.x";
+      case SReg::NTidY: return "%ntid.y";
+      case SReg::NTidZ: return "%ntid.z";
+      case SReg::CtaIdX: return "%ctaid.x";
+      case SReg::CtaIdY: return "%ctaid.y";
+      case SReg::CtaIdZ: return "%ctaid.z";
+      case SReg::NCtaIdX: return "%nctaid.x";
+      case SReg::NCtaIdY: return "%nctaid.y";
+      case SReg::NCtaIdZ: return "%nctaid.z";
+      case SReg::LaneId: return "%laneid";
+      case SReg::IsAggregated: return "%isagg";
+    }
+    return "%?";
+}
+
+void
+printOperand(std::ostringstream &os, const Operand &o)
+{
+    switch (o.kind) {
+      case Operand::Kind::None:
+        os << "_";
+        break;
+      case Operand::Kind::Reg:
+        os << "r" << o.value;
+        break;
+      case Operand::Kind::Imm:
+        os << "#" << o.value;
+        break;
+      case Operand::Kind::Special:
+        os << sregName(SReg(o.value));
+        break;
+    }
+}
+
+} // namespace
+
+std::string
+disasm(const Instruction &inst)
+{
+    std::ostringstream os;
+    if (inst.pred >= 0)
+        os << "@" << (inst.predSense ? "" : "!") << "p" << inst.pred << " ";
+    os << opName(inst.op);
+    switch (inst.op) {
+      case Opcode::Setp:
+        os << "." << cmpName(inst.cmp) << "." << typeName(inst.type)
+           << " p" << inst.pdst;
+        break;
+      case Opcode::Ld:
+      case Opcode::St:
+      case Opcode::Atom:
+        os << "." << spaceName(inst.space) << ".b" << int(inst.width) * 8;
+        break;
+      case Opcode::Add: case Opcode::Sub: case Opcode::Mul:
+      case Opcode::Mad: case Opcode::Div: case Opcode::Rem:
+      case Opcode::Min: case Opcode::Max: case Opcode::Shr:
+        os << "." << typeName(inst.type);
+        break;
+      default:
+        break;
+    }
+    if (inst.dst >= 0)
+        os << " r" << inst.dst;
+    for (const auto &s : inst.src) {
+        if (s.isNone())
+            continue;
+        os << " ";
+        printOperand(os, s);
+    }
+    if (inst.op == Opcode::Bra) {
+        os << " ->" << inst.target;
+        if (inst.reconv >= 0)
+            os << " (reconv " << inst.reconv << ")";
+    }
+    if (inst.isMemory() && inst.memOffset != 0)
+        os << " +" << inst.memOffset;
+    if (inst.isLaunch()) {
+        os << " func=" << inst.launch.func << " ntbs=";
+        printOperand(os, inst.launch.numTbs);
+        os << " param=";
+        printOperand(os, inst.launch.paramAddr);
+    }
+    return os.str();
+}
+
+} // namespace dtbl

@@ -1,0 +1,13 @@
+#include "isa/instruction.hh"
+
+#include <bit>
+
+namespace dtbl {
+
+Operand
+Operand::immF(float f)
+{
+    return {Kind::Imm, std::bit_cast<std::uint32_t>(f)};
+}
+
+} // namespace dtbl

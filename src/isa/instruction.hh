@@ -1,0 +1,163 @@
+/**
+ * @file
+ * Compact SIMT instruction set executed by the simulated GPU.
+ *
+ * Applications are expressed in this IR (built with KernelBuilder); the
+ * SMX model interprets it per-warp in lock step, which reproduces the
+ * control-flow divergence, memory-coalescing and dynamic-launch behaviour
+ * the paper measures. Register values are 32 bits; device addresses are
+ * 32-bit (the simulated global memory is < 4GB).
+ */
+
+#ifndef DTBL_ISA_INSTRUCTION_HH
+#define DTBL_ISA_INSTRUCTION_HH
+
+#include <cstdint>
+#include <string>
+
+#include "common/types.hh"
+
+namespace dtbl {
+
+enum class Opcode : std::uint8_t
+{
+    Nop,
+    Mov,       //!< dst = src0
+    Add, Sub, Mul, Mad, Div, Rem, Min, Max,
+    And, Or, Xor, Not, Shl, Shr,
+    Setp,      //!< pdst = cmp(src0, src1)
+    Selp,      //!< dst = pred ? src0 : src1
+    CvtF2I, CvtI2F,
+    Ld,        //!< dst = mem[src0 + imm offset]
+    St,        //!< mem[src0 + imm offset] = src1
+    Atom,      //!< dst = atomic(op, mem[src0], src1[, src2])
+    Bra,       //!< (predicated) branch to target, reconverge at reconv
+    Bar,       //!< thread-block barrier
+    Exit,      //!< (predicated) thread exit
+    // Device runtime (Section 2.4 / Section 4.1)
+    GetPBuf,      //!< dst = cudaGetParameterBuffer(src0 = bytes)
+    StreamCreate, //!< cudaStreamCreateWithFlags (CDP timing only)
+    LaunchDevice, //!< CDP: launch device kernel
+    LaunchAgg,    //!< DTBL: launch aggregated group
+};
+
+enum class DataType : std::uint8_t { U32, S32, F32 };
+
+enum class CmpOp : std::uint8_t { Eq, Ne, Lt, Le, Gt, Ge };
+
+enum class MemSpace : std::uint8_t
+{
+    Global,  //!< device global memory (32-bit byte address)
+    Shared,  //!< per-thread-block scratch (byte offset within segment)
+    Param,   //!< kernel/aggregated-group parameter buffer (byte offset)
+};
+
+enum class AtomOp : std::uint8_t { Add, Min, Max, Cas, Exch, Or, And };
+
+/** Special (read-only) per-thread registers. */
+enum class SReg : std::uint8_t
+{
+    TidX, TidY, TidZ,
+    NTidX, NTidY, NTidZ,
+    CtaIdX, CtaIdY, CtaIdZ,
+    NCtaIdX, NCtaIdY, NCtaIdZ,
+    LaneId,
+    /** 1 when running inside an aggregated TB, else 0. */
+    IsAggregated,
+};
+
+/** Instruction operand: register, immediate, or special register. */
+struct Operand
+{
+    enum class Kind : std::uint8_t { None, Reg, Imm, Special };
+
+    Kind kind = Kind::None;
+    std::uint32_t value = 0; //!< reg index / raw imm bits / SReg value
+
+    static Operand none() { return {}; }
+
+    static Operand
+    reg(std::uint16_t r)
+    {
+        return {Kind::Reg, r};
+    }
+
+    static Operand
+    imm(std::uint32_t bits)
+    {
+        return {Kind::Imm, bits};
+    }
+
+    static Operand
+    immF(float f);
+
+    static Operand
+    special(SReg s)
+    {
+        return {Kind::Special, std::uint32_t(s)};
+    }
+
+    bool isNone() const { return kind == Kind::None; }
+};
+
+/** Operands specific to the dynamic-launch opcodes. */
+struct LaunchOperands
+{
+    /** Function to execute (and to coalesce with, for DTBL). */
+    KernelFuncId func = invalidKernelFunc;
+    /** Number of TBs in x (y = z = 1 for dynamic launches). */
+    Operand numTbs;
+    /** Register holding the parameter-buffer device address. */
+    Operand paramAddr;
+    /** Dynamic shared memory bytes. */
+    std::uint32_t sharedMemBytes = 0;
+};
+
+/**
+ * A single decoded instruction. All semantic fields are packed into one
+ * POD so the interpreter needs no decode step.
+ */
+struct Instruction
+{
+    Opcode op = Opcode::Nop;
+    DataType type = DataType::U32;
+    CmpOp cmp = CmpOp::Eq;
+    MemSpace space = MemSpace::Global;
+    AtomOp atom = AtomOp::Add;
+    /** Memory access width in bytes (1, 2 or 4). */
+    std::uint8_t width = 4;
+
+    std::int16_t dst = -1;   //!< destination register (-1 = none)
+    std::int16_t pdst = -1;  //!< destination predicate (Setp)
+    Operand src[3];
+
+    /** Guard predicate: execute lane iff pred(reg) == predSense. */
+    std::int16_t pred = -1;
+    bool predSense = true;
+
+    std::int32_t target = -1; //!< branch target PC
+    std::int32_t reconv = -1; //!< reconvergence PC for divergent branches
+    /** Byte offset added to the address operand of Ld/St. */
+    std::int32_t memOffset = 0;
+
+    LaunchOperands launch;
+
+    bool
+    isLaunch() const
+    {
+        return op == Opcode::LaunchDevice || op == Opcode::LaunchAgg;
+    }
+
+    bool
+    isMemory() const
+    {
+        return op == Opcode::Ld || op == Opcode::St || op == Opcode::Atom;
+    }
+};
+
+/** Disassemble one instruction (debugging / tests). */
+std::string disasm(const Instruction &inst);
+
+} // namespace dtbl
+
+#endif // DTBL_ISA_INSTRUCTION_HH

@@ -1,0 +1,432 @@
+#include "isa/kernel_builder.hh"
+
+#include <algorithm>
+
+namespace dtbl {
+
+KernelBuilder::KernelBuilder(std::string name, Dim3 tb_dim,
+                             std::uint32_t shared_mem_bytes,
+                             std::uint32_t param_bytes)
+{
+    fn_.name = std::move(name);
+    fn_.tbDim = tb_dim;
+    fn_.sharedMemBytes = shared_mem_bytes;
+    fn_.paramBytes = param_bytes;
+}
+
+Reg
+KernelBuilder::reg()
+{
+    DTBL_ASSERT(nextReg_ < 256, "register budget exceeded in ", fn_.name);
+    return Reg{nextReg_++};
+}
+
+Pred
+KernelBuilder::pred()
+{
+    DTBL_ASSERT(nextPred_ < 64, "predicate budget exceeded in ", fn_.name);
+    return Pred{nextPred_++};
+}
+
+Instruction
+KernelBuilder::makeGuarded(Instruction inst)
+{
+    if (guardPred_ >= 0 && inst.pred < 0) {
+        inst.pred = guardPred_;
+        inst.predSense = guardSense_;
+        guardPred_ = -1;
+    }
+    return inst;
+}
+
+std::size_t
+KernelBuilder::emit(Instruction inst)
+{
+    DTBL_ASSERT(!built_, "builder reused after build(): ", fn_.name);
+    fn_.code.push_back(makeGuarded(inst));
+    return fn_.code.size() - 1;
+}
+
+void
+KernelBuilder::setGuard(Pred p, bool sense)
+{
+    guardPred_ = std::int16_t(p.idx);
+    guardSense_ = sense;
+}
+
+Reg
+KernelBuilder::mov(Val v)
+{
+    Reg d = reg();
+    movTo(d, v);
+    return d;
+}
+
+void
+KernelBuilder::movTo(Reg d, Val v)
+{
+    Instruction i;
+    i.op = Opcode::Mov;
+    i.dst = std::int16_t(d.idx);
+    i.src[0] = v.op;
+    emit(i);
+}
+
+Reg
+KernelBuilder::binary(Opcode op, DataType t, Val a, Val b)
+{
+    Reg d = reg();
+    binaryTo(d, op, t, a, b);
+    return d;
+}
+
+void
+KernelBuilder::binaryTo(Reg d, Opcode op, DataType t, Val a, Val b)
+{
+    Instruction i;
+    i.op = op;
+    i.type = t;
+    i.dst = std::int16_t(d.idx);
+    i.src[0] = a.op;
+    i.src[1] = b.op;
+    emit(i);
+}
+
+Reg KernelBuilder::add(Val a, Val b, DataType t)
+{ return binary(Opcode::Add, t, a, b); }
+Reg KernelBuilder::sub(Val a, Val b, DataType t)
+{ return binary(Opcode::Sub, t, a, b); }
+Reg KernelBuilder::mul(Val a, Val b, DataType t)
+{ return binary(Opcode::Mul, t, a, b); }
+Reg KernelBuilder::div(Val a, Val b, DataType t)
+{ return binary(Opcode::Div, t, a, b); }
+Reg KernelBuilder::rem(Val a, Val b, DataType t)
+{ return binary(Opcode::Rem, t, a, b); }
+Reg KernelBuilder::min(Val a, Val b, DataType t)
+{ return binary(Opcode::Min, t, a, b); }
+Reg KernelBuilder::max(Val a, Val b, DataType t)
+{ return binary(Opcode::Max, t, a, b); }
+Reg KernelBuilder::and_(Val a, Val b)
+{ return binary(Opcode::And, DataType::U32, a, b); }
+Reg KernelBuilder::or_(Val a, Val b)
+{ return binary(Opcode::Or, DataType::U32, a, b); }
+Reg KernelBuilder::xor_(Val a, Val b)
+{ return binary(Opcode::Xor, DataType::U32, a, b); }
+Reg KernelBuilder::shl(Val a, Val b)
+{ return binary(Opcode::Shl, DataType::U32, a, b); }
+Reg KernelBuilder::shr(Val a, Val b, DataType t)
+{ return binary(Opcode::Shr, t, a, b); }
+
+Reg
+KernelBuilder::mad(Val a, Val b, Val c, DataType t)
+{
+    Reg d = reg();
+    Instruction i;
+    i.op = Opcode::Mad;
+    i.type = t;
+    i.dst = std::int16_t(d.idx);
+    i.src[0] = a.op;
+    i.src[1] = b.op;
+    i.src[2] = c.op;
+    emit(i);
+    return d;
+}
+
+Reg
+KernelBuilder::cvtF2I(Val a)
+{
+    Reg d = reg();
+    Instruction i;
+    i.op = Opcode::CvtF2I;
+    i.dst = std::int16_t(d.idx);
+    i.src[0] = a.op;
+    emit(i);
+    return d;
+}
+
+Reg
+KernelBuilder::cvtI2F(Val a)
+{
+    Reg d = reg();
+    Instruction i;
+    i.op = Opcode::CvtI2F;
+    i.dst = std::int16_t(d.idx);
+    i.src[0] = a.op;
+    emit(i);
+    return d;
+}
+
+Pred
+KernelBuilder::setp(CmpOp cmp, DataType t, Val a, Val b)
+{
+    Pred p = pred();
+    Instruction i;
+    i.op = Opcode::Setp;
+    i.cmp = cmp;
+    i.type = t;
+    i.pdst = std::int16_t(p.idx);
+    i.src[0] = a.op;
+    i.src[1] = b.op;
+    emit(i);
+    return p;
+}
+
+Reg
+KernelBuilder::selp(Pred p, Val a, Val b)
+{
+    Reg d = reg();
+    Instruction i;
+    i.op = Opcode::Selp;
+    i.dst = std::int16_t(d.idx);
+    i.src[0] = a.op;
+    i.src[1] = b.op;
+    i.src[2] = Operand::imm(p.idx);
+    emit(i);
+    return d;
+}
+
+Reg
+KernelBuilder::ld(MemSpace space, Val addr, std::int32_t offset,
+                  std::uint8_t width)
+{
+    Reg d = reg();
+    ldTo(d, space, addr, offset, width);
+    return d;
+}
+
+void
+KernelBuilder::ldTo(Reg d, MemSpace space, Val addr, std::int32_t offset,
+                    std::uint8_t width)
+{
+    Instruction i;
+    i.op = Opcode::Ld;
+    i.space = space;
+    i.width = width;
+    i.dst = std::int16_t(d.idx);
+    i.src[0] = addr.op;
+    i.memOffset = offset;
+    emit(i);
+}
+
+void
+KernelBuilder::st(MemSpace space, Val addr, Val value, std::int32_t offset,
+                  std::uint8_t width)
+{
+    Instruction i;
+    i.op = Opcode::St;
+    i.space = space;
+    i.width = width;
+    i.src[0] = addr.op;
+    i.src[1] = value.op;
+    i.memOffset = offset;
+    emit(i);
+}
+
+Reg
+KernelBuilder::ldParam(std::uint32_t byte_offset)
+{
+    fn_.paramBytes = std::max(fn_.paramBytes, byte_offset + 4);
+    return ld(MemSpace::Param, Val(0u), std::int32_t(byte_offset));
+}
+
+Reg
+KernelBuilder::atom(AtomOp op, DataType t, Val addr, Val value, Val compare)
+{
+    Reg d = reg();
+    Instruction i;
+    i.op = Opcode::Atom;
+    i.atom = op;
+    i.type = t;
+    i.space = MemSpace::Global;
+    i.dst = std::int16_t(d.idx);
+    i.src[0] = addr.op;
+    i.src[1] = value.op;
+    i.src[2] = compare.op;
+    emit(i);
+    return d;
+}
+
+void
+KernelBuilder::bar()
+{
+    Instruction i;
+    i.op = Opcode::Bar;
+    emit(i);
+}
+
+void
+KernelBuilder::exit()
+{
+    Instruction i;
+    i.op = Opcode::Exit;
+    emit(i);
+}
+
+void
+KernelBuilder::exitIf(Pred p, bool sense)
+{
+    Instruction i;
+    i.op = Opcode::Exit;
+    i.pred = std::int16_t(p.idx);
+    i.predSense = sense;
+    emit(i);
+}
+
+void
+KernelBuilder::if_(Pred p, const BodyFn &then_body, bool sense)
+{
+    Instruction br;
+    br.op = Opcode::Bra;
+    br.pred = std::int16_t(p.idx);
+    br.predSense = !sense; // jump over the body when the condition fails
+    const std::size_t bra = emit(br);
+    then_body();
+    const std::int32_t end = std::int32_t(pc());
+    fn_.code[bra].target = end;
+    fn_.code[bra].reconv = end;
+}
+
+void
+KernelBuilder::ifElse(Pred p, const BodyFn &then_body,
+                      const BodyFn &else_body, bool sense)
+{
+    Instruction br;
+    br.op = Opcode::Bra;
+    br.pred = std::int16_t(p.idx);
+    br.predSense = !sense;
+    const std::size_t bra = emit(br);
+    then_body();
+    Instruction jmp;
+    jmp.op = Opcode::Bra;
+    const std::size_t skipElse = emit(jmp);
+    const std::int32_t elsePc = std::int32_t(pc());
+    else_body();
+    const std::int32_t end = std::int32_t(pc());
+    fn_.code[bra].target = elsePc;
+    fn_.code[bra].reconv = end;
+    fn_.code[skipElse].target = end;
+    fn_.code[skipElse].reconv = end;
+}
+
+void
+KernelBuilder::whileLoop(const std::function<Pred()> &cond,
+                         const BodyFn &body)
+{
+    loops_.push_back({});
+    const std::int32_t head = std::int32_t(pc());
+    Pred p = cond();
+    Instruction br;
+    br.op = Opcode::Bra;
+    br.pred = std::int16_t(p.idx);
+    br.predSense = false; // exit the loop when the condition fails
+    const std::size_t exitBra = emit(br);
+    body();
+    Instruction back;
+    back.op = Opcode::Bra;
+    back.target = head;
+    emit(back);
+    const std::int32_t exitPc = std::int32_t(pc());
+    fn_.code[exitBra].target = exitPc;
+    fn_.code[exitBra].reconv = exitPc;
+    for (std::size_t b : loops_.back().breakBranches) {
+        fn_.code[b].target = exitPc;
+        fn_.code[b].reconv = exitPc;
+    }
+    loops_.pop_back();
+}
+
+void
+KernelBuilder::forRange(Val begin, Val end,
+                        const std::function<void(Reg)> &body,
+                        std::uint32_t step)
+{
+    Reg idx = mov(begin);
+    Reg endR = mov(end);
+    whileLoop(
+        [&] { return setp(CmpOp::Lt, DataType::U32, idx, endR); },
+        [&] {
+            body(idx);
+            binaryTo(idx, Opcode::Add, DataType::U32, idx, Val(step));
+        });
+}
+
+void
+KernelBuilder::breakIf(Pred p, bool sense)
+{
+    DTBL_ASSERT(!loops_.empty(), "breakIf outside of a loop in ", fn_.name);
+    Instruction br;
+    br.op = Opcode::Bra;
+    br.pred = std::int16_t(p.idx);
+    br.predSense = sense;
+    loops_.back().breakBranches.push_back(emit(br));
+}
+
+Reg
+KernelBuilder::getParameterBuffer(std::uint32_t bytes)
+{
+    Reg d = reg();
+    Instruction i;
+    i.op = Opcode::GetPBuf;
+    i.dst = std::int16_t(d.idx);
+    i.src[0] = Operand::imm(bytes);
+    emit(i);
+    return d;
+}
+
+void
+KernelBuilder::streamCreate()
+{
+    Instruction i;
+    i.op = Opcode::StreamCreate;
+    emit(i);
+}
+
+void
+KernelBuilder::launchDevice(KernelFuncId func, Val num_tbs, Reg param_addr,
+                            std::uint32_t shared_mem)
+{
+    Instruction i;
+    i.op = Opcode::LaunchDevice;
+    i.launch.func = func;
+    i.launch.numTbs = num_tbs.op;
+    i.launch.paramAddr = Operand::reg(param_addr.idx);
+    i.launch.sharedMemBytes = shared_mem;
+    emit(i);
+}
+
+void
+KernelBuilder::launchAggGroup(KernelFuncId func, Val num_tbs, Reg param_addr,
+                              std::uint32_t shared_mem)
+{
+    Instruction i;
+    i.op = Opcode::LaunchAgg;
+    i.launch.func = func;
+    i.launch.numTbs = num_tbs.op;
+    i.launch.paramAddr = Operand::reg(param_addr.idx);
+    i.launch.sharedMemBytes = shared_mem;
+    emit(i);
+}
+
+Reg
+KernelBuilder::globalThreadIdX()
+{
+    return mad(Val(SReg::CtaIdX), Val(SReg::NTidX), Val(SReg::TidX));
+}
+
+KernelFuncId
+KernelBuilder::build(Program &program)
+{
+    DTBL_ASSERT(!built_, "double build of ", fn_.name);
+    DTBL_ASSERT(loops_.empty(), "unclosed loop in ", fn_.name);
+    // Guarantee termination for every lane.
+    if (fn_.code.empty() || fn_.code.back().op != Opcode::Exit ||
+        fn_.code.back().pred >= 0) {
+        exit();
+    }
+    fn_.numRegs = nextReg_;
+    fn_.numPreds = nextPred_;
+    built_ = true;
+    return program.add(std::move(fn_));
+}
+
+} // namespace dtbl

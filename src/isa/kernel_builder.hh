@@ -1,0 +1,189 @@
+/**
+ * @file
+ * Structured builder for kernel IR.
+ *
+ * The builder only emits structured control flow (if / if-else / while /
+ * for / break), annotating every potentially divergent branch with its
+ * reconvergence PC. This makes the annotation equivalent to the immediate
+ * post-dominator that a compiler (or GPGPU-Sim's PDOM analysis) would
+ * compute, without needing a CFG analysis pass.
+ */
+
+#ifndef DTBL_ISA_KERNEL_BUILDER_HH
+#define DTBL_ISA_KERNEL_BUILDER_HH
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/log.hh"
+#include "isa/kernel_function.hh"
+
+namespace dtbl {
+
+/** Typed handle for a virtual register. */
+struct Reg
+{
+    std::uint16_t idx = 0xffff;
+    bool valid() const { return idx != 0xffff; }
+};
+
+/** Typed handle for a predicate register. */
+struct Pred
+{
+    std::uint16_t idx = 0xffff;
+};
+
+/** Operand wrapper accepting Reg / immediate / special registers. */
+struct Val
+{
+    Operand op;
+
+    Val(Reg r) : op(Operand::reg(r.idx)) {}
+    Val(SReg s) : op(Operand::special(s)) {}
+    Val(std::uint32_t i) : op(Operand::imm(i)) {}
+    Val(int i) : op(Operand::imm(std::uint32_t(i))) {}
+    Val(float f) : op(Operand::immF(f)) {}
+};
+
+/**
+ * Builds one KernelFunction. Typical use:
+ *
+ * @code
+ *   KernelBuilder b("expand", Dim3{64});
+ *   Reg tid = b.globalThreadIdX();
+ *   Reg n = b.ldParam(0);
+ *   Pred oob = b.setp(CmpOp::Ge, DataType::U32, tid, n);
+ *   b.exitIf(oob);
+ *   ...
+ *   KernelFuncId id = b.build(program);
+ * @endcode
+ */
+class KernelBuilder
+{
+  public:
+    KernelBuilder(std::string name, Dim3 tb_dim,
+                  std::uint32_t shared_mem_bytes = 0,
+                  std::uint32_t param_bytes = 64);
+
+    // --- resources ----------------------------------------------------
+    Reg reg();
+    Pred pred();
+
+    // --- generic emit ---------------------------------------------------
+    /** Emit a raw instruction; returns its PC. */
+    std::size_t emit(Instruction inst);
+
+    // --- moves & arithmetic --------------------------------------------
+    Reg mov(Val v);
+    void movTo(Reg d, Val v);
+    Reg binary(Opcode op, DataType t, Val a, Val b);
+    void binaryTo(Reg d, Opcode op, DataType t, Val a, Val b);
+    Reg add(Val a, Val b, DataType t = DataType::U32);
+    Reg sub(Val a, Val b, DataType t = DataType::U32);
+    Reg mul(Val a, Val b, DataType t = DataType::U32);
+    /** d = a * b + c. */
+    Reg mad(Val a, Val b, Val c, DataType t = DataType::U32);
+    Reg div(Val a, Val b, DataType t = DataType::U32);
+    Reg rem(Val a, Val b, DataType t = DataType::U32);
+    Reg min(Val a, Val b, DataType t = DataType::U32);
+    Reg max(Val a, Val b, DataType t = DataType::U32);
+    Reg and_(Val a, Val b);
+    Reg or_(Val a, Val b);
+    Reg xor_(Val a, Val b);
+    Reg shl(Val a, Val b);
+    Reg shr(Val a, Val b, DataType t = DataType::U32);
+    Reg cvtF2I(Val a);
+    Reg cvtI2F(Val a);
+
+    // --- predicates -----------------------------------------------------
+    Pred setp(CmpOp cmp, DataType t, Val a, Val b);
+    Reg selp(Pred p, Val a, Val b);
+
+    // --- memory -----------------------------------------------------------
+    /** dst = space[addr + offset]; width in {1, 2, 4}. */
+    Reg ld(MemSpace space, Val addr, std::int32_t offset = 0,
+           std::uint8_t width = 4);
+    void ldTo(Reg d, MemSpace space, Val addr, std::int32_t offset = 0,
+              std::uint8_t width = 4);
+    void st(MemSpace space, Val addr, Val value, std::int32_t offset = 0,
+            std::uint8_t width = 4);
+    /** Parameter-buffer load at a constant byte offset. */
+    Reg ldParam(std::uint32_t byte_offset);
+    /** dst = atomic op on global memory; returns the old value. */
+    Reg atom(AtomOp op, DataType t, Val addr, Val value,
+             Val compare = Val(0u));
+
+    // --- synchronization ---------------------------------------------------
+    void bar();
+
+    // --- control flow --------------------------------------------------
+    void exit();
+    void exitIf(Pred p, bool sense = true);
+
+    using BodyFn = std::function<void()>;
+
+    /** if (p == sense) { then_body(); } */
+    void if_(Pred p, const BodyFn &then_body, bool sense = true);
+    /** if (p == sense) { then_body(); } else { else_body(); } */
+    void ifElse(Pred p, const BodyFn &then_body, const BodyFn &else_body,
+                bool sense = true);
+    /**
+     * while (cond() == true) { body(); }
+     * cond must evaluate and return a predicate each iteration.
+     */
+    void whileLoop(const std::function<Pred()> &cond, const BodyFn &body);
+    /**
+     * for (idx = begin; idx < end; idx += step) { body(idx); }
+     * idx is a fresh register; end/step evaluated before the loop.
+     */
+    void forRange(Val begin, Val end,
+                  const std::function<void(Reg)> &body,
+                  std::uint32_t step = 1);
+    /** break out of the innermost whileLoop/forRange when p == sense. */
+    void breakIf(Pred p, bool sense = true);
+
+    // --- dynamic parallelism ---------------------------------------------
+    /** dst = cudaGetParameterBuffer(bytes). */
+    Reg getParameterBuffer(std::uint32_t bytes);
+    /** CDP-only stream creation (timing effect only). */
+    void streamCreate();
+    /** CDP: cudaLaunchDevice(func, paramAddr, numTbs). */
+    void launchDevice(KernelFuncId func, Val num_tbs, Reg param_addr,
+                      std::uint32_t shared_mem = 0);
+    /** DTBL: cudaLaunchAggGroup(func, paramAddr, numTbs). */
+    void launchAggGroup(KernelFuncId func, Val num_tbs, Reg param_addr,
+                        std::uint32_t shared_mem = 0);
+
+    // --- convenience -------------------------------------------------------
+    /** blockIdx.x * blockDim.x + threadIdx.x. */
+    Reg globalThreadIdX();
+    /** Guard predicate on the current instruction only. */
+    void setGuard(Pred p, bool sense = true);
+
+    /** Finalize and register the function; the builder must not be reused. */
+    KernelFuncId build(Program &program);
+
+    /** Number of instructions emitted so far (next PC). */
+    std::size_t pc() const { return fn_.code.size(); }
+
+  private:
+    struct LoopCtx
+    {
+        std::vector<std::size_t> breakBranches; //!< to patch to exit PC
+    };
+
+    Instruction makeGuarded(Instruction inst);
+
+    KernelFunction fn_;
+    std::uint16_t nextReg_ = 0;
+    std::uint16_t nextPred_ = 0;
+    std::vector<LoopCtx> loops_;
+    std::int16_t guardPred_ = -1;
+    bool guardSense_ = true;
+    bool built_ = false;
+};
+
+} // namespace dtbl
+
+#endif // DTBL_ISA_KERNEL_BUILDER_HH

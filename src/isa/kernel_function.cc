@@ -1,0 +1,36 @@
+#include "isa/kernel_function.hh"
+
+#include <sstream>
+
+#include "common/log.hh"
+
+namespace dtbl {
+
+std::string
+KernelFunction::disassemble() const
+{
+    std::ostringstream os;
+    os << ".kernel " << name << " tb=" << tbDim.str()
+       << " regs=" << numRegs << " preds=" << numPreds
+       << " smem=" << sharedMemBytes << " params=" << paramBytes << "\n";
+    for (std::size_t pc = 0; pc < code.size(); ++pc)
+        os << "  " << pc << ": " << disasm(code[pc]) << "\n";
+    return os.str();
+}
+
+KernelFuncId
+Program::add(KernelFunction fn)
+{
+    fn.id = KernelFuncId(funcs_.size());
+    funcs_.push_back(std::move(fn));
+    return funcs_.back().id;
+}
+
+const KernelFunction &
+Program::function(KernelFuncId id) const
+{
+    DTBL_ASSERT(id < funcs_.size(), "bad kernel function id ", id);
+    return funcs_[id];
+}
+
+} // namespace dtbl

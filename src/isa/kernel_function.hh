@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Kernel functions and the program registry.
+ */
+
+#ifndef DTBL_ISA_KERNEL_FUNCTION_HH
+#define DTBL_ISA_KERNEL_FUNCTION_HH
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/types.hh"
+#include "isa/instruction.hh"
+
+namespace dtbl {
+
+/**
+ * A compiled kernel function. The function id doubles as the "entry PC"
+ * used for KDE eligibility matching (Section 4.2): two launches are
+ * eligible for coalescing when they share the function id, TB shape and
+ * shared-memory size.
+ */
+struct KernelFunction
+{
+    KernelFuncId id = invalidKernelFunc;
+    std::string name;
+    std::vector<Instruction> code;
+
+    /** Static thread-block shape for this function. */
+    Dim3 tbDim{32, 1, 1};
+    /** Virtual 32-bit registers per thread. */
+    std::uint32_t numRegs = 0;
+    /** Predicate registers per thread. */
+    std::uint32_t numPreds = 0;
+    /** Static shared memory per TB. */
+    std::uint32_t sharedMemBytes = 0;
+    /** Parameter-buffer size (bytes). */
+    std::uint32_t paramBytes = 0;
+
+    /** Full disassembly (debugging / tests). */
+    std::string disassemble() const;
+};
+
+/**
+ * Registry of all kernel functions of one simulated application.
+ * Owned by the host program; the GPU holds a const reference.
+ */
+class Program
+{
+  public:
+    /** Register a function; assigns and returns its id. */
+    KernelFuncId add(KernelFunction fn);
+
+    const KernelFunction &function(KernelFuncId id) const;
+
+    std::size_t size() const { return funcs_.size(); }
+
+  private:
+    std::vector<KernelFunction> funcs_;
+};
+
+} // namespace dtbl
+
+#endif // DTBL_ISA_KERNEL_FUNCTION_HH

@@ -1,0 +1,94 @@
+#include "mem/cache.hh"
+
+#include "common/log.hh"
+
+namespace dtbl {
+
+Cache::Cache(const CacheConfig &cfg, WritePolicy policy)
+    : cfg_(cfg), policy_(policy)
+{
+    DTBL_ASSERT(cfg_.ways > 0);
+    numSets_ = cfg_.sizeBytes / (cfg_.lineBytes * cfg_.ways);
+    DTBL_ASSERT(numSets_ > 0, "cache with zero sets");
+    lines_.resize(std::size_t(numSets_) * cfg_.ways);
+}
+
+Cache::Line *
+Cache::findLine(Addr tag, std::uint32_t set)
+{
+    Line *base = &lines_[std::size_t(set) * cfg_.ways];
+    for (std::uint32_t w = 0; w < cfg_.ways; ++w) {
+        if (base[w].valid && base[w].tag == tag)
+            return &base[w];
+    }
+    return nullptr;
+}
+
+CacheAccessResult
+Cache::access(Addr addr, bool is_write)
+{
+    const Addr lineAddr = addr / cfg_.lineBytes;
+    const std::uint32_t set = std::uint32_t(lineAddr % numSets_);
+    const Addr tag = lineAddr / numSets_;
+    ++useClock_;
+
+    CacheAccessResult res;
+    if (Line *line = findLine(tag, set)) {
+        res.hit = true;
+        line->lastUse = useClock_;
+        if (is_write) {
+            if (policy_ == WritePolicy::WriteBack)
+                line->dirty = true;
+            // WriteThrough: data goes downstream, line stays clean.
+        }
+        return res;
+    }
+
+    // Miss. Write misses under write-through do not allocate.
+    if (is_write && policy_ == WritePolicy::WriteThrough)
+        return res;
+
+    // Choose victim: first invalid way, else LRU.
+    Line *base = &lines_[std::size_t(set) * cfg_.ways];
+    Line *victim = &base[0];
+    for (std::uint32_t w = 0; w < cfg_.ways; ++w) {
+        if (!base[w].valid) {
+            victim = &base[w];
+            break;
+        }
+        if (base[w].lastUse < victim->lastUse)
+            victim = &base[w];
+    }
+    if (victim->valid && victim->dirty) {
+        res.writeback = true;
+        res.writebackAddr =
+            (victim->tag * numSets_ + set) * cfg_.lineBytes;
+    }
+    victim->valid = true;
+    victim->dirty = is_write && policy_ == WritePolicy::WriteBack;
+    victim->tag = tag;
+    victim->lastUse = useClock_;
+    return res;
+}
+
+void
+Cache::invalidate(Addr addr)
+{
+    const Addr lineAddr = addr / cfg_.lineBytes;
+    const std::uint32_t set = std::uint32_t(lineAddr % numSets_);
+    const Addr tag = lineAddr / numSets_;
+    if (Line *line = findLine(tag, set)) {
+        line->valid = false;
+        line->dirty = false;
+    }
+}
+
+void
+Cache::reset()
+{
+    for (auto &l : lines_)
+        l = Line{};
+    useClock_ = 0;
+}
+
+} // namespace dtbl

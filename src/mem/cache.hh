@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Timing-only set-associative cache model (tags + LRU, no data array).
+ *
+ * Functional values always come from GlobalMemory at issue time; the
+ * cache decides hit/miss and victim writebacks for the timing model.
+ */
+
+#ifndef DTBL_MEM_CACHE_HH
+#define DTBL_MEM_CACHE_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/config.hh"
+#include "common/types.hh"
+
+namespace dtbl {
+
+/** Result of a cache probe-and-update. */
+struct CacheAccessResult
+{
+    bool hit = false;
+    /** A dirty victim line was evicted; its address follows. */
+    bool writeback = false;
+    Addr writebackAddr = 0;
+};
+
+class Cache
+{
+  public:
+    enum class WritePolicy
+    {
+        /** Write-through, no write-allocate (L1 data cache). */
+        WriteThrough,
+        /** Write-back, write-allocate without fetch (L2). */
+        WriteBack,
+    };
+
+    Cache(const CacheConfig &cfg, WritePolicy policy);
+
+    /**
+     * Probe for the line containing @p addr and update tag/LRU state.
+     * Misses allocate (except write misses under WriteThrough).
+     */
+    CacheAccessResult access(Addr addr, bool is_write);
+
+    /** Invalidate the line containing @p addr if present (atomics). */
+    void invalidate(Addr addr);
+
+    Cycle hitLatency() const { return cfg_.hitLatency; }
+    std::uint32_t lineBytes() const { return cfg_.lineBytes; }
+    std::uint32_t numSets() const { return numSets_; }
+
+    void reset();
+
+  private:
+    struct Line
+    {
+        bool valid = false;
+        bool dirty = false;
+        Addr tag = 0;
+        std::uint64_t lastUse = 0;
+    };
+
+    Line *findLine(Addr tag, std::uint32_t set);
+
+    CacheConfig cfg_;
+    WritePolicy policy_;
+    std::uint32_t numSets_;
+    std::vector<Line> lines_; // numSets_ * ways, set-major
+    std::uint64_t useClock_ = 0;
+};
+
+} // namespace dtbl
+
+#endif // DTBL_MEM_CACHE_HH

@@ -1,0 +1,31 @@
+#include "mem/coalescer.hh"
+
+#include <algorithm>
+
+namespace dtbl {
+
+std::vector<Addr>
+Coalescer::coalesce(const std::array<Addr, warpSize> &lane_addrs,
+                    ActiveMask mask, unsigned width) const
+{
+    std::vector<Addr> segments;
+    segments.reserve(4);
+    for (unsigned lane = 0; lane < warpSize; ++lane) {
+        if (!(mask & (1u << lane)))
+            continue;
+        // An access may straddle a segment boundary (rare: unaligned);
+        // cover both touched segments.
+        const Addr first = lane_addrs[lane] / segmentBytes_;
+        const Addr last = (lane_addrs[lane] + width - 1) / segmentBytes_;
+        for (Addr seg = first; seg <= last; ++seg) {
+            const Addr base = seg * segmentBytes_;
+            if (std::find(segments.begin(), segments.end(), base) ==
+                segments.end()) {
+                segments.push_back(base);
+            }
+        }
+    }
+    return segments;
+}
+
+} // namespace dtbl

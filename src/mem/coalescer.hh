@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Per-warp memory access coalescer.
+ *
+ * Accesses by the 32 lanes of a warp are merged into the minimal set of
+ * 128B-segment transactions (Section 2.2); divergent address patterns
+ * therefore replay into many transactions, which is how the model
+ * reproduces memory-divergence penalties.
+ */
+
+#ifndef DTBL_MEM_COALESCER_HH
+#define DTBL_MEM_COALESCER_HH
+
+#include <array>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace dtbl {
+
+class Coalescer
+{
+  public:
+    explicit Coalescer(std::uint32_t segment_bytes = 128)
+        : segmentBytes_(segment_bytes)
+    {}
+
+    /**
+     * Compute the distinct segment base addresses touched by the active
+     * lanes. Addresses are per-lane byte addresses; @p width is the
+     * per-lane access width in bytes.
+     * @return segment-aligned base addresses, deduplicated, issue order.
+     */
+    std::vector<Addr> coalesce(const std::array<Addr, warpSize> &lane_addrs,
+                               ActiveMask mask, unsigned width) const;
+
+    std::uint32_t segmentBytes() const { return segmentBytes_; }
+
+  private:
+    std::uint32_t segmentBytes_;
+};
+
+} // namespace dtbl
+
+#endif // DTBL_MEM_COALESCER_HH

@@ -1,0 +1,75 @@
+#include "mem/dram.hh"
+
+#include <algorithm>
+
+#include "common/log.hh"
+
+namespace dtbl {
+
+Dram::Dram(const DramConfig &cfg, std::uint32_t line_bytes)
+    : cfg_(cfg), lineBytes_(line_bytes)
+{
+    partitions_.resize(cfg_.numPartitions);
+    for (auto &p : partitions_)
+        p.banks.resize(cfg_.banksPerPartition);
+}
+
+Cycle
+Dram::access(Addr addr, bool is_write, Cycle now)
+{
+    const Addr line = addr / lineBytes_;
+    Partition &part = partitions_[line % cfg_.numPartitions];
+    const std::uint64_t rowGlobal = addr / cfg_.rowBytes;
+    Bank &bank = part.banks[rowGlobal % cfg_.banksPerPartition];
+    const std::uint64_t row = rowGlobal / cfg_.banksPerPartition;
+
+    Cycle ready = std::max(now + cfg_.accessLatency, bank.readyUntil);
+    if (bank.openRow != row) {
+        ready += cfg_.rowMissCycles;
+        bank.openRow = row;
+        ++rowMisses_;
+    } else {
+        ++rowHits_;
+    }
+    const Cycle busStart = std::max(ready, part.busUntil);
+    const Cycle end = busStart + cfg_.burstCycles;
+    part.busUntil = end;
+    bank.readyUntil = end;
+    part.activity.record(now, end);
+
+    if (is_write)
+        ++writes_;
+    else
+        ++reads_;
+    return end;
+}
+
+Cycle
+Dram::activityCycles() const
+{
+    Cycle total = 0;
+    for (const auto &p : partitions_)
+        total += p.activity.busyCycles();
+    return total;
+}
+
+double
+Dram::rowHitRate() const
+{
+    const std::uint64_t total = rowHits_ + rowMisses_;
+    return total ? double(rowHits_) / double(total) : 0.0;
+}
+
+void
+Dram::reset()
+{
+    for (auto &p : partitions_) {
+        p.busUntil = 0;
+        p.activity.reset();
+        for (auto &b : p.banks)
+            b = Bank{};
+    }
+    reads_ = writes_ = rowHits_ = rowMisses_ = 0;
+}
+
+} // namespace dtbl

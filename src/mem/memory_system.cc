@@ -1,0 +1,85 @@
+#include "mem/memory_system.hh"
+
+#include <algorithm>
+
+#include "common/log.hh"
+
+namespace dtbl {
+
+MemorySystem::MemorySystem(const GpuConfig &cfg, SimStats &stats)
+    : cfg_(cfg), stats_(stats),
+      l2_(cfg.l2, Cache::WritePolicy::WriteBack),
+      dram_(cfg.dram, cfg.l2.lineBytes)
+{
+    l1s_.reserve(cfg.numSmx);
+    for (unsigned i = 0; i < cfg.numSmx; ++i)
+        l1s_.emplace_back(cfg.l1, Cache::WritePolicy::WriteThrough);
+}
+
+Cycle
+MemorySystem::accessL2(Addr addr, bool is_write, Cycle now)
+{
+    const auto res = l2_.access(addr, is_write);
+    if (res.writeback)
+        dram_.access(res.writebackAddr, true, now);
+    if (res.hit) {
+        ++stats_.l2Hits;
+        return now + cfg_.l2.hitLatency;
+    }
+    ++stats_.l2Misses;
+    if (is_write) {
+        // Write-allocate without fetch: accepted after L2 pipeline.
+        return now + cfg_.l2.hitLatency;
+    }
+    const Cycle dramDone = dram_.access(addr, false, now);
+    return dramDone + cfg_.l2.hitLatency;
+}
+
+Cycle
+MemorySystem::load(unsigned smx, Addr addr, Cycle now)
+{
+    DTBL_ASSERT(smx < l1s_.size());
+    const auto res = l1s_[smx].access(addr, false);
+    if (res.hit) {
+        ++stats_.l1Hits;
+        return now + cfg_.l1.hitLatency;
+    }
+    ++stats_.l1Misses;
+    return accessL2(addr, false, now + cfg_.l1.hitLatency);
+}
+
+Cycle
+MemorySystem::store(unsigned smx, Addr addr, Cycle now)
+{
+    DTBL_ASSERT(smx < l1s_.size());
+    // Write-through: update L1 if present, always go to L2.
+    const auto res = l1s_[smx].access(addr, true);
+    if (res.hit)
+        ++stats_.l1Hits;
+    else
+        ++stats_.l1Misses;
+    return accessL2(addr, true, now + cfg_.l1.hitLatency);
+}
+
+Cycle
+MemorySystem::atomic(unsigned smx, Addr addr, Cycle now)
+{
+    DTBL_ASSERT(smx < l1s_.size());
+    // Atomics are resolved at the L2; keep L1 copies coherent by
+    // invalidating (other SMXs' stale L1 lines are a timing-only
+    // artifact since data is functional-at-issue).
+    l1s_[smx].invalidate(addr);
+    const Cycle done = accessL2(addr, false, now);
+    l2_.access(addr, true); // mark the line dirty (read-modify-write)
+    return std::max(done, now + cfg_.atomicLatency);
+}
+
+void
+MemorySystem::finalizeInto(SimStats &stats) const
+{
+    stats.dramReads = dram_.reads();
+    stats.dramWrites = dram_.writes();
+    stats.dramActivityCycles = dram_.activityCycles();
+}
+
+} // namespace dtbl

@@ -1,0 +1,61 @@
+/**
+ * @file
+ * The GPU memory hierarchy: per-SMX L1 caches, shared L2, DRAM.
+ *
+ * Timing-only: functional data lives in GlobalMemory and is read/written
+ * at issue time by the SMX. Each call here models the latency of one
+ * coalesced 128B transaction.
+ */
+
+#ifndef DTBL_MEM_MEMORY_SYSTEM_HH
+#define DTBL_MEM_MEMORY_SYSTEM_HH
+
+#include <memory>
+#include <vector>
+
+#include "common/config.hh"
+#include "mem/cache.hh"
+#include "mem/dram.hh"
+#include "stats/metrics.hh"
+
+namespace dtbl {
+
+class MemorySystem
+{
+  public:
+    MemorySystem(const GpuConfig &cfg, SimStats &stats);
+
+    /** Load transaction; returns data-ready cycle for the warp. */
+    Cycle load(unsigned smx, Addr addr, Cycle now);
+
+    /**
+     * Store transaction; returns the cycle at which the store has been
+     * accepted (stores do not block the warp past acceptance).
+     */
+    Cycle store(unsigned smx, Addr addr, Cycle now);
+
+    /**
+     * Atomic read-modify-write: performed at the L2 (L1 bypass +
+     * invalidate). Returns the warp-visible completion cycle.
+     */
+    Cycle atomic(unsigned smx, Addr addr, Cycle now);
+
+    /** Copy DRAM-side counters into the run stats. */
+    void finalizeInto(SimStats &stats) const;
+
+    const Dram &dram() const { return dram_; }
+
+  private:
+    /** L2 + DRAM portion shared by loads and L1 write-through stores. */
+    Cycle accessL2(Addr addr, bool is_write, Cycle now);
+
+    const GpuConfig &cfg_;
+    SimStats &stats_;
+    std::vector<Cache> l1s_;
+    Cache l2_;
+    Dram dram_;
+};
+
+} // namespace dtbl
+
+#endif // DTBL_MEM_MEMORY_SYSTEM_HH

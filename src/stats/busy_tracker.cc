@@ -1,0 +1,26 @@
+#include "stats/busy_tracker.hh"
+
+#include "common/log.hh"
+
+namespace dtbl {
+
+void
+BusyTracker::record(Cycle start, Cycle end)
+{
+    if (end <= start)
+        return;
+    const Cycle effStart = start > coveredUntil_ ? start : coveredUntil_;
+    if (end > effStart)
+        busy_ += end - effStart;
+    if (end > coveredUntil_)
+        coveredUntil_ = end;
+}
+
+void
+BusyTracker::reset()
+{
+    busy_ = 0;
+    coveredUntil_ = 0;
+}
+
+} // namespace dtbl

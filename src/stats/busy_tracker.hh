@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Interval-union accumulator used to compute DRAM activity cycles.
+ *
+ * The paper defines DRAM efficiency as (n_rd + n_write) / n_activity where
+ * n_activity counts "the active cycles when there is a pending memory
+ * request". With the analytic queueing model, requests carry an
+ * [enqueue, complete) interval; n_activity is the measure of the union of
+ * those intervals. Requests are recorded in non-decreasing order of
+ * enqueue time per controller, which lets us fold the union online with a
+ * single coverage watermark.
+ */
+
+#ifndef DTBL_STATS_BUSY_TRACKER_HH
+#define DTBL_STATS_BUSY_TRACKER_HH
+
+#include "common/types.hh"
+
+namespace dtbl {
+
+/** Online union-of-intervals accumulator. */
+class BusyTracker
+{
+  public:
+    /**
+     * Record that some unit was busy over [start, end).
+     * @pre start values are non-decreasing across calls.
+     */
+    void record(Cycle start, Cycle end);
+
+    /** Total cycles covered by at least one recorded interval. */
+    Cycle busyCycles() const { return busy_; }
+
+    /** End of the last covered region (0 if nothing recorded). */
+    Cycle coveredUntil() const { return coveredUntil_; }
+
+    void reset();
+
+  private:
+    Cycle busy_ = 0;
+    Cycle coveredUntil_ = 0;
+};
+
+} // namespace dtbl
+
+#endif // DTBL_STATS_BUSY_TRACKER_HH

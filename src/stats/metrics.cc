@@ -1,0 +1,89 @@
+#include "stats/metrics.hh"
+
+#include <sstream>
+
+#include "common/log.hh"
+
+namespace dtbl {
+
+void
+SimStats::reserveLaunchBytes(std::uint64_t bytes)
+{
+    pendingLaunchBytes += bytes;
+    if (pendingLaunchBytes > peakPendingLaunchBytes)
+        peakPendingLaunchBytes = pendingLaunchBytes;
+}
+
+void
+SimStats::releaseLaunchBytes(std::uint64_t bytes)
+{
+    DTBL_ASSERT(pendingLaunchBytes >= bytes,
+                "launch byte accounting underflow");
+    pendingLaunchBytes -= bytes;
+}
+
+MetricsReport
+MetricsReport::from(const SimStats &s, const std::string &bench,
+                    const std::string &mode, unsigned numSmx,
+                    unsigned maxWarpsPerSmx)
+{
+    MetricsReport r;
+    r.benchmark = bench;
+    r.mode = mode;
+    r.cycles = s.totalCycles;
+
+    if (s.warpInstrsIssued > 0) {
+        r.warpActivityPct = 100.0 * double(s.activeLaneSum) /
+                            (double(s.warpInstrsIssued) * warpSize);
+    }
+
+    const Cycle activity = s.dramActivityCycles;
+    if (activity > 0) {
+        r.dramEfficiency =
+            double(s.dramReads + s.dramWrites) / double(activity);
+    }
+
+    if (s.busyCycles > 0) {
+        const double maxWarps = double(numSmx) * maxWarpsPerSmx;
+        r.smxOccupancyPct = 100.0 * double(s.residentWarpCycleSum) /
+                            (double(s.busyCycles) * maxWarps);
+    }
+
+    if (s.launchWaitSamples > 0) {
+        r.avgWaitingCycles =
+            double(s.launchWaitCycleSum) / double(s.launchWaitSamples);
+    }
+    r.peakFootprintBytes = s.peakPendingLaunchBytes;
+
+    r.dynamicLaunches = s.deviceKernelLaunches + s.aggGroupLaunches;
+    if (r.dynamicLaunches > 0) {
+        r.avgThreadsPerDynamicLaunch =
+            double(s.dynamicLaunchThreadSum) / double(r.dynamicLaunches);
+    }
+    if (s.aggGroupLaunches > 0) {
+        r.aggCoalesceRate =
+            double(s.aggGroupsCoalesced) / double(s.aggGroupLaunches);
+    }
+    if (s.l1Hits + s.l1Misses > 0)
+        r.l1HitRate = double(s.l1Hits) / double(s.l1Hits + s.l1Misses);
+    if (s.l2Hits + s.l2Misses > 0)
+        r.l2HitRate = double(s.l2Hits) / double(s.l2Hits + s.l2Misses);
+    return r;
+}
+
+std::string
+MetricsReport::str() const
+{
+    std::ostringstream os;
+    os << benchmark << " [" << mode << "]"
+       << " cycles=" << cycles
+       << " warpActivity=" << warpActivityPct << "%"
+       << " dramEff=" << dramEfficiency
+       << " occupancy=" << smxOccupancyPct << "%"
+       << " avgWait=" << avgWaitingCycles
+       << " peakFootprint=" << peakFootprintBytes << "B"
+       << " dynLaunches=" << dynamicLaunches;
+    return os.str();
+}
+
+} // namespace dtbl

@@ -1,0 +1,115 @@
+/**
+ * @file
+ * Run-level statistics collected by the simulator and the derived metrics
+ * reported in the paper's evaluation (Figures 6-12).
+ */
+
+#ifndef DTBL_STATS_METRICS_HH
+#define DTBL_STATS_METRICS_HH
+
+#include <cstdint>
+#include <string>
+
+#include "common/types.hh"
+#include "stats/busy_tracker.hh"
+
+namespace dtbl {
+
+/**
+ * Raw counters accumulated while the simulation runs. One instance lives
+ * in the Gpu and is shared (by reference) with every subsystem.
+ */
+struct SimStats
+{
+    // --- control flow (Figure 6) -------------------------------------
+    /** Warp instructions issued. */
+    std::uint64_t warpInstrsIssued = 0;
+    /** Sum of popcount(active mask) over issued warp instructions. */
+    std::uint64_t activeLaneSum = 0;
+
+    // --- DRAM (Figure 7) ----------------------------------------------
+    std::uint64_t dramReads = 0;
+    std::uint64_t dramWrites = 0;
+    /** Union of cycles with a pending DRAM request (all partitions). */
+    std::uint64_t dramActivityCycles = 0;
+
+    // --- occupancy (Figure 8) ------------------------------------------
+    /** Sum over sampled busy cycles of warps resident on all SMXs. */
+    std::uint64_t residentWarpCycleSum = 0;
+    /** Number of cycles in which any SMX had resident warps. */
+    std::uint64_t busyCycles = 0;
+
+    // --- dynamic launches (Figures 9, 10) -------------------------------
+    std::uint64_t deviceKernelLaunches = 0;
+    std::uint64_t aggGroupLaunches = 0;
+    /** Aggregated groups that found an eligible kernel in the KDE. */
+    std::uint64_t aggGroupsCoalesced = 0;
+    /** Aggregated groups that fell back to a device-kernel launch. */
+    std::uint64_t aggGroupsFallback = 0;
+    /** Aggregated groups whose metadata spilled to global memory. */
+    std::uint64_t agtOverflows = 0;
+    /** Sum of launch->first-TB-dispatch latency over dynamic launches. */
+    std::uint64_t launchWaitCycleSum = 0;
+    std::uint64_t launchWaitSamples = 0;
+    /** Threads in dynamically launched work (for granularity stats). */
+    std::uint64_t dynamicLaunchThreadSum = 0;
+
+    /** Currently reserved bytes for pending dynamic launches. */
+    std::uint64_t pendingLaunchBytes = 0;
+    /** Peak of pendingLaunchBytes (Figure 10). */
+    std::uint64_t peakPendingLaunchBytes = 0;
+
+    // --- caches ----------------------------------------------------------
+    std::uint64_t l1Hits = 0, l1Misses = 0;
+    std::uint64_t l2Hits = 0, l2Misses = 0;
+
+    // --- totals ----------------------------------------------------------
+    /** Cycle at which the last tracked work completed. */
+    Cycle totalCycles = 0;
+    /** Thread blocks that completed execution. */
+    std::uint64_t tbsCompleted = 0;
+    /** Kernels (native) that completed. */
+    std::uint64_t kernelsCompleted = 0;
+
+    /** Account launch-metadata reservation / release (Figure 10). */
+    void reserveLaunchBytes(std::uint64_t bytes);
+    void releaseLaunchBytes(std::uint64_t bytes);
+};
+
+/**
+ * Derived metrics matching the paper's evaluation axes.
+ */
+struct MetricsReport
+{
+    std::string benchmark;
+    std::string mode;
+
+    Cycle cycles = 0;
+    /** Figure 6: average % of active threads per issued warp instr. */
+    double warpActivityPct = 0.0;
+    /** Figure 7: (n_rd + n_write) / n_activity. */
+    double dramEfficiency = 0.0;
+    /** Figure 8: average resident warps / max resident warps, in %. */
+    double smxOccupancyPct = 0.0;
+    /** Figure 9: average launch->dispatch wait (cycles). */
+    double avgWaitingCycles = 0.0;
+    /** Figure 10: peak bytes reserved for pending dynamic launches. */
+    std::uint64_t peakFootprintBytes = 0;
+
+    double avgThreadsPerDynamicLaunch = 0.0;
+    std::uint64_t dynamicLaunches = 0;
+    double aggCoalesceRate = 0.0;
+    double l1HitRate = 0.0;
+    double l2HitRate = 0.0;
+
+    /** Build the derived report from raw counters. */
+    static MetricsReport from(const SimStats &s, const std::string &bench,
+                              const std::string &mode, unsigned numSmx,
+                              unsigned maxWarpsPerSmx);
+
+    std::string str() const;
+};
+
+} // namespace dtbl
+
+#endif // DTBL_STATS_METRICS_HH

@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Cross-application integration tests: every benchmark of Table 4 must
+ * produce CPU-oracle-identical results in Flat, CDP and DTBL modes.
+ */
+
+#include <gtest/gtest.h>
+
+#include "apps/registry.hh"
+#include "harness/runner.hh"
+
+using namespace dtbl;
+
+class AllApps : public ::testing::TestWithParam<std::string>
+{
+};
+
+TEST_P(AllApps, FlatMatchesOracle)
+{
+    auto app = makeBenchmark(GetParam());
+    auto r = runBenchmark(*app, Mode::Flat);
+    EXPECT_TRUE(r.verified);
+    EXPECT_EQ(r.stats.deviceKernelLaunches, 0u);
+    EXPECT_EQ(r.stats.aggGroupLaunches, 0u);
+}
+
+TEST_P(AllApps, CdpMatchesOracle)
+{
+    auto app = makeBenchmark(GetParam());
+    auto r = runBenchmark(*app, Mode::Cdp);
+    EXPECT_TRUE(r.verified);
+    EXPECT_EQ(r.stats.aggGroupLaunches, 0u);
+}
+
+TEST_P(AllApps, DtblMatchesOracle)
+{
+    auto app = makeBenchmark(GetParam());
+    auto r = runBenchmark(*app, Mode::Dtbl);
+    EXPECT_TRUE(r.verified);
+    EXPECT_EQ(r.stats.deviceKernelLaunches, 0u);
+    // No launch-footprint accounting leaks.
+    EXPECT_EQ(r.stats.pendingLaunchBytes, 0u);
+}
+
+namespace {
+
+std::vector<std::string>
+benchmarkIds()
+{
+    std::vector<std::string> ids;
+    for (const auto &s : allBenchmarks())
+        ids.push_back(s.id);
+    return ids;
+}
+
+} // namespace
+
+INSTANTIATE_TEST_SUITE_P(Table4, AllApps, ::testing::ValuesIn(benchmarkIds()),
+                         [](const auto &info) { return info.param; });

@@ -1,0 +1,61 @@
+/**
+ * @file
+ * BFS application tests: functional equivalence of all execution modes
+ * against the CPU oracle, plus the paper's expected mode ordering.
+ */
+
+#include <gtest/gtest.h>
+
+#include "apps/bfs.hh"
+#include "harness/runner.hh"
+
+using namespace dtbl;
+
+namespace {
+
+BenchResult
+run(BfsApp::Dataset d, Mode m)
+{
+    BfsApp app(d);
+    return runBenchmark(app, m);
+}
+
+} // namespace
+
+TEST(BfsApp, CitationAllModesCorrect)
+{
+    for (Mode m : evalModes) {
+        auto r = run(BfsApp::Dataset::Citation, m);
+        EXPECT_TRUE(r.verified) << modeName(m);
+    }
+}
+
+TEST(BfsApp, RoadFlatAndDtblCorrect)
+{
+    EXPECT_TRUE(run(BfsApp::Dataset::UsaRoad, Mode::Flat).verified);
+    EXPECT_TRUE(run(BfsApp::Dataset::UsaRoad, Mode::Dtbl).verified);
+}
+
+TEST(BfsApp, Cage15AllModesCorrect)
+{
+    EXPECT_TRUE(run(BfsApp::Dataset::Cage15, Mode::Flat).verified);
+    EXPECT_TRUE(run(BfsApp::Dataset::Cage15, Mode::Cdp).verified);
+    EXPECT_TRUE(run(BfsApp::Dataset::Cage15, Mode::Dtbl).verified);
+}
+
+TEST(BfsApp, CitationDtblBeatsCdp)
+{
+    auto cdp = run(BfsApp::Dataset::Citation, Mode::Cdp);
+    auto dtbl = run(BfsApp::Dataset::Citation, Mode::Dtbl);
+    EXPECT_GT(cdp.stats.deviceKernelLaunches, 0u);
+    EXPECT_GT(dtbl.stats.aggGroupsCoalesced, 0u);
+    EXPECT_LT(dtbl.report.cycles, cdp.report.cycles);
+}
+
+TEST(BfsApp, RoadHasLittleDynamicParallelism)
+{
+    // USA-road degrees are <= 4, far below the expansion threshold:
+    // DFP almost never occurs (Section 5.2C).
+    auto dtbl = run(BfsApp::Dataset::UsaRoad, Mode::Dtbl);
+    EXPECT_EQ(dtbl.stats.aggGroupLaunches, 0u);
+}

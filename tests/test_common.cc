@@ -1,0 +1,157 @@
+/**
+ * @file
+ * Unit tests for the common layer: types, config validation, RNG.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/config.hh"
+#include "common/log.hh"
+#include "common/rng.hh"
+
+using namespace dtbl;
+
+TEST(Dim3, CountAndEquality)
+{
+    EXPECT_EQ(Dim3(4, 3, 2).count(), 24u);
+    EXPECT_EQ(Dim3(7).count(), 7u);
+    EXPECT_EQ(Dim3(1, 1, 1).count(), 1u);
+    EXPECT_EQ(Dim3(4, 3, 2), Dim3(4, 3, 2));
+    EXPECT_FALSE(Dim3(4, 3, 2) == Dim3(4, 3, 1));
+}
+
+TEST(Dim3, FlattenUnflattenRoundTrip)
+{
+    const Dim3 extent{5, 4, 3};
+    for (std::uint64_t flat = 0; flat < extent.count(); ++flat) {
+        const Dim3 c = unflatten(flat, extent);
+        EXPECT_LT(c.x, extent.x);
+        EXPECT_LT(c.y, extent.y);
+        EXPECT_LT(c.z, extent.z);
+        EXPECT_EQ(flatten(c, extent), flat);
+    }
+}
+
+TEST(Dim3, UnflattenXFastest)
+{
+    const Dim3 extent{4, 4, 4};
+    EXPECT_EQ(unflatten(1, extent), Dim3(1, 0, 0));
+    EXPECT_EQ(unflatten(4, extent), Dim3(0, 1, 0));
+    EXPECT_EQ(unflatten(16, extent), Dim3(0, 0, 1));
+}
+
+TEST(GpuConfig, DefaultsAreValid)
+{
+    EXPECT_NO_THROW(GpuConfig::k20c().validate());
+    EXPECT_NO_THROW(GpuConfig::k20cIdeal().validate());
+}
+
+TEST(GpuConfig, IdealDisablesLaunchLatency)
+{
+    EXPECT_TRUE(GpuConfig::k20c().modelLaunchLatency);
+    EXPECT_FALSE(GpuConfig::k20cIdeal().modelLaunchLatency);
+}
+
+TEST(GpuConfig, RejectsNonPowerOfTwoAgt)
+{
+    GpuConfig cfg = GpuConfig::k20c();
+    cfg.agtSize = 1000;
+    EXPECT_THROW(cfg.validate(), std::runtime_error);
+}
+
+TEST(GpuConfig, RejectsInconsistentWarpCapacity)
+{
+    GpuConfig cfg = GpuConfig::k20c();
+    cfg.maxResidentWarpsPerSmx = 63;
+    EXPECT_THROW(cfg.validate(), std::runtime_error);
+}
+
+TEST(GpuConfig, RejectsMismatchedHwqKdeCount)
+{
+    GpuConfig cfg = GpuConfig::k20c();
+    cfg.numHwqs = 16;
+    EXPECT_THROW(cfg.validate(), std::runtime_error);
+}
+
+TEST(ApiLatency, LinearModel)
+{
+    const ApiLatency lat{100, 7};
+    EXPECT_EQ(lat.forCallers(0), 100u);
+    EXPECT_EQ(lat.forCallers(1), 107u);
+    EXPECT_EQ(lat.forCallers(32), 100u + 7 * 32);
+}
+
+TEST(Rng, Deterministic)
+{
+    Rng a(42), b(42);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiffer)
+{
+    Rng a(1), b(2);
+    int same = 0;
+    for (int i = 0; i < 64; ++i)
+        same += a.next() == b.next();
+    EXPECT_LT(same, 2);
+}
+
+TEST(Rng, BoundedStaysInBounds)
+{
+    Rng r(7);
+    for (std::uint64_t bound : {1ull, 2ull, 3ull, 17ull, 1000000007ull}) {
+        for (int i = 0; i < 200; ++i)
+            EXPECT_LT(r.nextBounded(bound), bound);
+    }
+}
+
+TEST(Rng, BoundedCoversRange)
+{
+    Rng r(11);
+    std::set<std::uint64_t> seen;
+    for (int i = 0; i < 400; ++i)
+        seen.insert(r.nextBounded(8));
+    EXPECT_EQ(seen.size(), 8u);
+}
+
+TEST(Rng, DoubleInUnitInterval)
+{
+    Rng r(13);
+    for (int i = 0; i < 1000; ++i) {
+        const double d = r.nextDouble();
+        EXPECT_GE(d, 0.0);
+        EXPECT_LT(d, 1.0);
+    }
+}
+
+TEST(Rng, GaussianMoments)
+{
+    Rng r(17);
+    double sum = 0, sum2 = 0;
+    const int n = 20000;
+    for (int i = 0; i < n; ++i) {
+        const double g = r.nextGaussian();
+        sum += g;
+        sum2 += g * g;
+    }
+    EXPECT_NEAR(sum / n, 0.0, 0.05);
+    EXPECT_NEAR(sum2 / n, 1.0, 0.05);
+}
+
+TEST(Log, PanicThrowsLogicError)
+{
+    EXPECT_THROW(DTBL_PANIC("boom ", 42), std::logic_error);
+}
+
+TEST(Log, FatalThrowsRuntimeError)
+{
+    EXPECT_THROW(DTBL_FATAL("bad config"), std::runtime_error);
+}
+
+TEST(Log, AssertPassesOnTrue)
+{
+    EXPECT_NO_THROW(DTBL_ASSERT(1 + 1 == 2));
+}

@@ -1,0 +1,238 @@
+/**
+ * @file
+ * Tests for the synthetic dataset generators and CPU oracles: each
+ * generator must reproduce the structural property the corresponding
+ * paper input is used for, across seeds (property-style sweeps).
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+
+#include "apps/datasets/generators.hh"
+#include "apps/datasets/graph.hh"
+
+using namespace dtbl;
+
+class GraphSeeds : public ::testing::TestWithParam<std::uint64_t>
+{
+};
+
+TEST_P(GraphSeeds, CitationIsHeavyTailed)
+{
+    const CsrGraph g = makeCitationGraph(4000, 14, GetParam());
+    EXPECT_EQ(g.rowPtr.size(), g.n + 1u);
+    EXPECT_EQ(g.colIdx.size(), g.m);
+    // Heavy tail: high coefficient of variation and a hub far above
+    // the mean degree.
+    EXPECT_GT(g.degreeCv(), 1.0);
+    EXPECT_GT(g.degree(g.maxDegreeVertex()), 8 * g.m / g.n);
+}
+
+TEST_P(GraphSeeds, RoadDegreesAreTiny)
+{
+    const CsrGraph g = makeRoadGraph(40, 40, GetParam());
+    for (std::uint32_t v = 0; v < g.n; ++v)
+        EXPECT_LE(g.degree(v), 4u);
+    EXPECT_LT(g.degreeCv(), 0.5);
+}
+
+TEST_P(GraphSeeds, CageIsBalanced)
+{
+    const CsrGraph g = makeCageGraph(2000, 48, GetParam());
+    EXPECT_LT(g.degreeCv(), 0.25);
+    for (std::uint32_t v = 0; v < g.n; ++v) {
+        EXPECT_GE(g.degree(v), 36u);
+        EXPECT_LE(g.degree(v), 60u);
+    }
+}
+
+TEST_P(GraphSeeds, Graph500IsVeryBalanced)
+{
+    const CsrGraph g = makeGraph500Graph(2000, 16, GetParam());
+    for (std::uint32_t v = 0; v < g.n; ++v) {
+        EXPECT_GE(g.degree(v), 15u);
+        EXPECT_LE(g.degree(v), 17u);
+    }
+}
+
+TEST_P(GraphSeeds, FlightIsHubAndSpoke)
+{
+    const std::uint32_t hubs = 100;
+    const CsrGraph g = makeFlightGraph(2000, hubs, GetParam());
+    // Spokes have degree <= 3; only hubs can be large.
+    for (std::uint32_t v = hubs; v < g.n; ++v)
+        EXPECT_LE(g.degree(v), 3u);
+    EXPECT_GT(g.degree(g.maxDegreeVertex()), 10u);
+}
+
+TEST_P(GraphSeeds, SymmetrizeMakesAdjacencySymmetric)
+{
+    const CsrGraph g = symmetrize(makeCitationGraph(500, 6, GetParam()));
+    for (std::uint32_t v = 0; v < g.n; ++v) {
+        for (std::uint32_t e = g.rowPtr[v]; e < g.rowPtr[v + 1]; ++e) {
+            const std::uint32_t u = g.colIdx[e];
+            EXPECT_NE(u, v); // no self loops
+            const auto *lo = &g.colIdx[g.rowPtr[u]];
+            const auto *hi = &g.colIdx[g.rowPtr[u + 1]];
+            EXPECT_TRUE(std::binary_search(lo, hi, v))
+                << "edge " << v << "->" << u << " not mirrored";
+        }
+    }
+}
+
+TEST_P(GraphSeeds, GeneratorsAreDeterministic)
+{
+    const std::uint64_t seed = GetParam();
+    const CsrGraph a = makeCitationGraph(1000, 10, seed);
+    const CsrGraph b = makeCitationGraph(1000, 10, seed);
+    EXPECT_EQ(a.rowPtr, b.rowPtr);
+    EXPECT_EQ(a.colIdx, b.colIdx);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, GraphSeeds,
+                         ::testing::Values(1ull, 42ull, 0xdeadbeefull,
+                                           0x123456789ull));
+
+// --- CPU oracles on hand-checked inputs -----------------------------------
+
+TEST(CpuOracles, BfsOnPath)
+{
+    // 0 - 1 - 2 - 3 (directed chain).
+    CsrGraph g;
+    g.n = 4;
+    g.rowPtr = {0, 1, 2, 3, 3};
+    g.colIdx = {1, 2, 3};
+    g.m = 3;
+    const auto d = cpuBfs(g, 0);
+    EXPECT_EQ(d, (std::vector<std::uint32_t>{0, 1, 2, 3}));
+    const auto d2 = cpuBfs(g, 2);
+    EXPECT_EQ(d2[0], 0xffffffffu); // unreachable
+    EXPECT_EQ(d2[3], 1u);
+}
+
+TEST(CpuOracles, SsspPrefersLighterPath)
+{
+    // 0->1 (w10), 0->2 (w1), 2->1 (w2): best 0->2->1 = 3.
+    CsrGraph g;
+    g.n = 3;
+    g.rowPtr = {0, 2, 2, 3};
+    g.colIdx = {1, 2, 1};
+    g.weights = {10, 1, 2};
+    g.m = 3;
+    const auto d = cpuSssp(g, 0);
+    EXPECT_EQ(d[1], 3u);
+    EXPECT_EQ(d[2], 1u);
+}
+
+TEST(CpuOracles, JpColoringTriangle)
+{
+    // Triangle: needs 3 colors; priorities decide the order.
+    CsrGraph g;
+    g.n = 3;
+    g.rowPtr = {0, 2, 4, 6};
+    g.colIdx = {1, 2, 0, 2, 0, 1};
+    g.m = 6;
+    const auto c = cpuJpColoring(g, {30, 20, 10});
+    EXPECT_EQ(c, (std::vector<std::uint32_t>{0, 1, 2}));
+}
+
+TEST(CpuOracles, MatchCountsFindPlantedPattern)
+{
+    PatternSet pats = makePatterns(4, 3, 6, 0, 99);
+    PacketSet packets;
+    // One packet that is exactly pattern 0 twice.
+    const std::uint32_t len = pats.lengths[0];
+    packets.offsets = {0};
+    packets.lengths = {2 * len};
+    for (int rep = 0; rep < 2; ++rep) {
+        for (std::uint32_t i = 0; i < len; ++i)
+            packets.bytes.push_back(pats.bytes[i]);
+    }
+    const auto counts = cpuMatchCounts(packets, pats);
+    EXPECT_GE(counts[0], 2u);
+}
+
+TEST(CpuOracles, MatchCountCapMirror)
+{
+    PatternSet pats = makePatterns(8, 2, 4, 4, 7);
+    PacketSet packets = makeRandomStrings(20, 100, 4, 8);
+    const auto unbounded = cpuMatchCounts(packets, pats, 0);
+    const auto capped = cpuMatchCounts(packets, pats, 5);
+    for (std::size_t i = 0; i < unbounded.size(); ++i)
+        EXPECT_LE(capped[i], unbounded[i]);
+}
+
+TEST(CpuOracles, JoinCountsMatchBruteForce)
+{
+    const JoinData j = makeJoinData(200, 800, 64, true, 5);
+    const auto counts = cpuJoinCounts(j);
+    for (std::size_t i = 0; i < j.rKeys.size(); ++i) {
+        std::uint32_t brute = 0;
+        for (std::uint32_t k : j.sKeys)
+            brute += k == j.rKeys[i];
+        EXPECT_EQ(counts[i], brute) << "tuple " << i;
+    }
+}
+
+TEST(JoinData, GaussianSkewsBuckets)
+{
+    const JoinData uni = makeJoinData(100, 8000, 256, false, 3);
+    const JoinData gau = makeJoinData(100, 8000, 256, true, 3);
+    const auto maxBucket = [](const JoinData &j) {
+        return *std::max_element(j.bucketCount.begin(),
+                                 j.bucketCount.end());
+    };
+    EXPECT_GT(maxBucket(gau), 3u * maxBucket(uni));
+}
+
+// --- Quadtree invariants --------------------------------------------------
+
+TEST(QuadTree, StructuralInvariants)
+{
+    const Bodies b = makeClusteredBodies(500, 3, 17);
+    const QuadTree t = buildQuadTree(b);
+
+    // Root mass equals the body count.
+    EXPECT_EQ(t.mass[0], float(b.count()));
+
+    std::uint32_t leafBodies = 0;
+    for (std::uint32_t n = 0; n < t.count(); ++n) {
+        if (t.isLeaf[n]) {
+            leafBodies += std::uint32_t(t.mass[n]);
+            EXPECT_EQ(t.subtreeSize[n], 1u);
+        } else {
+            // subtreeSize = 1 + sum of children subtree sizes; children
+            // are contiguous in DFS order right after the parent.
+            std::uint32_t sum = 1;
+            float mass = 0;
+            for (int q = 0; q < 4; ++q) {
+                const std::int32_t c = t.child[n * 4 + q];
+                if (c < 0)
+                    continue;
+                EXPECT_GT(std::uint32_t(c), n);
+                EXPECT_LT(std::uint32_t(c), n + t.subtreeSize[n]);
+                sum += t.subtreeSize[c];
+                mass += t.mass[c];
+            }
+            EXPECT_EQ(t.subtreeSize[n], sum);
+            EXPECT_EQ(t.mass[n], mass);
+        }
+    }
+    EXPECT_EQ(leafBodies, b.count());
+}
+
+TEST(Ratings, ZipfPopularityAndWeights)
+{
+    const Ratings r = makeMovieLensRatings(256, 1000, 100, 3);
+    EXPECT_EQ(r.itemPtr.size(), 257u);
+    // Most popular item rated much more than the median item.
+    const std::uint32_t first = r.itemPtr[1] - r.itemPtr[0];
+    const std::uint32_t mid = r.itemPtr[129] - r.itemPtr[128];
+    EXPECT_GT(first, 3 * mid);
+    for (auto rt : r.rating) {
+        EXPECT_GE(rt, 1u);
+        EXPECT_LE(rt, 5u);
+    }
+}

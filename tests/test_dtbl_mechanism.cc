@@ -1,0 +1,218 @@
+/**
+ * @file
+ * Targeted tests of the DTBL microarchitecture behaviour described in
+ * Section 4: coalescing to self vs to another kernel (Figure 2), the
+ * two NAGEI update scenarios, AGT spill handling, re-marking of
+ * drained kernels, and footprint/waiting-time accounting.
+ */
+
+#include <gtest/gtest.h>
+
+#include "gpu/gpu.hh"
+#include "isa/kernel_builder.hh"
+
+using namespace dtbl;
+
+namespace {
+
+/**
+ * Child writes out[slot] = 1 for each processed element.
+ * Params: [0]=out [4]=start [8]=count
+ */
+KernelFuncId
+buildMarkKernel(Program &prog, const char *name = "mark")
+{
+    KernelBuilder b(name, Dim3{32}, 0, 12);
+    Reg gid = b.globalThreadIdX();
+    Reg count = b.ldParam(8);
+    Pred oob = b.setp(CmpOp::Ge, DataType::U32, gid, count);
+    b.exitIf(oob);
+    Reg out = b.ldParam(0);
+    Reg start = b.ldParam(4);
+    Reg idx = b.add(start, gid);
+    b.st(MemSpace::Global, b.add(out, b.shl(idx, 2)), Val(1u));
+    return b.build(prog);
+}
+
+/**
+ * Parent: every thread launches one group of `span` elements.
+ * Params: [0]=n [4]=out [8]=span
+ */
+KernelFuncId
+buildLauncher(Program &prog, KernelFuncId child)
+{
+    KernelBuilder b("launcher", Dim3{32}, 0, 12);
+    Reg tid = b.globalThreadIdX();
+    Reg n = b.ldParam(0);
+    Pred oob = b.setp(CmpOp::Ge, DataType::U32, tid, n);
+    b.exitIf(oob);
+    Reg out = b.ldParam(4);
+    Reg span = b.ldParam(8);
+    Reg start = b.mul(tid, span);
+    Reg ntbs = b.div(b.add(span, 31u), Val(32u));
+    Reg buf = b.getParameterBuffer(12);
+    b.st(MemSpace::Global, buf, out, 0);
+    b.st(MemSpace::Global, buf, start, 4);
+    b.st(MemSpace::Global, buf, span, 8);
+    b.launchAggGroup(child, ntbs, buf);
+    return b.build(prog);
+}
+
+} // namespace
+
+TEST(DtblMechanism, GroupsCoalesceToFallbackKernel)
+{
+    Program prog;
+    const KernelFuncId child = buildMarkKernel(prog);
+    const KernelFuncId parent = buildLauncher(prog, child);
+
+    Gpu gpu(GpuConfig::k20c(), prog);
+    const std::uint32_t n = 64, span = 40;
+    const Addr out = gpu.mem().allocate(n * span * 4);
+    gpu.launch(parent, Dim3{2}, {n, std::uint32_t(out), span});
+    gpu.synchronize();
+
+    for (std::uint32_t i = 0; i < n * span; ++i)
+        ASSERT_EQ(gpu.mem().read32(out + i * 4), 1u) << i;
+
+    const auto &st = gpu.stats();
+    EXPECT_EQ(st.aggGroupLaunches, n);
+    // Only the very first group(s) lack an eligible kernel.
+    EXPECT_GE(st.aggGroupsCoalesced, n - 4);
+    EXPECT_LE(st.aggGroupsFallback, 4u);
+}
+
+TEST(DtblMechanism, SelfCoalescingRecursion)
+{
+    // A kernel launching groups of itself (Figure 2a): depth counter in
+    // params, recursion terminates at depth 3.
+    Program prog;
+    KernelBuilder b("recurse", Dim3{32}, 0, 12);
+    const KernelFuncId self = KernelFuncId(prog.size());
+    Reg gid = b.globalThreadIdX();
+    Pred notFirst = b.setp(CmpOp::Ne, DataType::U32, gid, Val(0u));
+    b.exitIf(notFirst);
+    Reg counterR = b.ldParam(0);
+    Reg depth = b.ldParam(4);
+    b.atom(AtomOp::Add, DataType::U32, counterR, Val(1u));
+    Pred cont = b.setp(CmpOp::Lt, DataType::U32, depth, Val(3u));
+    b.if_(cont, [&] {
+        Reg buf = b.getParameterBuffer(8);
+        b.st(MemSpace::Global, buf, counterR, 0);
+        b.st(MemSpace::Global, buf, b.add(depth, 1u), 4);
+        b.launchAggGroup(self, Val(2u), buf);
+    });
+    const KernelFuncId k = b.build(prog);
+    ASSERT_EQ(k, self);
+
+    Gpu gpu(GpuConfig::k20c(), prog);
+    const Addr counter = gpu.mem().allocate(4);
+    gpu.mem().write32(counter, 0);
+    gpu.launch(k, Dim3{1}, {std::uint32_t(counter), 0u});
+    gpu.synchronize();
+
+    // Only global thread 0 of each launch is active, so the recursion
+    // is a depth-4 chain: one increment per depth 0..3.
+    EXPECT_EQ(gpu.mem().read32(counter), 4u);
+    // Recursive groups coalesce onto the native kernel itself.
+    EXPECT_GT(gpu.stats().aggGroupsCoalesced, 0u);
+    EXPECT_EQ(gpu.stats().aggGroupsFallback, 0u);
+}
+
+TEST(DtblMechanism, ReMarkAfterDrainScenario)
+{
+    // Scenario 1 of the NAGEI update (Section 4.2): a kernel whose TBs
+    // were all scheduled gets a late aggregated group and must be
+    // re-marked. Achieved by making the parent slow (long loop before
+    // launching) so the child kernel created by the first wave drains
+    // before the second wave's groups arrive.
+    Program prog;
+    const KernelFuncId child = buildMarkKernel(prog);
+    KernelBuilder b("two_waves", Dim3{32}, 0, 16);
+    Reg tid = b.globalThreadIdX();
+    Reg nR = b.ldParam(0);
+    Pred oob = b.setp(CmpOp::Ge, DataType::U32, tid, nR);
+    b.exitIf(oob);
+    Reg outR = b.ldParam(4);
+    Reg spanR = b.ldParam(8);
+    Pred second = b.setp(CmpOp::Ge, DataType::U32, tid, Val(32u));
+    b.if_(second, [&] {
+        // Busy-wait loop so the second wave launches much later.
+        Reg sink = b.mov(0u);
+        b.forRange(Val(0u), Val(3000u), [&](Reg i) {
+            b.binaryTo(sink, Opcode::Add, DataType::U32, sink, i);
+        });
+    });
+    Reg start = b.mul(tid, spanR);
+    Reg ntbs = b.div(b.add(spanR, 31u), Val(32u));
+    Reg buf = b.getParameterBuffer(12);
+    b.st(MemSpace::Global, buf, outR, 0);
+    b.st(MemSpace::Global, buf, start, 4);
+    b.st(MemSpace::Global, buf, spanR, 8);
+    b.launchAggGroup(child, ntbs, buf);
+    const KernelFuncId parent = b.build(prog);
+
+    Gpu gpu(GpuConfig::k20c(), prog);
+    const std::uint32_t n = 64, span = 33;
+    const Addr out = gpu.mem().allocate(n * span * 4);
+    gpu.launch(parent, Dim3{2}, {n, std::uint32_t(out), span});
+    gpu.synchronize();
+    for (std::uint32_t i = 0; i < n * span; ++i)
+        ASSERT_EQ(gpu.mem().read32(out + i * 4), 1u) << i;
+    EXPECT_EQ(gpu.stats().aggGroupLaunches, n);
+}
+
+TEST(DtblMechanism, AgtSpillStillExecutesCorrectly)
+{
+    // Tiny AGT forces most groups through the global-memory spill path.
+    Program prog;
+    const KernelFuncId child = buildMarkKernel(prog);
+    const KernelFuncId parent = buildLauncher(prog, child);
+
+    GpuConfig cfg = GpuConfig::k20c();
+    cfg.agtSize = 2;
+    Gpu gpu(cfg, prog);
+    const std::uint32_t n = 96, span = 40;
+    const Addr out = gpu.mem().allocate(n * span * 4);
+    gpu.launch(parent, Dim3{3}, {n, std::uint32_t(out), span});
+    gpu.synchronize();
+
+    for (std::uint32_t i = 0; i < n * span; ++i)
+        ASSERT_EQ(gpu.mem().read32(out + i * 4), 1u) << i;
+    EXPECT_GT(gpu.stats().agtOverflows, 0u);
+}
+
+TEST(DtblMechanism, SmallerAgtIsSlower)
+{
+    auto run = [&](unsigned agt) {
+        Program prog;
+        const KernelFuncId child = buildMarkKernel(prog);
+        const KernelFuncId parent = buildLauncher(prog, child);
+        GpuConfig cfg = GpuConfig::k20c();
+        cfg.agtSize = agt;
+        Gpu gpu(cfg, prog);
+        const std::uint32_t n = 512, span = 40;
+        const Addr out = gpu.mem().allocate(n * span * 4);
+        gpu.launch(parent, Dim3{16}, {n, std::uint32_t(out), span});
+        gpu.synchronize();
+        return gpu.now();
+    };
+    // Figure 12's mechanism: fewer on-chip AGEs -> more spill fetches.
+    EXPECT_GT(run(4), run(1024));
+}
+
+TEST(DtblMechanism, IdealModeRemovesDtblLaunchCost)
+{
+    auto run = [&](bool ideal) {
+        Program prog;
+        const KernelFuncId child = buildMarkKernel(prog);
+        const KernelFuncId parent = buildLauncher(prog, child);
+        Gpu gpu(ideal ? GpuConfig::k20cIdeal() : GpuConfig::k20c(), prog);
+        const std::uint32_t n = 128, span = 40;
+        const Addr out = gpu.mem().allocate(n * span * 4);
+        gpu.launch(parent, Dim3{4}, {n, std::uint32_t(out), span});
+        gpu.synchronize();
+        return gpu.now();
+    };
+    EXPECT_LT(run(true), run(false));
+}

@@ -1,0 +1,195 @@
+/**
+ * @file
+ * Integration tests for device-side kernel launch (CDP) and dynamic
+ * thread block launch (DTBL): functional correctness, coalescing
+ * behaviour, launch-overhead ordering and metric plumbing.
+ */
+
+#include <gtest/gtest.h>
+
+#include "gpu/gpu.hh"
+#include "isa/kernel_builder.hh"
+
+using namespace dtbl;
+
+namespace {
+
+/**
+ * Child: params = [outAddr, start, count]; thread g < count writes
+ * out[start + g] = start + g + 1.
+ */
+KernelFuncId
+buildChild(Program &prog)
+{
+    KernelBuilder b("child", Dim3{32});
+    Reg gid = b.globalThreadIdX();
+    Reg count = b.ldParam(8);
+    Pred oob = b.setp(CmpOp::Ge, DataType::U32, gid, count);
+    b.exitIf(oob);
+    Reg outBase = b.ldParam(0);
+    Reg start = b.ldParam(4);
+    Reg idx = b.add(start, gid);
+    Reg val = b.add(idx, 1u);
+    b.st(MemSpace::Global, b.add(outBase, b.shl(idx, 2)), val);
+    return b.build(prog);
+}
+
+/**
+ * Parent: params = [n, workAddr, offAddr, outAddr]; each thread i < n
+ * with work[i] > 0 launches a child over work[i] elements starting at
+ * off[i]. `useDtbl` selects cudaLaunchAggGroup vs cudaLaunchDevice.
+ */
+KernelFuncId
+buildParent(Program &prog, KernelFuncId child, bool use_dtbl)
+{
+    KernelBuilder b(use_dtbl ? "parent_dtbl" : "parent_cdp", Dim3{64});
+    Reg tid = b.globalThreadIdX();
+    Reg n = b.ldParam(0);
+    Pred oob = b.setp(CmpOp::Ge, DataType::U32, tid, n);
+    b.exitIf(oob);
+    Reg workBase = b.ldParam(4);
+    Reg offBase = b.ldParam(8);
+    Reg outAddr = b.ldParam(12);
+    Reg off4 = b.shl(tid, 2);
+    Reg work = b.ld(MemSpace::Global, b.add(workBase, off4));
+    Reg start = b.ld(MemSpace::Global, b.add(offBase, off4));
+    Pred has = b.setp(CmpOp::Gt, DataType::U32, work, Val(0u));
+    b.if_(has, [&] {
+        if (!use_dtbl)
+            b.streamCreate();
+        Reg buf = b.getParameterBuffer(12);
+        b.st(MemSpace::Global, buf, outAddr, 0);
+        b.st(MemSpace::Global, buf, start, 4);
+        b.st(MemSpace::Global, buf, work, 8);
+        Reg ntbs = b.div(b.add(work, 31u), Val(32u));
+        if (use_dtbl)
+            b.launchAggGroup(child, ntbs, buf);
+        else
+            b.launchDevice(child, ntbs, buf);
+    });
+    return b.build(prog);
+}
+
+struct Workload
+{
+    std::uint32_t n = 200;
+    std::vector<std::uint32_t> work;
+    std::vector<std::uint32_t> off;
+    std::uint32_t total = 0;
+
+    explicit Workload(std::uint32_t n_ = 200) : n(n_)
+    {
+        work.resize(n);
+        off.resize(n);
+        for (std::uint32_t i = 0; i < n; ++i) {
+            work[i] = (i % 5 == 0) ? (i % 97) : 0;
+            off[i] = total;
+            total += work[i];
+        }
+    }
+};
+
+struct RunResult
+{
+    MetricsReport report;
+    SimStats stats;
+    bool correct = true;
+};
+
+RunResult
+runNested(const GpuConfig &cfg, bool use_dtbl, std::uint32_t n = 200)
+{
+    Program prog;
+    const KernelFuncId child = buildChild(prog);
+    const KernelFuncId parent = buildParent(prog, child, use_dtbl);
+
+    Gpu gpu(cfg, prog);
+    Workload wl(n);
+    const Addr workAddr = gpu.mem().upload(wl.work);
+    const Addr offAddr = gpu.mem().upload(wl.off);
+    const Addr outAddr = gpu.mem().allocate(std::max(wl.total, 1u) * 4);
+
+    gpu.launch(parent, Dim3{(wl.n + 63) / 64},
+               {wl.n, std::uint32_t(workAddr), std::uint32_t(offAddr),
+                std::uint32_t(outAddr)});
+    gpu.synchronize();
+
+    RunResult r;
+    r.report = gpu.report("nested", use_dtbl ? "dtbl" : "cdp");
+    r.stats = gpu.stats();
+    const auto out = gpu.mem().download<std::uint32_t>(outAddr, wl.total);
+    for (std::uint32_t i = 0; i < wl.total; ++i) {
+        if (out[i] != i + 1) {
+            r.correct = false;
+            break;
+        }
+    }
+    return r;
+}
+
+} // namespace
+
+TEST(DynamicLaunch, CdpFunctionalCorrectness)
+{
+    auto r = runNested(GpuConfig::k20c(), /*dtbl*/ false);
+    EXPECT_TRUE(r.correct);
+    EXPECT_GT(r.stats.deviceKernelLaunches, 0u);
+    EXPECT_EQ(r.stats.aggGroupLaunches, 0u);
+}
+
+TEST(DynamicLaunch, DtblFunctionalCorrectness)
+{
+    auto r = runNested(GpuConfig::k20c(), /*dtbl*/ true);
+    EXPECT_TRUE(r.correct);
+    EXPECT_GT(r.stats.aggGroupLaunches, 0u);
+    // The very first group(s) have no eligible kernel and fall back;
+    // the overwhelming majority must coalesce (paper: ~98%).
+    EXPECT_GT(r.stats.aggGroupsCoalesced, 0u);
+    EXPECT_GE(r.report.aggCoalesceRate, 0.5);
+}
+
+TEST(DynamicLaunch, DtblFasterThanCdp)
+{
+    auto cdp = runNested(GpuConfig::k20c(), false);
+    auto dtbl = runNested(GpuConfig::k20c(), true);
+    ASSERT_TRUE(cdp.correct);
+    ASSERT_TRUE(dtbl.correct);
+    // The whole point of the paper: TB launch is much cheaper than a
+    // device kernel launch.
+    EXPECT_LT(dtbl.report.cycles, cdp.report.cycles);
+}
+
+TEST(DynamicLaunch, IdealModesFasterThanModeled)
+{
+    auto cdp = runNested(GpuConfig::k20c(), false);
+    auto cdpi = runNested(GpuConfig::k20cIdeal(), false);
+    auto dtbl = runNested(GpuConfig::k20c(), true);
+    auto dtbli = runNested(GpuConfig::k20cIdeal(), true);
+    EXPECT_LT(cdpi.report.cycles, cdp.report.cycles);
+    EXPECT_LE(dtbli.report.cycles, dtbl.report.cycles);
+    // Launch latency hurts CDP more than DTBL (Section 5.2B).
+    const double cdpPenalty =
+        double(cdp.report.cycles) / double(cdpi.report.cycles);
+    const double dtblPenalty =
+        double(dtbl.report.cycles) / double(dtbli.report.cycles);
+    EXPECT_GT(cdpPenalty, dtblPenalty);
+}
+
+TEST(DynamicLaunch, DtblWaitingTimeLower)
+{
+    auto cdp = runNested(GpuConfig::k20c(), false);
+    auto dtbl = runNested(GpuConfig::k20c(), true);
+    ASSERT_GT(cdp.stats.launchWaitSamples, 0u);
+    ASSERT_GT(dtbl.stats.launchWaitSamples, 0u);
+    EXPECT_LT(dtbl.report.avgWaitingCycles, cdp.report.avgWaitingCycles);
+}
+
+TEST(DynamicLaunch, DtblFootprintLower)
+{
+    auto cdp = runNested(GpuConfig::k20c(), false);
+    auto dtbl = runNested(GpuConfig::k20c(), true);
+    EXPECT_LT(dtbl.report.peakFootprintBytes, cdp.report.peakFootprintBytes);
+    // All reservations must be released by the end of the run.
+    EXPECT_EQ(cdp.stats.pendingLaunchBytes, 0u);
+    EXPECT_EQ(dtbl.stats.pendingLaunchBytes, 0u);
+}

@@ -1,0 +1,349 @@
+/**
+ * @file
+ * Unit tests for the scheduling-side units: stream table, KMU, Kernel
+ * Distributor (incl. NAGEI/LAGEI linking), AGT and the Figure-5
+ * coalescing procedure.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/agt.hh"
+#include "core/dtbl_scheduler.hh"
+#include "gpu/kernel_distributor.hh"
+#include "gpu/kmu.hh"
+#include "gpu/stream.hh"
+
+using namespace dtbl;
+
+namespace {
+
+KernelLaunch
+makeLaunch(KernelFuncId f, std::uint32_t tbs)
+{
+    KernelLaunch l;
+    l.func = f;
+    l.grid = Dim3{tbs, 1, 1};
+    return l;
+}
+
+} // namespace
+
+// --- StreamTable ---------------------------------------------------------
+
+TEST(StreamTable, DefaultStreamExists)
+{
+    StreamTable t(32);
+    EXPECT_EQ(t.numStreams(), 1u);
+    EXPECT_EQ(t.hwqFor(0), 0u);
+}
+
+TEST(StreamTable, StreamsMapRoundRobinOntoHwqs)
+{
+    StreamTable t(4);
+    std::int32_t s1 = t.create();
+    std::int32_t s2 = t.create();
+    EXPECT_EQ(t.hwqFor(s1), 1u);
+    EXPECT_EQ(t.hwqFor(s2), 2u);
+    // More streams than HWQs: they share queues.
+    for (int i = 0; i < 4; ++i)
+        t.create();
+    EXPECT_EQ(t.hwqFor(4), 0u);
+}
+
+TEST(StreamTable, OutstandingCounting)
+{
+    StreamTable t(4);
+    t.kernelLaunched(0);
+    t.kernelLaunched(0);
+    EXPECT_EQ(t.outstanding(0), 2u);
+    t.kernelCompleted(0);
+    EXPECT_EQ(t.outstanding(0), 1u);
+}
+
+// --- KMU ---------------------------------------------------------------
+
+TEST(Kmu, HwqBlocksUntilCompletion)
+{
+    GpuConfig cfg = GpuConfig::k20c();
+    Kmu kmu(cfg);
+    kmu.enqueueHost(makeLaunch(0, 1), 0);
+    kmu.enqueueHost(makeLaunch(1, 1), 0);
+
+    auto d1 = kmu.nextDispatch(0);
+    ASSERT_TRUE(d1);
+    EXPECT_EQ(d1->launch.func, 0u);
+    // Same HWQ blocked: second kernel not dispatched yet.
+    EXPECT_FALSE(kmu.nextDispatch(0));
+    kmu.hwqKernelCompleted(0);
+    auto d2 = kmu.nextDispatch(0);
+    ASSERT_TRUE(d2);
+    EXPECT_EQ(d2->launch.func, 1u);
+}
+
+TEST(Kmu, IndependentHwqsDispatchConcurrently)
+{
+    GpuConfig cfg = GpuConfig::k20c();
+    Kmu kmu(cfg);
+    kmu.enqueueHost(makeLaunch(0, 1), 0);
+    kmu.enqueueHost(makeLaunch(1, 1), 1);
+    EXPECT_TRUE(kmu.nextDispatch(0));
+    EXPECT_TRUE(kmu.nextDispatch(0));
+    EXPECT_FALSE(kmu.idle()); // two blocked HWQs
+}
+
+TEST(Kmu, DeviceKernelsRespectArrivalTime)
+{
+    GpuConfig cfg = GpuConfig::k20c();
+    Kmu kmu(cfg);
+    kmu.enqueueDevice(makeLaunch(5, 1), 100);
+    EXPECT_FALSE(kmu.nextDispatch(50));
+    auto d = kmu.nextDispatch(100);
+    ASSERT_TRUE(d);
+    EXPECT_EQ(d->hwq, -1);
+}
+
+TEST(Kmu, DeviceQueueSortedByArrival)
+{
+    GpuConfig cfg = GpuConfig::k20c();
+    Kmu kmu(cfg);
+    kmu.enqueueDevice(makeLaunch(1, 1), 500); // long-latency launch
+    kmu.enqueueDevice(makeLaunch(2, 1), 100); // arrives earlier
+    EXPECT_EQ(kmu.nextDeviceArrival(), 100u);
+    auto d = kmu.nextDispatch(200);
+    ASSERT_TRUE(d);
+    EXPECT_EQ(d->launch.func, 2u);
+}
+
+// --- KernelDistributor ----------------------------------------------------
+
+TEST(KernelDistributor, AllocateUpToCapacity)
+{
+    GpuConfig cfg = GpuConfig::k20c();
+    KernelDistributor kd(cfg);
+    for (unsigned i = 0; i < cfg.maxConcurrentKernels; ++i)
+        EXPECT_GE(kd.allocate(makeLaunch(i, 1), -1, 0, 283), 0);
+    EXPECT_FALSE(kd.hasFreeEntry());
+    EXPECT_EQ(kd.allocate(makeLaunch(99, 1), -1, 0, 283), -1);
+}
+
+TEST(KernelDistributor, DispatchLatencyAppliesToSchedulableAt)
+{
+    GpuConfig cfg = GpuConfig::k20c();
+    KernelDistributor kd(cfg);
+    const std::int32_t idx = kd.allocate(makeLaunch(0, 4), -1, 1000, 283);
+    EXPECT_EQ(kd.entry(idx).schedulableAt, 1283u);
+    EXPECT_EQ(kd.entry(idx).totalNativeTbs, 4u);
+}
+
+TEST(KernelDistributor, LinkAggGroupChainsAndMarks)
+{
+    GpuConfig cfg = GpuConfig::k20c();
+    KernelDistributor kd(cfg);
+    Agt agt(64);
+    const std::int32_t idx = kd.allocate(makeLaunch(0, 1), -1, 0, 0);
+    Kde &e = kd.entry(idx);
+
+    AggGroup proto;
+    proto.numTbs = 2;
+    const std::int32_t g1 = agt.allocate(proto, 0);
+    const std::int32_t g2 = agt.allocate(proto, 1);
+
+    // Unmarked kernel: first link must request (re)marking.
+    EXPECT_TRUE(kd.linkAggGroup(idx, g1, agt));
+    EXPECT_EQ(e.nagei, g1);
+    EXPECT_EQ(e.lagei, g1);
+
+    // Marked kernel: second link chains behind and does not re-mark.
+    e.fcfsMarked = true;
+    EXPECT_FALSE(kd.linkAggGroup(idx, g2, agt));
+    EXPECT_EQ(e.nagei, g1);
+    EXPECT_EQ(e.lagei, g2);
+    EXPECT_EQ(agt.group(g1).next, g2);
+    EXPECT_EQ(e.pendingAggGroups, 2u);
+}
+
+TEST(KernelDistributor, CompletionRequiresEverything)
+{
+    GpuConfig cfg = GpuConfig::k20c();
+    KernelDistributor kd(cfg);
+    const std::int32_t idx = kd.allocate(makeLaunch(0, 1), -1, 0, 0);
+    Kde &e = kd.entry(idx);
+    EXPECT_FALSE(e.complete()); // native TB not yet distributed
+    e.nextNativeTb = 1;
+    e.exeBl = 1;
+    EXPECT_FALSE(e.complete()); // TB executing
+    e.exeBl = 0;
+    EXPECT_TRUE(e.complete());
+    e.fcfsMarked = true;
+    EXPECT_FALSE(e.complete());
+}
+
+// --- AGT --------------------------------------------------------------
+
+TEST(Agt, HashedSlotAllocation)
+{
+    Agt agt(16);
+    AggGroup proto;
+    // Slot = (hw_tid + allocation seq) & 15; first allocation has seq 0.
+    const std::int32_t a = agt.allocate(proto, 3);
+    EXPECT_TRUE(agt.group(a).onChip);
+    EXPECT_EQ(agt.group(a).agtSlot, 3);
+    // Second allocation (seq 1) aimed at the same slot -> spill.
+    const std::int32_t b = agt.allocate(proto, 2);
+    EXPECT_FALSE(agt.group(b).onChip);
+    EXPECT_EQ(agt.onChipCount(), 1u);
+    EXPECT_EQ(agt.liveCount(), 2u);
+}
+
+TEST(Agt, CollisionRateTracksOccupancy)
+{
+    // With many live groups, a smaller table must spill more often.
+    auto spills = [](unsigned size) {
+        Agt agt(size);
+        unsigned spilled = 0;
+        for (unsigned i = 0; i < 256; ++i) {
+            const std::int32_t id = agt.allocate(AggGroup{}, i * 37);
+            spilled += !agt.group(id).onChip;
+        }
+        return spilled;
+    };
+    EXPECT_GT(spills(64), spills(512));
+    EXPECT_EQ(spills(1024), 0u); // plenty of room, sequence spreads
+}
+
+TEST(Agt, ReleaseFreesSlotForReuse)
+{
+    Agt agt(16);
+    AggGroup proto;
+    const std::int32_t a = agt.allocate(proto, 5);
+    agt.release(a);
+    const std::int32_t b = agt.allocate(proto, 5);
+    EXPECT_TRUE(agt.group(b).onChip);
+    EXPECT_EQ(agt.liveCount(), 1u);
+}
+
+TEST(Agt, AccessAfterReleasePanics)
+{
+    Agt agt(16);
+    const std::int32_t a = agt.allocate(AggGroup{}, 0);
+    agt.release(a);
+    EXPECT_THROW(agt.group(a), std::logic_error);
+}
+
+TEST(Agt, PoolIdsStableAcrossUnrelatedReleases)
+{
+    Agt agt(16);
+    AggGroup proto;
+    proto.numTbs = 7;
+    const std::int32_t a = agt.allocate(proto, 0);
+    const std::int32_t b = agt.allocate(proto, 1);
+    agt.release(a);
+    EXPECT_EQ(agt.group(b).numTbs, 7u);
+}
+
+// --- DtblScheduler (Figure 5) ----------------------------------------------
+
+TEST(DtblScheduler, CoalescesToMatchingKernel)
+{
+    Agt agt(16);
+    GpuConfig cfg = GpuConfig::k20c();
+    SimStats stats;
+    DtblScheduler sched(agt, cfg, stats);
+
+    std::vector<CoalesceTarget> kdes(4);
+    kdes[2] = {true, true, KernelFuncId(7), 0};
+
+    AggLaunchRequest req;
+    req.func = 7;
+    req.numTbs = 3;
+    req.hwTid = 11;
+    const auto res = sched.process(req, kdes, 0);
+    EXPECT_TRUE(res.coalesced);
+    EXPECT_EQ(res.kdeIdx, 2);
+    EXPECT_TRUE(res.onChip);
+    EXPECT_EQ(agt.group(res.agei).numTbs, 3u);
+    EXPECT_EQ(stats.aggGroupsCoalesced, 1u);
+}
+
+TEST(DtblScheduler, SharedMemMismatchPreventsCoalescing)
+{
+    Agt agt(16);
+    GpuConfig cfg = GpuConfig::k20c();
+    SimStats stats;
+    DtblScheduler sched(agt, cfg, stats);
+
+    std::vector<CoalesceTarget> kdes(1);
+    kdes[0] = {true, true, KernelFuncId(7), 4096};
+
+    AggLaunchRequest req;
+    req.func = 7;
+    req.sharedMemBytes = 0;
+    EXPECT_FALSE(sched.process(req, kdes, 0).coalesced);
+}
+
+TEST(DtblScheduler, NoEligibleKernelFallsBack)
+{
+    Agt agt(16);
+    GpuConfig cfg = GpuConfig::k20c();
+    SimStats stats;
+    DtblScheduler sched(agt, cfg, stats);
+
+    std::vector<CoalesceTarget> kdes(2); // all invalid
+    AggLaunchRequest req;
+    req.func = 9;
+    EXPECT_FALSE(sched.process(req, kdes, 0).coalesced);
+    EXPECT_EQ(agt.liveCount(), 0u);
+}
+
+TEST(DtblScheduler, LaunchLatencyModel)
+{
+    Agt agt(16);
+    GpuConfig cfg = GpuConfig::k20c();
+    SimStats stats;
+    DtblScheduler sched(agt, cfg, stats);
+    EXPECT_EQ(sched.launchLatency(1),
+              cfg.kdeSearchCycles + cfg.agtProbeCycles);
+    EXPECT_EQ(sched.launchLatency(32),
+              cfg.kdeSearchCycles + 32 * cfg.agtProbeCycles);
+
+    GpuConfig ideal = GpuConfig::k20cIdeal();
+    DtblScheduler idealSched(agt, ideal, stats);
+    EXPECT_EQ(idealSched.launchLatency(32), 0u);
+}
+
+// --- Metrics derivation -----------------------------------------------------
+
+TEST(Metrics, DerivedValues)
+{
+    SimStats s;
+    s.warpInstrsIssued = 100;
+    s.activeLaneSum = 1600; // 16 of 32 lanes on average
+    s.dramReads = 30;
+    s.dramWrites = 10;
+    s.dramActivityCycles = 200;
+    s.residentWarpCycleSum = 416;
+    s.busyCycles = 1;
+    s.launchWaitCycleSum = 500;
+    s.launchWaitSamples = 5;
+    s.totalCycles = 1234;
+
+    const auto r = MetricsReport::from(s, "x", "Flat", 13, 64);
+    EXPECT_DOUBLE_EQ(r.warpActivityPct, 50.0);
+    EXPECT_DOUBLE_EQ(r.dramEfficiency, 0.2);
+    EXPECT_DOUBLE_EQ(r.smxOccupancyPct, 50.0);
+    EXPECT_DOUBLE_EQ(r.avgWaitingCycles, 100.0);
+    EXPECT_EQ(r.cycles, 1234u);
+}
+
+TEST(Metrics, FootprintAccounting)
+{
+    SimStats s;
+    s.reserveLaunchBytes(100);
+    s.reserveLaunchBytes(50);
+    EXPECT_EQ(s.peakPendingLaunchBytes, 150u);
+    s.releaseLaunchBytes(100);
+    s.reserveLaunchBytes(20);
+    EXPECT_EQ(s.peakPendingLaunchBytes, 150u);
+    EXPECT_EQ(s.pendingLaunchBytes, 70u);
+    EXPECT_THROW(s.releaseLaunchBytes(1000), std::logic_error);
+}

@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Tests for the harness layer: the benchmark runner contract, mode
+ * helpers and the report table utilities.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "apps/registry.hh"
+#include "harness/report.hh"
+#include "harness/runner.hh"
+
+using namespace dtbl;
+
+TEST(ModeHelpers, Names)
+{
+    EXPECT_STREQ(modeName(Mode::Flat), "Flat");
+    EXPECT_STREQ(modeName(Mode::Cdp), "CDP");
+    EXPECT_STREQ(modeName(Mode::CdpIdeal), "CDPI");
+    EXPECT_STREQ(modeName(Mode::Dtbl), "DTBL");
+    EXPECT_STREQ(modeName(Mode::DtblIdeal), "DTBLI");
+}
+
+TEST(ModeHelpers, Classification)
+{
+    EXPECT_FALSE(usesDynamicParallelism(Mode::Flat));
+    EXPECT_TRUE(usesDynamicParallelism(Mode::Cdp));
+    EXPECT_TRUE(usesDtbl(Mode::DtblIdeal));
+    EXPECT_FALSE(usesDtbl(Mode::CdpIdeal));
+    EXPECT_TRUE(isIdealMode(Mode::CdpIdeal));
+    EXPECT_FALSE(isIdealMode(Mode::Dtbl));
+}
+
+TEST(ModeHelpers, ConfigForMode)
+{
+    EXPECT_TRUE(configForMode(Mode::Cdp, GpuConfig::k20c())
+                    .modelLaunchLatency);
+    EXPECT_FALSE(configForMode(Mode::CdpIdeal, GpuConfig::k20c())
+                     .modelLaunchLatency);
+}
+
+TEST(Registry, HasAllSixteenBenchmarks)
+{
+    EXPECT_EQ(allBenchmarks().size(), 16u);
+    for (const auto &s : allBenchmarks()) {
+        auto app = s.make();
+        ASSERT_NE(app, nullptr);
+        EXPECT_EQ(app->name(), s.id);
+    }
+}
+
+TEST(Registry, UnknownIdIsFatal)
+{
+    EXPECT_THROW(makeBenchmark("nope"), std::runtime_error);
+}
+
+TEST(Runner, ProducesVerifiedReport)
+{
+    auto app = makeBenchmark("join_uniform");
+    const BenchResult r = runBenchmark(*app, Mode::Flat);
+    EXPECT_TRUE(r.verified);
+    EXPECT_GT(r.report.cycles, 0u);
+    EXPECT_EQ(r.report.benchmark, "join_uniform");
+    EXPECT_EQ(r.report.mode, "Flat");
+    EXPECT_GT(r.report.warpActivityPct, 0.0);
+}
+
+TEST(Table, AlignedOutputAndCsv)
+{
+    Table t({"name", "value"});
+    t.addRow({"alpha", "1"});
+    t.addRow({"b", "22"});
+    std::ostringstream text, csv;
+    t.print(text);
+    t.printCsv(csv);
+    EXPECT_NE(text.str().find("alpha"), std::string::npos);
+    EXPECT_EQ(csv.str(), "name,value\nalpha,1\nb,22\n");
+}
+
+TEST(Table, RowWidthMismatchPanics)
+{
+    Table t({"a", "b"});
+    EXPECT_THROW(t.addRow({"only-one"}), std::logic_error);
+}
+
+TEST(Table, Geomean)
+{
+    EXPECT_DOUBLE_EQ(Table::geomean({4.0, 1.0}), 2.0);
+    EXPECT_DOUBLE_EQ(Table::geomean({}), 0.0);
+    EXPECT_NEAR(Table::geomean({2.0, 2.0, 2.0}), 2.0, 1e-12);
+}
+
+TEST(Table, NumFormatting)
+{
+    EXPECT_EQ(Table::num(1.23456, 2), "1.23");
+    EXPECT_EQ(Table::num(2.0, 0), "2");
+}

@@ -1,0 +1,221 @@
+/**
+ * @file
+ * Unit tests for the ISA layer: builder emission, structured control
+ * flow shapes (branch targets and reconvergence annotations), operand
+ * encoding and the disassembler.
+ */
+
+#include <gtest/gtest.h>
+
+#include "isa/kernel_builder.hh"
+
+using namespace dtbl;
+
+namespace {
+
+KernelFunction
+buildAndGet(KernelBuilder &b)
+{
+    Program prog;
+    const KernelFuncId id = b.build(prog);
+    return prog.function(id);
+}
+
+} // namespace
+
+TEST(Operand, Encodings)
+{
+    EXPECT_EQ(Operand::reg(7).kind, Operand::Kind::Reg);
+    EXPECT_EQ(Operand::reg(7).value, 7u);
+    EXPECT_EQ(Operand::imm(42).value, 42u);
+    EXPECT_EQ(Operand::immF(1.0f).value, 0x3f800000u);
+    EXPECT_EQ(Operand::special(SReg::TidX).kind, Operand::Kind::Special);
+    EXPECT_TRUE(Operand::none().isNone());
+}
+
+TEST(KernelBuilder, AppendsTerminalExit)
+{
+    KernelBuilder b("k", Dim3{32});
+    b.add(Val(1u), Val(2u));
+    const auto fn = buildAndGet(b);
+    EXPECT_EQ(fn.code.back().op, Opcode::Exit);
+    EXPECT_LT(fn.code.back().pred, 0);
+}
+
+TEST(KernelBuilder, NoDuplicateExitWhenPresent)
+{
+    KernelBuilder b("k", Dim3{32});
+    b.add(Val(1u), Val(2u));
+    b.exit();
+    const auto fn = buildAndGet(b);
+    EXPECT_EQ(fn.code.size(), 2u);
+}
+
+TEST(KernelBuilder, PredicatedExitStillGetsTerminal)
+{
+    KernelBuilder b("k", Dim3{32});
+    Pred p = b.setp(CmpOp::Eq, DataType::U32, Val(1u), Val(1u));
+    b.exitIf(p);
+    const auto fn = buildAndGet(b);
+    // setp, predicated exit, unconditional exit.
+    EXPECT_EQ(fn.code.size(), 3u);
+    EXPECT_GE(fn.code[1].pred, 0);
+    EXPECT_LT(fn.code[2].pred, 0);
+}
+
+TEST(KernelBuilder, RegisterAndPredicateCountsRecorded)
+{
+    KernelBuilder b("k", Dim3{64});
+    Reg r1 = b.reg();
+    Reg r2 = b.reg();
+    (void)r1;
+    (void)r2;
+    b.pred();
+    const auto fn = buildAndGet(b);
+    EXPECT_EQ(fn.numRegs, 2u);
+    EXPECT_EQ(fn.numPreds, 1u);
+    EXPECT_EQ(fn.tbDim, Dim3(64));
+}
+
+TEST(KernelBuilder, IfEmitsForwardBranchWithReconv)
+{
+    KernelBuilder b("k", Dim3{32});
+    Pred p = b.setp(CmpOp::Lt, DataType::U32, Val(SReg::TidX), Val(16u));
+    b.if_(p, [&] {
+        b.add(Val(1u), Val(2u));
+        b.add(Val(3u), Val(4u));
+    });
+    const auto fn = buildAndGet(b);
+    const Instruction &bra = fn.code[1];
+    ASSERT_EQ(bra.op, Opcode::Bra);
+    EXPECT_EQ(bra.pred, 0);
+    EXPECT_FALSE(bra.predSense); // jump over body when condition false
+    EXPECT_EQ(bra.target, 4);    // past the two adds
+    EXPECT_EQ(bra.reconv, 4);
+}
+
+TEST(KernelBuilder, IfElseBranchShape)
+{
+    KernelBuilder b("k", Dim3{32});
+    Pred p = b.setp(CmpOp::Lt, DataType::U32, Val(SReg::TidX), Val(16u));
+    b.ifElse(p, [&] { b.add(Val(1u), Val(1u)); },
+             [&] { b.add(Val(2u), Val(2u)); });
+    const auto fn = buildAndGet(b);
+    // 0: setp, 1: bra !p -> else, 2: then-add, 3: bra -> end, 4: else-add
+    const Instruction &cond = fn.code[1];
+    const Instruction &skip = fn.code[3];
+    EXPECT_EQ(cond.target, 4);
+    EXPECT_EQ(cond.reconv, 5);
+    EXPECT_EQ(skip.op, Opcode::Bra);
+    EXPECT_LT(skip.pred, 0);
+    EXPECT_EQ(skip.target, 5);
+}
+
+TEST(KernelBuilder, WhileLoopBackEdgeAndExit)
+{
+    KernelBuilder b("k", Dim3{32});
+    Reg i = b.mov(0u);
+    b.whileLoop(
+        [&] { return b.setp(CmpOp::Lt, DataType::U32, i, Val(10u)); },
+        [&] { b.binaryTo(i, Opcode::Add, DataType::U32, i, Val(1u)); });
+    const auto fn = buildAndGet(b);
+    // 0: mov, 1: setp (head), 2: bra !p -> exit, 3: add, 4: bra -> head
+    const Instruction &exitBra = fn.code[2];
+    const Instruction &backBra = fn.code[4];
+    EXPECT_EQ(exitBra.target, 5);
+    EXPECT_EQ(exitBra.reconv, 5);
+    EXPECT_FALSE(exitBra.predSense);
+    EXPECT_EQ(backBra.target, 1);
+    EXPECT_LT(backBra.pred, 0);
+}
+
+TEST(KernelBuilder, BreakIfPatchesToLoopExit)
+{
+    KernelBuilder b("k", Dim3{32});
+    Reg i = b.mov(0u);
+    b.whileLoop(
+        [&] { return b.setp(CmpOp::Lt, DataType::U32, i, Val(10u)); },
+        [&] {
+            Pred stop =
+                b.setp(CmpOp::Eq, DataType::U32, i, Val(5u));
+            b.breakIf(stop);
+            b.binaryTo(i, Opcode::Add, DataType::U32, i, Val(1u));
+        });
+    const auto fn = buildAndGet(b);
+    // Find the break branch (predicated, sense true) and check target.
+    bool found = false;
+    for (const auto &inst : fn.code) {
+        if (inst.op == Opcode::Bra && inst.pred >= 0 && inst.predSense) {
+            EXPECT_EQ(inst.target, inst.reconv);
+            EXPECT_EQ(std::size_t(inst.target), fn.code.size() - 1);
+            found = true;
+        }
+    }
+    EXPECT_TRUE(found);
+}
+
+TEST(KernelBuilder, BreakOutsideLoopPanics)
+{
+    KernelBuilder b("k", Dim3{32});
+    Pred p = b.setp(CmpOp::Eq, DataType::U32, Val(0u), Val(0u));
+    EXPECT_THROW(b.breakIf(p), std::logic_error);
+}
+
+TEST(KernelBuilder, LdParamGrowsParamBytes)
+{
+    KernelBuilder b("k", Dim3{32}, 0, 8);
+    b.ldParam(48);
+    const auto fn = buildAndGet(b);
+    EXPECT_GE(fn.paramBytes, 52u);
+}
+
+TEST(KernelBuilder, LaunchOperandsEncoded)
+{
+    KernelBuilder b("k", Dim3{32});
+    Reg buf = b.getParameterBuffer(24);
+    b.launchAggGroup(KernelFuncId(3), Val(7u), buf, 128);
+    const auto fn = buildAndGet(b);
+    const Instruction &launch = fn.code[1];
+    ASSERT_EQ(launch.op, Opcode::LaunchAgg);
+    EXPECT_EQ(launch.launch.func, 3u);
+    EXPECT_EQ(launch.launch.numTbs.value, 7u);
+    EXPECT_EQ(launch.launch.sharedMemBytes, 128u);
+    EXPECT_EQ(launch.launch.paramAddr.kind, Operand::Kind::Reg);
+}
+
+TEST(KernelBuilder, DoubleBuildPanics)
+{
+    KernelBuilder b("k", Dim3{32});
+    Program prog;
+    b.build(prog);
+    EXPECT_THROW(b.build(prog), std::logic_error);
+}
+
+TEST(Program, AssignsSequentialIds)
+{
+    Program prog;
+    KernelBuilder a("a", Dim3{32}), bb("b", Dim3{32});
+    EXPECT_EQ(a.build(prog), 0u);
+    EXPECT_EQ(bb.build(prog), 1u);
+    EXPECT_EQ(prog.function(1).name, "b");
+    EXPECT_THROW(prog.function(2), std::logic_error);
+}
+
+TEST(Disasm, CoversRepresentativeInstructions)
+{
+    KernelBuilder b("k", Dim3{32});
+    Reg r = b.add(Val(1u), Val(SReg::TidX));
+    Pred p = b.setp(CmpOp::Lt, DataType::F32, r, Val(2.0f));
+    b.if_(p, [&] { b.st(MemSpace::Shared, r, Val(5u), 8); });
+    b.atom(AtomOp::Add, DataType::U32, r, Val(1u));
+    b.bar();
+    const auto fn = buildAndGet(b);
+    const std::string text = fn.disassemble();
+    EXPECT_NE(text.find("add.u32"), std::string::npos);
+    EXPECT_NE(text.find("%tid.x"), std::string::npos);
+    EXPECT_NE(text.find("setp.lt.f32"), std::string::npos);
+    EXPECT_NE(text.find("st.shared.b32"), std::string::npos);
+    EXPECT_NE(text.find("atom.global.b32"), std::string::npos);
+    EXPECT_NE(text.find("bar.sync"), std::string::npos);
+    EXPECT_NE(text.find("reconv"), std::string::npos);
+}

@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Cross-mode metric invariants on fast benchmarks — the properties the
+ * paper's evaluation relies on, asserted as tests so regressions in the
+ * launch paths or metrics are caught without running the full sweep.
+ */
+
+#include <gtest/gtest.h>
+
+#include "apps/registry.hh"
+#include "harness/runner.hh"
+
+using namespace dtbl;
+
+namespace {
+
+BenchResult
+run(const std::string &id, Mode m)
+{
+    auto app = makeBenchmark(id);
+    return runBenchmark(*app, m);
+}
+
+} // namespace
+
+TEST(ModeInvariants, CdpAndDtblMatchWarpActivity)
+{
+    // Both launch the same dynamic workloads (Section 5.2A).
+    const auto cdp = run("join_gaussian", Mode::Cdp);
+    const auto dtbl = run("join_gaussian", Mode::Dtbl);
+    EXPECT_NEAR(cdp.report.warpActivityPct, dtbl.report.warpActivityPct,
+                1.0);
+    EXPECT_EQ(cdp.report.dynamicLaunches, dtbl.report.dynamicLaunches);
+}
+
+TEST(ModeInvariants, IdealNeverSlowerThanModeled)
+{
+    for (const char *id : {"join_gaussian", "bfs_citation"}) {
+        const auto cdp = run(id, Mode::Cdp);
+        const auto cdpi = run(id, Mode::CdpIdeal);
+        const auto dtbl = run(id, Mode::Dtbl);
+        const auto dtbli = run(id, Mode::DtblIdeal);
+        EXPECT_LE(cdpi.report.cycles, cdp.report.cycles) << id;
+        EXPECT_LE(dtbli.report.cycles, dtbl.report.cycles) << id;
+    }
+}
+
+TEST(ModeInvariants, DtblOccupancyAtLeastCdp)
+{
+    const auto cdp = run("bfs_citation", Mode::Cdp);
+    const auto dtbl = run("bfs_citation", Mode::Dtbl);
+    EXPECT_GE(dtbl.report.smxOccupancyPct,
+              cdp.report.smxOccupancyPct * 0.95);
+}
+
+TEST(ModeInvariants, DtblFootprintNeverAboveCdp)
+{
+    for (const char *id : {"bfs_citation", "join_gaussian", "regx_darpa"}) {
+        const auto cdp = run(id, Mode::Cdp);
+        const auto dtbl = run(id, Mode::Dtbl);
+        EXPECT_LE(dtbl.report.peakFootprintBytes,
+                  cdp.report.peakFootprintBytes)
+            << id;
+    }
+}
+
+TEST(ModeInvariants, NoDfpBenchmarksAreModeInsensitive)
+{
+    // bfs_usa_road has no vertex above the launch threshold: all modes
+    // must run essentially the same schedule (Section 5.2C).
+    const auto flat = run("bfs_usa_road", Mode::Flat);
+    const auto dtbl = run("bfs_usa_road", Mode::Dtbl);
+    EXPECT_EQ(dtbl.report.dynamicLaunches, 0u);
+    const double ratio =
+        double(flat.report.cycles) / double(dtbl.report.cycles);
+    EXPECT_GT(ratio, 0.9);
+    EXPECT_LT(ratio, 1.1);
+}
+
+TEST(ModeInvariants, HighCoalesceRateWithDynamicWork)
+{
+    // The paper's ~98% eligibility-match claim (Section 4.2).
+    for (const char *id : {"bfs_citation", "join_gaussian"}) {
+        const auto dtbl = run(id, Mode::Dtbl);
+        ASSERT_GT(dtbl.stats.aggGroupLaunches, 0u) << id;
+        EXPECT_GE(dtbl.report.aggCoalesceRate, 0.9) << id;
+    }
+}
+
+TEST(ModeInvariants, DeterministicAcrossRuns)
+{
+    // Same benchmark + mode twice: identical cycle counts and metrics
+    // (the simulator has no hidden nondeterminism).
+    const auto a = run("join_gaussian", Mode::Dtbl);
+    const auto b = run("join_gaussian", Mode::Dtbl);
+    EXPECT_EQ(a.report.cycles, b.report.cycles);
+    EXPECT_EQ(a.stats.warpInstrsIssued, b.stats.warpInstrsIssued);
+    EXPECT_EQ(a.stats.aggGroupsCoalesced, b.stats.aggGroupsCoalesced);
+}

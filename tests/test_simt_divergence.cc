@@ -1,0 +1,244 @@
+/**
+ * @file
+ * Property tests for the SIMT execution engine: divergence/reconvergence
+ * correctness under nested and data-dependent control flow, compared
+ * against a scalar reference interpreter of the same logic.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hh"
+#include "gpu/gpu.hh"
+#include "isa/kernel_builder.hh"
+
+using namespace dtbl;
+
+namespace {
+
+/** Run a single-kernel program over `n` threads and return `out[]`. */
+std::vector<std::uint32_t>
+runKernel(Program &prog, KernelFuncId k, const std::vector<std::uint32_t> &in,
+          unsigned tb_size)
+{
+    Gpu gpu(GpuConfig::k20c(), prog);
+    const auto n = std::uint32_t(in.size());
+    const Addr inAddr = gpu.mem().upload(in);
+    const Addr outAddr = gpu.mem().allocate(n * 4 + 4);
+    gpu.launch(k, Dim3{(n + tb_size - 1) / tb_size},
+               {n, std::uint32_t(inAddr), std::uint32_t(outAddr)});
+    gpu.synchronize();
+    return gpu.mem().download<std::uint32_t>(outAddr, n);
+}
+
+} // namespace
+
+TEST(SimtDivergence, NestedIfElse)
+{
+    // out = (v & 1) ? (v & 2 ? v*3 : v*5) : (v & 2 ? v+7 : v+11)
+    Program prog;
+    KernelBuilder b("nested", Dim3{32});
+    Reg tid = b.globalThreadIdX();
+    Reg n = b.ldParam(0);
+    b.exitIf(b.setp(CmpOp::Ge, DataType::U32, tid, n));
+    Reg inR = b.ldParam(4);
+    Reg outR = b.ldParam(8);
+    Reg off = b.shl(tid, 2);
+    Reg v = b.ld(MemSpace::Global, b.add(inR, off));
+    Reg res = b.mov(0u);
+    Pred p1 = b.setp(CmpOp::Ne, DataType::U32, b.and_(v, 1u), Val(0u));
+    Pred p2 = b.setp(CmpOp::Ne, DataType::U32, b.and_(v, 2u), Val(0u));
+    b.ifElse(
+        p1,
+        [&] {
+            b.ifElse(p2, [&] { b.binaryTo(res, Opcode::Mul,
+                                          DataType::U32, v, Val(3u)); },
+                     [&] { b.binaryTo(res, Opcode::Mul, DataType::U32, v,
+                                      Val(5u)); });
+        },
+        [&] {
+            b.ifElse(p2, [&] { b.binaryTo(res, Opcode::Add,
+                                          DataType::U32, v, Val(7u)); },
+                     [&] { b.binaryTo(res, Opcode::Add, DataType::U32, v,
+                                      Val(11u)); });
+        });
+    b.st(MemSpace::Global, b.add(outR, off), res);
+    const KernelFuncId k = b.build(prog);
+
+    std::vector<std::uint32_t> in(256);
+    Rng rng(1);
+    for (auto &x : in)
+        x = std::uint32_t(rng.next());
+    const auto got = runKernel(prog, k, in, 32);
+    for (std::size_t i = 0; i < in.size(); ++i) {
+        const std::uint32_t v = in[i];
+        const std::uint32_t want =
+            (v & 1) ? ((v & 2) ? v * 3 : v * 5)
+                    : ((v & 2) ? v + 7 : v + 11);
+        ASSERT_EQ(got[i], want) << "i=" << i;
+    }
+}
+
+TEST(SimtDivergence, DataDependentNestedLoops)
+{
+    // out = sum_{i<a} sum_{j<(i%4)} (i*j), with a = v % 23.
+    Program prog;
+    KernelBuilder b("loops", Dim3{32});
+    Reg tid = b.globalThreadIdX();
+    Reg n = b.ldParam(0);
+    b.exitIf(b.setp(CmpOp::Ge, DataType::U32, tid, n));
+    Reg inR = b.ldParam(4);
+    Reg outR = b.ldParam(8);
+    Reg off = b.shl(tid, 2);
+    Reg v = b.ld(MemSpace::Global, b.add(inR, off));
+    Reg a = b.rem(v, 23u);
+    Reg acc = b.mov(0u);
+    b.forRange(Val(0u), a, [&](Reg i) {
+        Reg lim = b.rem(i, 4u);
+        b.forRange(Val(0u), lim, [&](Reg j) {
+            Reg ij = b.mul(i, j);
+            b.binaryTo(acc, Opcode::Add, DataType::U32, acc, ij);
+        });
+    });
+    b.st(MemSpace::Global, b.add(outR, off), acc);
+    const KernelFuncId k = b.build(prog);
+
+    std::vector<std::uint32_t> in(300);
+    Rng rng(2);
+    for (auto &x : in)
+        x = std::uint32_t(rng.next());
+    const auto got = runKernel(prog, k, in, 32);
+    for (std::size_t t = 0; t < in.size(); ++t) {
+        std::uint32_t want = 0;
+        for (std::uint32_t i = 0; i < in[t] % 23; ++i) {
+            for (std::uint32_t j = 0; j < i % 4; ++j)
+                want += i * j;
+        }
+        ASSERT_EQ(got[t], want) << "t=" << t;
+    }
+}
+
+TEST(SimtDivergence, BreakInsideDivergentLoop)
+{
+    // out = first multiple of 7 >= v, found by linear search with break.
+    Program prog;
+    KernelBuilder b("brk", Dim3{32});
+    Reg tid = b.globalThreadIdX();
+    Reg n = b.ldParam(0);
+    b.exitIf(b.setp(CmpOp::Ge, DataType::U32, tid, n));
+    Reg inR = b.ldParam(4);
+    Reg outR = b.ldParam(8);
+    Reg off = b.shl(tid, 2);
+    Reg v = b.ld(MemSpace::Global, b.add(inR, off));
+    Reg found = b.mov(0u);
+    Reg i = b.mov(v);
+    b.whileLoop(
+        [&] {
+            return b.setp(CmpOp::Eq, DataType::U32, found, Val(0u));
+        },
+        [&] {
+            Reg r = b.rem(i, 7u);
+            Pred hit = b.setp(CmpOp::Eq, DataType::U32, r, Val(0u));
+            b.if_(hit, [&] { b.movTo(found, Val(1u)); });
+            b.breakIf(hit);
+            b.binaryTo(i, Opcode::Add, DataType::U32, i, Val(1u));
+        });
+    b.st(MemSpace::Global, b.add(outR, off), i);
+    const KernelFuncId k = b.build(prog);
+
+    std::vector<std::uint32_t> in(200);
+    for (std::size_t t = 0; t < in.size(); ++t)
+        in[t] = std::uint32_t(t * 13 % 101);
+    const auto got = runKernel(prog, k, in, 32);
+    for (std::size_t t = 0; t < in.size(); ++t) {
+        std::uint32_t want = in[t];
+        while (want % 7 != 0)
+            ++want;
+        ASSERT_EQ(got[t], want) << "t=" << t;
+    }
+}
+
+TEST(SimtDivergence, EarlyExitLanesDoNotPerturbOthers)
+{
+    // Odd lanes exit immediately; even lanes still compute.
+    Program prog;
+    KernelBuilder b("exit_mix", Dim3{32});
+    Reg tid = b.globalThreadIdX();
+    Reg n = b.ldParam(0);
+    b.exitIf(b.setp(CmpOp::Ge, DataType::U32, tid, n));
+    Reg inR = b.ldParam(4);
+    Reg outR = b.ldParam(8);
+    Pred odd = b.setp(CmpOp::Ne, DataType::U32, b.and_(tid, 1u), Val(0u));
+    b.exitIf(odd);
+    Reg off = b.shl(tid, 2);
+    Reg v = b.ld(MemSpace::Global, b.add(inR, off));
+    b.st(MemSpace::Global, b.add(outR, off), b.mul(v, 2u));
+    const KernelFuncId k = b.build(prog);
+
+    std::vector<std::uint32_t> in(100, 21);
+    const auto got = runKernel(prog, k, in, 32);
+    for (std::size_t t = 0; t < in.size(); ++t) {
+        if (t % 2 == 0)
+            EXPECT_EQ(got[t], 42u);
+        else
+            EXPECT_EQ(got[t], 0u); // untouched
+    }
+}
+
+TEST(SimtDivergence, WarpActivityReflectsMaskedLanes)
+{
+    // Half the lanes do 10x the work; warp activity must sit strictly
+    // between the all-active and one-lane extremes.
+    Program prog;
+    KernelBuilder b("halfwork", Dim3{32});
+    Reg tid = b.globalThreadIdX();
+    Reg n = b.ldParam(0);
+    b.exitIf(b.setp(CmpOp::Ge, DataType::U32, tid, n));
+    Pred heavy =
+        b.setp(CmpOp::Lt, DataType::U32, b.and_(tid, 31u), Val(16u));
+    b.if_(heavy, [&] {
+        b.forRange(Val(0u), Val(64u), [&](Reg) {
+            b.add(Val(1u), Val(2u));
+        });
+    });
+    const KernelFuncId k = b.build(prog);
+
+    Gpu gpu(GpuConfig::k20c(), prog);
+    gpu.launch(k, Dim3{4}, {128u, 0u, 0u});
+    gpu.synchronize();
+    const auto r = gpu.report("halfwork", "flat");
+    EXPECT_GT(r.warpActivityPct, 30.0);
+    EXPECT_LT(r.warpActivityPct, 80.0);
+}
+
+TEST(SimtDivergence, DeepRecursionBoundedStack)
+{
+    // Chain of nested ifs, each shaving one lane: exercises stack depth
+    // up to ~warp size without overflow.
+    Program prog;
+    KernelBuilder b("peel", Dim3{32});
+    Reg lane = b.mov(SReg::LaneId);
+    Reg outR = b.ldParam(4);
+    Reg acc = b.mov(0u);
+    std::function<void(unsigned)> peel = [&](unsigned depth) {
+        if (depth == 16)
+            return;
+        Pred p = b.setp(CmpOp::Gt, DataType::U32, lane, Val(depth));
+        b.if_(p, [&] {
+            b.binaryTo(acc, Opcode::Add, DataType::U32, acc, Val(1u));
+            peel(depth + 1);
+        });
+    };
+    peel(0);
+    b.st(MemSpace::Global, b.add(outR, b.shl(lane, 2)), acc);
+    const KernelFuncId k = b.build(prog);
+
+    Gpu gpu(GpuConfig::k20c(), prog);
+    const Addr outAddr = gpu.mem().allocate(32 * 4);
+    gpu.launch(k, Dim3{1}, {0u, std::uint32_t(outAddr)});
+    gpu.synchronize();
+    for (unsigned lane = 0; lane < 32; ++lane) {
+        const std::uint32_t want = std::min(lane, 16u);
+        EXPECT_EQ(gpu.mem().read32(outAddr + lane * 4), want)
+            << "lane " << lane;
+    }
+}
