@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_dtbl.dir/bench_ablation_dtbl.cc.o"
+  "CMakeFiles/bench_ablation_dtbl.dir/bench_ablation_dtbl.cc.o.d"
+  "bench_ablation_dtbl"
+  "bench_ablation_dtbl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_dtbl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig06_warp_activity.dir/bench_fig06_warp_activity.cc.o"
+  "CMakeFiles/bench_fig06_warp_activity.dir/bench_fig06_warp_activity.cc.o.d"
+  "bench_fig06_warp_activity"
+  "bench_fig06_warp_activity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig06_warp_activity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

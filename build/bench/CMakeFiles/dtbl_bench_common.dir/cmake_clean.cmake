@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dtbl_bench_common.dir/eval_common.cc.o"
+  "CMakeFiles/dtbl_bench_common.dir/eval_common.cc.o.d"
+  "libdtbl_bench_common.a"
+  "libdtbl_bench_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dtbl_bench_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

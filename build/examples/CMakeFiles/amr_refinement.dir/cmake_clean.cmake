@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/amr_refinement.dir/amr_refinement.cpp.o"
+  "CMakeFiles/amr_refinement.dir/amr_refinement.cpp.o.d"
+  "amr_refinement"
+  "amr_refinement.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/amr_refinement.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bfs_traversal.dir/bfs_traversal.cpp.o"
+  "CMakeFiles/bfs_traversal.dir/bfs_traversal.cpp.o.d"
+  "bfs_traversal"
+  "bfs_traversal.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bfs_traversal.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/launch_overhead_explorer.dir/launch_overhead_explorer.cpp.o"
+  "CMakeFiles/launch_overhead_explorer.dir/launch_overhead_explorer.cpp.o.d"
+  "launch_overhead_explorer"
+  "launch_overhead_explorer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/launch_overhead_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/relational_join.dir/relational_join.cpp.o"
+  "CMakeFiles/relational_join.dir/relational_join.cpp.o.d"
+  "relational_join"
+  "relational_join.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/relational_join.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

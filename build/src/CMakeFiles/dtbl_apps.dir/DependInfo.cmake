@@ -1,0 +1,36 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/apps/amr.cc" "src/CMakeFiles/dtbl_apps.dir/apps/amr.cc.o" "gcc" "src/CMakeFiles/dtbl_apps.dir/apps/amr.cc.o.d"
+  "/root/repo/src/apps/app.cc" "src/CMakeFiles/dtbl_apps.dir/apps/app.cc.o" "gcc" "src/CMakeFiles/dtbl_apps.dir/apps/app.cc.o.d"
+  "/root/repo/src/apps/bfs.cc" "src/CMakeFiles/dtbl_apps.dir/apps/bfs.cc.o" "gcc" "src/CMakeFiles/dtbl_apps.dir/apps/bfs.cc.o.d"
+  "/root/repo/src/apps/bht.cc" "src/CMakeFiles/dtbl_apps.dir/apps/bht.cc.o" "gcc" "src/CMakeFiles/dtbl_apps.dir/apps/bht.cc.o.d"
+  "/root/repo/src/apps/clr.cc" "src/CMakeFiles/dtbl_apps.dir/apps/clr.cc.o" "gcc" "src/CMakeFiles/dtbl_apps.dir/apps/clr.cc.o.d"
+  "/root/repo/src/apps/datasets/generators.cc" "src/CMakeFiles/dtbl_apps.dir/apps/datasets/generators.cc.o" "gcc" "src/CMakeFiles/dtbl_apps.dir/apps/datasets/generators.cc.o.d"
+  "/root/repo/src/apps/datasets/graph.cc" "src/CMakeFiles/dtbl_apps.dir/apps/datasets/graph.cc.o" "gcc" "src/CMakeFiles/dtbl_apps.dir/apps/datasets/graph.cc.o.d"
+  "/root/repo/src/apps/join.cc" "src/CMakeFiles/dtbl_apps.dir/apps/join.cc.o" "gcc" "src/CMakeFiles/dtbl_apps.dir/apps/join.cc.o.d"
+  "/root/repo/src/apps/pre.cc" "src/CMakeFiles/dtbl_apps.dir/apps/pre.cc.o" "gcc" "src/CMakeFiles/dtbl_apps.dir/apps/pre.cc.o.d"
+  "/root/repo/src/apps/registry.cc" "src/CMakeFiles/dtbl_apps.dir/apps/registry.cc.o" "gcc" "src/CMakeFiles/dtbl_apps.dir/apps/registry.cc.o.d"
+  "/root/repo/src/apps/regx.cc" "src/CMakeFiles/dtbl_apps.dir/apps/regx.cc.o" "gcc" "src/CMakeFiles/dtbl_apps.dir/apps/regx.cc.o.d"
+  "/root/repo/src/apps/sssp.cc" "src/CMakeFiles/dtbl_apps.dir/apps/sssp.cc.o" "gcc" "src/CMakeFiles/dtbl_apps.dir/apps/sssp.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/dtbl_gpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dtbl_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dtbl_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dtbl_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dtbl_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dtbl_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,33 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dtbl_apps.dir/apps/amr.cc.o"
+  "CMakeFiles/dtbl_apps.dir/apps/amr.cc.o.d"
+  "CMakeFiles/dtbl_apps.dir/apps/app.cc.o"
+  "CMakeFiles/dtbl_apps.dir/apps/app.cc.o.d"
+  "CMakeFiles/dtbl_apps.dir/apps/bfs.cc.o"
+  "CMakeFiles/dtbl_apps.dir/apps/bfs.cc.o.d"
+  "CMakeFiles/dtbl_apps.dir/apps/bht.cc.o"
+  "CMakeFiles/dtbl_apps.dir/apps/bht.cc.o.d"
+  "CMakeFiles/dtbl_apps.dir/apps/clr.cc.o"
+  "CMakeFiles/dtbl_apps.dir/apps/clr.cc.o.d"
+  "CMakeFiles/dtbl_apps.dir/apps/datasets/generators.cc.o"
+  "CMakeFiles/dtbl_apps.dir/apps/datasets/generators.cc.o.d"
+  "CMakeFiles/dtbl_apps.dir/apps/datasets/graph.cc.o"
+  "CMakeFiles/dtbl_apps.dir/apps/datasets/graph.cc.o.d"
+  "CMakeFiles/dtbl_apps.dir/apps/join.cc.o"
+  "CMakeFiles/dtbl_apps.dir/apps/join.cc.o.d"
+  "CMakeFiles/dtbl_apps.dir/apps/pre.cc.o"
+  "CMakeFiles/dtbl_apps.dir/apps/pre.cc.o.d"
+  "CMakeFiles/dtbl_apps.dir/apps/registry.cc.o"
+  "CMakeFiles/dtbl_apps.dir/apps/registry.cc.o.d"
+  "CMakeFiles/dtbl_apps.dir/apps/regx.cc.o"
+  "CMakeFiles/dtbl_apps.dir/apps/regx.cc.o.d"
+  "CMakeFiles/dtbl_apps.dir/apps/sssp.cc.o"
+  "CMakeFiles/dtbl_apps.dir/apps/sssp.cc.o.d"
+  "libdtbl_apps.a"
+  "libdtbl_apps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dtbl_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

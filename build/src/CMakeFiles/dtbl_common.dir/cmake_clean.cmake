@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dtbl_common.dir/common/config.cc.o"
+  "CMakeFiles/dtbl_common.dir/common/config.cc.o.d"
+  "CMakeFiles/dtbl_common.dir/common/log.cc.o"
+  "CMakeFiles/dtbl_common.dir/common/log.cc.o.d"
+  "CMakeFiles/dtbl_common.dir/common/rng.cc.o"
+  "CMakeFiles/dtbl_common.dir/common/rng.cc.o.d"
+  "libdtbl_common.a"
+  "libdtbl_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dtbl_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

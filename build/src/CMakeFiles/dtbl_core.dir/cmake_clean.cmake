@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dtbl_core.dir/core/agt.cc.o"
+  "CMakeFiles/dtbl_core.dir/core/agt.cc.o.d"
+  "CMakeFiles/dtbl_core.dir/core/dtbl_scheduler.cc.o"
+  "CMakeFiles/dtbl_core.dir/core/dtbl_scheduler.cc.o.d"
+  "libdtbl_core.a"
+  "libdtbl_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dtbl_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/gpu/device_runtime.cc" "src/CMakeFiles/dtbl_gpu.dir/gpu/device_runtime.cc.o" "gcc" "src/CMakeFiles/dtbl_gpu.dir/gpu/device_runtime.cc.o.d"
+  "/root/repo/src/gpu/gpu.cc" "src/CMakeFiles/dtbl_gpu.dir/gpu/gpu.cc.o" "gcc" "src/CMakeFiles/dtbl_gpu.dir/gpu/gpu.cc.o.d"
+  "/root/repo/src/gpu/kernel_distributor.cc" "src/CMakeFiles/dtbl_gpu.dir/gpu/kernel_distributor.cc.o" "gcc" "src/CMakeFiles/dtbl_gpu.dir/gpu/kernel_distributor.cc.o.d"
+  "/root/repo/src/gpu/kmu.cc" "src/CMakeFiles/dtbl_gpu.dir/gpu/kmu.cc.o" "gcc" "src/CMakeFiles/dtbl_gpu.dir/gpu/kmu.cc.o.d"
+  "/root/repo/src/gpu/smx.cc" "src/CMakeFiles/dtbl_gpu.dir/gpu/smx.cc.o" "gcc" "src/CMakeFiles/dtbl_gpu.dir/gpu/smx.cc.o.d"
+  "/root/repo/src/gpu/smx_scheduler.cc" "src/CMakeFiles/dtbl_gpu.dir/gpu/smx_scheduler.cc.o" "gcc" "src/CMakeFiles/dtbl_gpu.dir/gpu/smx_scheduler.cc.o.d"
+  "/root/repo/src/gpu/stream.cc" "src/CMakeFiles/dtbl_gpu.dir/gpu/stream.cc.o" "gcc" "src/CMakeFiles/dtbl_gpu.dir/gpu/stream.cc.o.d"
+  "/root/repo/src/gpu/warp.cc" "src/CMakeFiles/dtbl_gpu.dir/gpu/warp.cc.o" "gcc" "src/CMakeFiles/dtbl_gpu.dir/gpu/warp.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/dtbl_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dtbl_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dtbl_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dtbl_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dtbl_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dtbl_gpu.dir/gpu/device_runtime.cc.o"
+  "CMakeFiles/dtbl_gpu.dir/gpu/device_runtime.cc.o.d"
+  "CMakeFiles/dtbl_gpu.dir/gpu/gpu.cc.o"
+  "CMakeFiles/dtbl_gpu.dir/gpu/gpu.cc.o.d"
+  "CMakeFiles/dtbl_gpu.dir/gpu/kernel_distributor.cc.o"
+  "CMakeFiles/dtbl_gpu.dir/gpu/kernel_distributor.cc.o.d"
+  "CMakeFiles/dtbl_gpu.dir/gpu/kmu.cc.o"
+  "CMakeFiles/dtbl_gpu.dir/gpu/kmu.cc.o.d"
+  "CMakeFiles/dtbl_gpu.dir/gpu/smx.cc.o"
+  "CMakeFiles/dtbl_gpu.dir/gpu/smx.cc.o.d"
+  "CMakeFiles/dtbl_gpu.dir/gpu/smx_scheduler.cc.o"
+  "CMakeFiles/dtbl_gpu.dir/gpu/smx_scheduler.cc.o.d"
+  "CMakeFiles/dtbl_gpu.dir/gpu/stream.cc.o"
+  "CMakeFiles/dtbl_gpu.dir/gpu/stream.cc.o.d"
+  "CMakeFiles/dtbl_gpu.dir/gpu/warp.cc.o"
+  "CMakeFiles/dtbl_gpu.dir/gpu/warp.cc.o.d"
+  "libdtbl_gpu.a"
+  "libdtbl_gpu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dtbl_gpu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dtbl_harness.dir/harness/report.cc.o"
+  "CMakeFiles/dtbl_harness.dir/harness/report.cc.o.d"
+  "CMakeFiles/dtbl_harness.dir/harness/runner.cc.o"
+  "CMakeFiles/dtbl_harness.dir/harness/runner.cc.o.d"
+  "libdtbl_harness.a"
+  "libdtbl_harness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dtbl_harness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

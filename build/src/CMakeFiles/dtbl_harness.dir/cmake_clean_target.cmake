@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libdtbl_harness.a"
+)

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dtbl_isa.dir/isa/disasm.cc.o"
+  "CMakeFiles/dtbl_isa.dir/isa/disasm.cc.o.d"
+  "CMakeFiles/dtbl_isa.dir/isa/instruction.cc.o"
+  "CMakeFiles/dtbl_isa.dir/isa/instruction.cc.o.d"
+  "CMakeFiles/dtbl_isa.dir/isa/kernel_builder.cc.o"
+  "CMakeFiles/dtbl_isa.dir/isa/kernel_builder.cc.o.d"
+  "CMakeFiles/dtbl_isa.dir/isa/kernel_function.cc.o"
+  "CMakeFiles/dtbl_isa.dir/isa/kernel_function.cc.o.d"
+  "libdtbl_isa.a"
+  "libdtbl_isa.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dtbl_isa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dtbl_mem.dir/mem/cache.cc.o"
+  "CMakeFiles/dtbl_mem.dir/mem/cache.cc.o.d"
+  "CMakeFiles/dtbl_mem.dir/mem/coalescer.cc.o"
+  "CMakeFiles/dtbl_mem.dir/mem/coalescer.cc.o.d"
+  "CMakeFiles/dtbl_mem.dir/mem/dram.cc.o"
+  "CMakeFiles/dtbl_mem.dir/mem/dram.cc.o.d"
+  "CMakeFiles/dtbl_mem.dir/mem/global_memory.cc.o"
+  "CMakeFiles/dtbl_mem.dir/mem/global_memory.cc.o.d"
+  "CMakeFiles/dtbl_mem.dir/mem/memory_system.cc.o"
+  "CMakeFiles/dtbl_mem.dir/mem/memory_system.cc.o.d"
+  "libdtbl_mem.a"
+  "libdtbl_mem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dtbl_mem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

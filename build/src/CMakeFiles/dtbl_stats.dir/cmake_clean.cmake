@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dtbl_stats.dir/stats/busy_tracker.cc.o"
+  "CMakeFiles/dtbl_stats.dir/stats/busy_tracker.cc.o.d"
+  "CMakeFiles/dtbl_stats.dir/stats/metrics.cc.o"
+  "CMakeFiles/dtbl_stats.dir/stats/metrics.cc.o.d"
+  "libdtbl_stats.a"
+  "libdtbl_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dtbl_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

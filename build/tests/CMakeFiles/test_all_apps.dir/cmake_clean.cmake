@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_all_apps.dir/test_all_apps.cc.o"
+  "CMakeFiles/test_all_apps.dir/test_all_apps.cc.o.d"
+  "test_all_apps"
+  "test_all_apps.pdb"
+  "test_all_apps[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_all_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dtbl_mechanism.dir/test_dtbl_mechanism.cc.o"
+  "CMakeFiles/test_dtbl_mechanism.dir/test_dtbl_mechanism.cc.o.d"
+  "test_dtbl_mechanism"
+  "test_dtbl_mechanism.pdb"
+  "test_dtbl_mechanism[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dtbl_mechanism.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dynamic_launch.dir/test_dynamic_launch.cc.o"
+  "CMakeFiles/test_dynamic_launch.dir/test_dynamic_launch.cc.o.d"
+  "test_dynamic_launch"
+  "test_dynamic_launch.pdb"
+  "test_dynamic_launch[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dynamic_launch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

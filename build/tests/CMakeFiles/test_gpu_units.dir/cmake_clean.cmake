@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_gpu_units.dir/test_gpu_units.cc.o"
+  "CMakeFiles/test_gpu_units.dir/test_gpu_units.cc.o.d"
+  "test_gpu_units"
+  "test_gpu_units.pdb"
+  "test_gpu_units[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_gpu_units.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

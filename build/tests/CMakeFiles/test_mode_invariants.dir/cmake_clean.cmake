@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_mode_invariants.dir/test_mode_invariants.cc.o"
+  "CMakeFiles/test_mode_invariants.dir/test_mode_invariants.cc.o.d"
+  "test_mode_invariants"
+  "test_mode_invariants.pdb"
+  "test_mode_invariants[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_mode_invariants.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

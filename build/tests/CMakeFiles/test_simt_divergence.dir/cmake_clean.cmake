@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_simt_divergence.dir/test_simt_divergence.cc.o"
+  "CMakeFiles/test_simt_divergence.dir/test_simt_divergence.cc.o.d"
+  "test_simt_divergence"
+  "test_simt_divergence.pdb"
+  "test_simt_divergence[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_simt_divergence.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

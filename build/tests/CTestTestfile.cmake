@@ -1,0 +1,20 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_smoke[1]_include.cmake")
+include("/root/repo/build/tests/test_dynamic_launch[1]_include.cmake")
+include("/root/repo/build/tests/test_bfs_app[1]_include.cmake")
+include("/root/repo/build/tests/test_all_apps[1]_include.cmake")
+include("/root/repo/build/tests/test_common[1]_include.cmake")
+include("/root/repo/build/tests/test_mem[1]_include.cmake")
+include("/root/repo/build/tests/test_isa[1]_include.cmake")
+include("/root/repo/build/tests/test_gpu_units[1]_include.cmake")
+include("/root/repo/build/tests/test_datasets[1]_include.cmake")
+include("/root/repo/build/tests/test_simt_divergence[1]_include.cmake")
+include("/root/repo/build/tests/test_dtbl_mechanism[1]_include.cmake")
+include("/root/repo/build/tests/test_harness[1]_include.cmake")
+include("/root/repo/build/tests/test_concurrency[1]_include.cmake")
+include("/root/repo/build/tests/test_mode_invariants[1]_include.cmake")
