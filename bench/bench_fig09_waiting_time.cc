@@ -10,6 +10,8 @@
  */
 
 #include <cstdio>
+#include <cstring>
+#include <string>
 
 #include "eval_common.hh"
 #include "harness/report.hh"
@@ -17,10 +19,17 @@
 using namespace dtbl;
 
 int
-main()
+main(int argc, char **argv)
 {
+    std::string traceDir;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--trace-out") == 0 && i + 1 < argc)
+            traceDir = argv[++i];
+    }
+
     const auto rows =
-        runSweep({Mode::CdpIdeal, Mode::DtblIdeal, Mode::Cdp, Mode::Dtbl});
+        runSweep({Mode::CdpIdeal, Mode::DtblIdeal, Mode::Cdp, Mode::Dtbl},
+                 GpuConfig::k20c(), traceDir);
 
     Table t({"benchmark", "CDPI", "DTBLI", "CDP", "DTBL", "DTBL/CDP"});
     std::vector<double> ratio;

@@ -1,6 +1,7 @@
 #include "eval_common.hh"
 
 #include <cstdio>
+#include <filesystem>
 
 #include "apps/registry.hh"
 #include "common/log.hh"
@@ -9,8 +10,11 @@ namespace dtbl {
 
 std::vector<EvalRow>
 runSweep(const std::vector<std::string> &ids,
-         const std::vector<Mode> &modes, const GpuConfig &base)
+         const std::vector<Mode> &modes, const GpuConfig &base,
+         const std::string &trace_dir)
 {
+    if (!trace_dir.empty())
+        std::filesystem::create_directories(trace_dir);
     std::vector<EvalRow> rows;
     for (const auto &id : ids) {
         EvalRow row;
@@ -20,7 +24,12 @@ runSweep(const std::vector<std::string> &ids,
                          modeName(m));
             std::fflush(stderr);
             auto app = makeBenchmark(id);
-            BenchResult r = runBenchmark(*app, m, base);
+            RunOptions opts;
+            if (!trace_dir.empty()) {
+                opts.traceJsonPath =
+                    trace_dir + "/" + id + "_" + modeName(m) + ".json";
+            }
+            BenchResult r = runBenchmark(*app, m, base, opts);
             std::fprintf(stderr, " %10llu cycles%s\n",
                          static_cast<unsigned long long>(r.report.cycles),
                          r.verified ? "" : "  [VERIFY FAILED]");
@@ -36,12 +45,13 @@ runSweep(const std::vector<std::string> &ids,
 }
 
 std::vector<EvalRow>
-runSweep(const std::vector<Mode> &modes, const GpuConfig &base)
+runSweep(const std::vector<Mode> &modes, const GpuConfig &base,
+         const std::string &trace_dir)
 {
     std::vector<std::string> ids;
     for (const auto &s : allBenchmarks())
         ids.push_back(s.id);
-    return runSweep(ids, modes, base);
+    return runSweep(ids, modes, base, trace_dir);
 }
 
 } // namespace dtbl

@@ -30,15 +30,19 @@ struct EvalRow
 /**
  * Run every Table 4 benchmark in each of @p modes on @p base config.
  * Progress is reported on stderr; verification failures are fatal so a
- * figure is never produced from wrong results.
+ * figure is never produced from wrong results. When @p trace_dir is
+ * non-empty each run streams a Chrome trace to
+ * `<trace_dir>/<bench>_<mode>.json`.
  */
 std::vector<EvalRow> runSweep(const std::vector<Mode> &modes,
-                              const GpuConfig &base = GpuConfig::k20c());
+                              const GpuConfig &base = GpuConfig::k20c(),
+                              const std::string &trace_dir = {});
 
 /** As runSweep but restricted to the given benchmark ids. */
 std::vector<EvalRow> runSweep(const std::vector<std::string> &ids,
                               const std::vector<Mode> &modes,
-                              const GpuConfig &base = GpuConfig::k20c());
+                              const GpuConfig &base = GpuConfig::k20c(),
+                              const std::string &trace_dir = {});
 
 } // namespace dtbl
 

@@ -8,6 +8,8 @@
  */
 
 #include <cstdio>
+#include <cstring>
+#include <string>
 #include <vector>
 
 #include "gpu/gpu.hh"
@@ -16,8 +18,16 @@
 using namespace dtbl;
 
 int
-main()
+main(int argc, char **argv)
 {
+    // --trace-out <path>: write a Chrome trace_event JSON of the run
+    // (open it in chrome://tracing or https://ui.perfetto.dev).
+    std::string traceOut;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--trace-out") == 0 && i + 1 < argc)
+            traceOut = argv[++i];
+    }
+
     // --- 1. Describe the kernel in the SIMT IR -----------------------
     // out[i] = a * x[i] + y[i], repeated rep[i] times.
     Program prog;
@@ -50,6 +60,8 @@ main()
 
     // --- 2. Create the device and upload data -------------------------
     Gpu gpu(GpuConfig::k20c(), prog);
+    if (!traceOut.empty() && gpu.trace().openJson(traceOut))
+        std::printf("writing Chrome trace to %s\n", traceOut.c_str());
     const std::uint32_t n = 4096;
     std::vector<std::uint32_t> x(n), y(n), rep(n);
     for (std::uint32_t i = 0; i < n; ++i) {
@@ -87,5 +99,6 @@ main()
 
     const MetricsReport r = gpu.report("quickstart", "flat");
     std::printf("\n--- metrics ---\n%s\n", r.str().c_str());
+    gpu.trace().closeJson();
     return ok ? 0 : 1;
 }

@@ -4,15 +4,15 @@
 
 namespace dtbl {
 
-Agt::Agt(unsigned num_slots)
-    : numSlots_(num_slots), slots_(num_slots, -1)
+Agt::Agt(unsigned num_slots, TraceSink *trace)
+    : numSlots_(num_slots), trace_(trace), slots_(num_slots, -1)
 {
     DTBL_ASSERT(num_slots > 0 && (num_slots & (num_slots - 1)) == 0,
                 "AGT size must be a power of two: ", num_slots);
 }
 
 std::int32_t
-Agt::allocate(const AggGroup &proto, unsigned hw_tid)
+Agt::allocate(const AggGroup &proto, unsigned hw_tid, Cycle now)
 {
     std::int32_t id;
     if (!freeIds_.empty()) {
@@ -41,17 +41,23 @@ Agt::allocate(const AggGroup &proto, unsigned hw_tid)
         g.onChip = true;
         g.agtSlot = std::int32_t(slot);
         ++onChipCount_;
+        TraceSink::emit(trace_, now, TraceEvent::AgtInsert, traceLaneAgt,
+                        std::uint64_t(id), slot);
     } else {
         g.onChip = false;
         g.agtSlot = -1;
+        TraceSink::emit(trace_, now, TraceEvent::AgtSpill, traceLaneAgt,
+                        std::uint64_t(id), hw_tid);
     }
     return id;
 }
 
 void
-Agt::release(std::int32_t id)
+Agt::release(std::int32_t id, Cycle now)
 {
     AggGroup &g = group(id);
+    TraceSink::emit(trace_, now, TraceEvent::AgtRelease, traceLaneAgt,
+                    std::uint64_t(id), g.onChip);
     if (g.onChip) {
         DTBL_ASSERT(g.agtSlot >= 0 && slots_[g.agtSlot] == id,
                     "AGT slot bookkeeping corrupt");

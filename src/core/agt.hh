@@ -25,6 +25,7 @@
 #include <vector>
 
 #include "common/types.hh"
+#include "stats/trace.hh"
 
 namespace dtbl {
 
@@ -76,18 +77,22 @@ struct AggGroup
 class Agt
 {
   public:
-    /** @param num_slots on-chip entries; must be a power of two. */
-    explicit Agt(unsigned num_slots);
+    /**
+     * @param num_slots on-chip entries; must be a power of two.
+     * @param trace optional event sink (AgtInsert/AgtSpill/AgtRelease).
+     */
+    explicit Agt(unsigned num_slots, TraceSink *trace = nullptr);
 
     /**
      * Allocate a group record; attempts to claim the on-chip slot
      * selected by the paper's hash (hw_tid & (AGT_size - 1)).
      * @return the stable group id (AGEI).
      */
-    std::int32_t allocate(const AggGroup &proto, unsigned hw_tid);
+    std::int32_t allocate(const AggGroup &proto, unsigned hw_tid,
+                          Cycle now = 0);
 
     /** Release a completed group (frees its AGT slot if on-chip). */
-    void release(std::int32_t id);
+    void release(std::int32_t id, Cycle now = 0);
 
     AggGroup &group(std::int32_t id);
     const AggGroup &group(std::int32_t id) const;
@@ -100,6 +105,7 @@ class Agt
 
   private:
     unsigned numSlots_;
+    TraceSink *trace_;
     std::vector<std::int32_t> slots_; //!< slot -> group id (-1 free)
     std::vector<AggGroup> pool_;
     std::vector<std::int32_t> freeIds_;

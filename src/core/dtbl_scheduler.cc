@@ -4,8 +4,9 @@
 
 namespace dtbl {
 
-DtblScheduler::DtblScheduler(Agt &agt, const GpuConfig &cfg, SimStats &stats)
-    : agt_(agt), cfg_(cfg), stats_(stats)
+DtblScheduler::DtblScheduler(Agt &agt, const GpuConfig &cfg, SimStats &stats,
+                             TraceSink *trace)
+    : agt_(agt), cfg_(cfg), stats_(stats), trace_(trace)
 {
 }
 
@@ -37,7 +38,7 @@ DtblScheduler::process(const AggLaunchRequest &req,
     proto.kdeIdx = std::uint32_t(eligible);
     proto.launchCycle = req.launchCycle;
     proto.footprintBytes = req.footprintBytes;
-    const std::int32_t agei = agt_.allocate(proto, req.hwTid);
+    const std::int32_t agei = agt_.allocate(proto, req.hwTid, now);
     AggGroup &g = agt_.group(agei);
     if (!g.onChip) {
         ++stats_.agtOverflows;
@@ -46,9 +47,10 @@ DtblScheduler::process(const AggLaunchRequest &req,
         g.fetchReadyAt = 0;
         g.fetchIssued = false;
     }
-    (void)now;
 
     ++stats_.aggGroupsCoalesced;
+    TraceSink::emit(trace_, now, TraceEvent::AggCoalesce, traceLaneAgt,
+                    std::uint64_t(agei), std::uint64_t(eligible));
     res.coalesced = true;
     res.kdeIdx = eligible;
     res.agei = agei;

@@ -21,6 +21,7 @@
 #include "common/types.hh"
 #include "core/agt.hh"
 #include "stats/metrics.hh"
+#include "stats/trace.hh"
 
 namespace dtbl {
 
@@ -61,7 +62,8 @@ struct CoalesceResult
 class DtblScheduler
 {
   public:
-    DtblScheduler(Agt &agt, const GpuConfig &cfg, SimStats &stats);
+    DtblScheduler(Agt &agt, const GpuConfig &cfg, SimStats &stats,
+                  TraceSink *trace = nullptr);
 
     /**
      * Run the Figure-5 procedure for one request.
@@ -82,6 +84,7 @@ class DtblScheduler
     Agt &agt_;
     const GpuConfig &cfg_;
     SimStats &stats_;
+    TraceSink *trace_;
 };
 
 } // namespace dtbl

@@ -8,16 +8,22 @@ namespace dtbl {
 
 Gpu::Gpu(const GpuConfig &cfg, const Program &prog)
     : cfg_(cfg), prog_(prog), mem_(cfg.globalMemBytes),
-      memSys_(cfg_, stats_), runtime_(cfg_, mem_, stats_),
-      streams_(cfg.numHwqs), kmu_(cfg_), kd_(cfg_), agt_(cfg.agtSize),
-      dtblSched_(agt_, cfg_, stats_)
+      memSys_(cfg_, stats_, &trace_), runtime_(cfg_, mem_, stats_),
+      streams_(cfg.numHwqs), kmu_(cfg_, &trace_), kd_(cfg_, &trace_),
+      agt_(cfg.agtSize, &trace_), dtblSched_(agt_, cfg_, stats_, &trace_)
 {
     cfg_.validate();
-    for (unsigned i = 0; i < cfg_.numSmx; ++i)
+    trace_.nameLane(traceLaneKmu, "KMU");
+    trace_.nameLane(traceLaneKd, "KernelDistributor");
+    trace_.nameLane(traceLaneAgt, "AGT/DTBL");
+    trace_.nameLane(traceLaneMem, "Memory");
+    for (unsigned i = 0; i < cfg_.numSmx; ++i) {
+        trace_.nameLane(traceLaneSmxBase + i, "SMX " + std::to_string(i));
         smxs_.push_back(std::make_unique<Smx>(i, *this));
+    }
     sched_ = std::make_unique<SmxScheduler>(cfg_, prog_, kd_, kmu_, agt_,
                                             dtblSched_, streams_, stats_,
-                                            smxs_);
+                                            smxs_, &trace_);
 }
 
 void
@@ -140,8 +146,11 @@ Gpu::report(const std::string &bench, const std::string &mode)
 {
     memSys_.finalizeInto(stats_);
     stats_.totalCycles = now_;
-    return MetricsReport::from(stats_, bench, mode, cfg_.numSmx,
-                               cfg_.maxResidentWarpsPerSmx);
+    MetricsReport r = MetricsReport::from(stats_, bench, mode, cfg_.numSmx,
+                                          cfg_.maxResidentWarpsPerSmx);
+    r.traceHash = trace_.hash();
+    r.traceEvents = trace_.total();
+    return r;
 }
 
 } // namespace dtbl

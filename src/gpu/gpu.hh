@@ -26,6 +26,7 @@
 #include "mem/global_memory.hh"
 #include "mem/memory_system.hh"
 #include "stats/metrics.hh"
+#include "stats/trace.hh"
 
 namespace dtbl {
 
@@ -51,6 +52,9 @@ class Gpu
 
     Cycle now() const { return now_; }
     SimStats &stats() { return stats_; }
+    /** The run's event-trace sink (stats/trace.hh). */
+    TraceSink &trace() { return trace_; }
+    const TraceSink &trace() const { return trace_; }
     const GpuConfig &config() const { return cfg_; }
     const Program &program() const { return prog_; }
 
@@ -93,6 +97,8 @@ class Gpu
     GpuConfig cfg_;
     const Program &prog_;
     SimStats stats_;
+    /** Declared before every traced unit so references outlive them. */
+    TraceSink trace_;
     GlobalMemory mem_;
     MemorySystem memSys_;
     DeviceRuntime runtime_;

@@ -5,8 +5,8 @@
 
 namespace dtbl {
 
-KernelDistributor::KernelDistributor(const GpuConfig &cfg)
-    : entries_(cfg.maxConcurrentKernels)
+KernelDistributor::KernelDistributor(const GpuConfig &cfg, TraceSink *trace)
+    : entries_(cfg.maxConcurrentKernels), trace_(trace)
 {
 }
 
@@ -32,6 +32,8 @@ KernelDistributor::allocate(const KernelLaunch &launch, std::int32_t hwq,
         e.schedulableAt = now + dispatch_latency;
         e.trackWaitingTime = launch.trackWaitingTime;
         e.footprintBytes = launch.footprintBytes;
+        TraceSink::emit(trace_, now, TraceEvent::KdeAlloc, traceLaneKd, i,
+                        launch.func);
         return std::int32_t(i);
     }
     return -1;

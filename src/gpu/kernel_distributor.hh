@@ -16,6 +16,7 @@
 #include "common/types.hh"
 #include "core/dtbl_scheduler.hh"
 #include "gpu/launch.hh"
+#include "stats/trace.hh"
 
 namespace dtbl {
 
@@ -85,7 +86,8 @@ struct Kde
 class KernelDistributor
 {
   public:
-    explicit KernelDistributor(const GpuConfig &cfg);
+    explicit KernelDistributor(const GpuConfig &cfg,
+                               TraceSink *trace = nullptr);
 
     /** Allocate a free entry; returns its index or -1 when full. */
     std::int32_t allocate(const KernelLaunch &launch, std::int32_t hwq,
@@ -113,6 +115,7 @@ class KernelDistributor
 
   private:
     std::vector<Kde> entries_;
+    TraceSink *trace_;
 };
 
 } // namespace dtbl

@@ -4,8 +4,8 @@
 
 namespace dtbl {
 
-Kmu::Kmu(const GpuConfig &cfg)
-    : cfg_(cfg), hwqs_(cfg.numHwqs)
+Kmu::Kmu(const GpuConfig &cfg, TraceSink *trace)
+    : cfg_(cfg), trace_(trace), hwqs_(cfg.numHwqs)
 {
 }
 
@@ -13,12 +13,16 @@ void
 Kmu::enqueueHost(const KernelLaunch &launch, unsigned hwq)
 {
     DTBL_ASSERT(hwq < hwqs_.size(), "bad HWQ ", hwq);
+    TraceSink::emit(trace_, launch.launchCycle, TraceEvent::KmuPushHost,
+                    traceLaneKmu, launch.func, hwq);
     hwqs_[hwq].queue.push_back(launch);
 }
 
 void
 Kmu::enqueueDevice(const KernelLaunch &launch, Cycle arrival)
 {
+    TraceSink::emit(trace_, arrival, TraceEvent::KmuPushDevice,
+                    traceLaneKmu, launch.func, launch.grid.count());
     // Keep the pending queue sorted by arrival so a long-latency launch
     // issued earlier does not head-of-line block a short one.
     auto it = device_.end();
@@ -42,6 +46,8 @@ Kmu::nextDispatch(Cycle now)
     if (!device_.empty() && device_.front().arrival <= now) {
         Dispatched d{device_.front().launch, -1};
         device_.pop_front();
+        TraceSink::emit(trace_, now, TraceEvent::KmuPop, traceLaneKmu,
+                        d.launch.func, ~std::uint64_t(0));
         return d;
     }
     for (unsigned i = 0; i < hwqs_.size(); ++i) {
@@ -53,6 +59,8 @@ Kmu::nextDispatch(Cycle now)
         hwq.queue.pop_front();
         hwq.blocked = true;
         rrNext_ = (q + 1) % hwqs_.size();
+        TraceSink::emit(trace_, now, TraceEvent::KmuPop, traceLaneKmu,
+                        d.launch.func, q);
         return d;
     }
     return std::nullopt;

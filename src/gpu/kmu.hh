@@ -18,13 +18,14 @@
 
 #include "common/config.hh"
 #include "gpu/launch.hh"
+#include "stats/trace.hh"
 
 namespace dtbl {
 
 class Kmu
 {
   public:
-    explicit Kmu(const GpuConfig &cfg);
+    explicit Kmu(const GpuConfig &cfg, TraceSink *trace = nullptr);
 
     /** Enqueue a host-launched kernel on its HWQ. */
     void enqueueHost(const KernelLaunch &launch, unsigned hwq);
@@ -70,6 +71,7 @@ class Kmu
     };
 
     const GpuConfig &cfg_;
+    TraceSink *trace_;
     std::vector<Hwq> hwqs_;
     std::deque<PendingDevice> device_;
     unsigned rrNext_ = 0; //!< round-robin fairness over HWQs

@@ -643,6 +643,8 @@ Smx::finishTb(ThreadBlock &tb, Cycle now)
                            [&](const auto &p) { return p.get() == &tb; });
     DTBL_ASSERT(it != tbs_.end(), "finishing unknown TB");
     tbs_.erase(it);
+    gpu_.trace().record(now, TraceEvent::TbRetire, traceLaneSmxBase + id_,
+                        std::uint64_t(std::int64_t(asg.agei)), asg.blkFlat);
     gpu_.notifyTbComplete(asg, now);
 }
 

@@ -10,9 +10,10 @@ SmxScheduler::SmxScheduler(const GpuConfig &cfg, const Program &prog,
                            KernelDistributor &kd, Kmu &kmu, Agt &agt,
                            DtblScheduler &dtbl, StreamTable &streams,
                            SimStats &stats,
-                           std::vector<std::unique_ptr<Smx>> &smxs)
+                           std::vector<std::unique_ptr<Smx>> &smxs,
+                           TraceSink *trace)
     : cfg_(cfg), prog_(prog), kd_(kd), kmu_(kmu), agt_(agt), dtbl_(dtbl),
-      streams_(streams), stats_(stats), smxs_(smxs)
+      streams_(streams), stats_(stats), smxs_(smxs), trace_(trace)
 {
 }
 
@@ -111,6 +112,8 @@ SmxScheduler::handleAggRequest(const AggLaunchRequest &req, Cycle now)
     // Launch as a regular device kernel (Figure 5, left branch). The
     // pending-launch record grows from an AGE record to a kernel record.
     ++stats_.aggGroupsFallback;
+    TraceSink::emit(trace_, now, TraceEvent::AggFallback, traceLaneAgt,
+                    req.func, req.numTbs);
     const std::uint64_t extra =
         cfg_.cdpKernelRecordBytes - cfg_.aggGroupRecordBytes;
     stats_.reserveLaunchBytes(extra);
@@ -250,6 +253,10 @@ SmxScheduler::distribute(Cycle now)
             if (!smx.canAccept(fn, asg.sharedMemBytes))
                 continue;
             commitAssignment(kdeIdx, asg, now);
+            TraceSink::emit(trace_, now, TraceEvent::TbDispatch,
+                            traceLaneSmxBase + s,
+                            std::uint64_t(std::int64_t(asg.agei)),
+                            asg.blkFlat);
             smx.startTb(asg, now);
             progress = true;
             break;
@@ -304,7 +311,7 @@ SmxScheduler::notifyTbComplete(const TbAssignment &asg, Cycle now)
                 e.lagei = -1;
             DTBL_ASSERT(e.nagei != asg.agei,
                         "releasing the group NAGEI points at");
-            agt_.release(asg.agei);
+            agt_.release(asg.agei, now);
         }
     }
     maybeCompleteKernel(asg.kdeIdx, now);
@@ -317,6 +324,8 @@ SmxScheduler::maybeCompleteKernel(std::int32_t kde_idx, Cycle now)
     if (!e.complete())
         return;
     ++stats_.kernelsCompleted;
+    TraceSink::emit(trace_, now, TraceEvent::KdeRelease, traceLaneKd,
+                    std::uint64_t(kde_idx), e.func);
     if (e.footprintBytes > 0) {
         stats_.releaseLaunchBytes(e.footprintBytes);
         e.footprintBytes = 0;
@@ -338,6 +347,8 @@ SmxScheduler::enqueueAggRequests(std::vector<AggLaunchRequest> reqs,
         stats_.dynamicLaunchThreadSum +=
             std::uint64_t(r.numTbs) *
             prog_.function(r.func).tbDim.count();
+        TraceSink::emit(trace_, when, TraceEvent::AggLaunch, traceLaneAgt,
+                        r.func, r.numTbs);
         aggQueue_.push_back({when, r});
     }
 }

@@ -32,7 +32,8 @@ class SmxScheduler
     SmxScheduler(const GpuConfig &cfg, const Program &prog,
                  KernelDistributor &kd, Kmu &kmu, Agt &agt,
                  DtblScheduler &dtbl, StreamTable &streams, SimStats &stats,
-                 std::vector<std::unique_ptr<Smx>> &smxs);
+                 std::vector<std::unique_ptr<Smx>> &smxs,
+                 TraceSink *trace = nullptr);
 
     /**
      * One scheduler cycle: dispatch kernels KMU->KD, process arrived
@@ -92,6 +93,7 @@ class SmxScheduler
     StreamTable &streams_;
     SimStats &stats_;
     std::vector<std::unique_ptr<Smx>> &smxs_;
+    TraceSink *trace_ = nullptr;
 
     std::deque<std::int32_t> fcfs_;
     std::deque<PendingAgg> aggQueue_;

@@ -3,12 +3,15 @@
 namespace dtbl {
 
 BenchResult
-runBenchmark(App &app, Mode mode, const GpuConfig &base)
+runBenchmark(App &app, Mode mode, const GpuConfig &base,
+             const RunOptions &opts)
 {
     Program prog;
     app.build(prog, mode);
     const GpuConfig cfg = configForMode(mode, base);
     Gpu gpu(cfg, prog);
+    if (!opts.traceJsonPath.empty())
+        gpu.trace().openJson(opts.traceJsonPath);
     app.setup(gpu);
     app.execute(gpu, mode);
 
@@ -16,6 +19,8 @@ runBenchmark(App &app, Mode mode, const GpuConfig &base)
     r.report = gpu.report(app.name(), modeName(mode));
     r.stats = gpu.stats();
     r.verified = app.verify(gpu);
+    r.trace = gpu.trace().summary();
+    gpu.trace().closeJson();
     return r;
 }
 

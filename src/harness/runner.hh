@@ -8,8 +8,10 @@
 #define DTBL_HARNESS_RUNNER_HH
 
 #include <array>
+#include <string>
 
 #include "apps/app.hh"
+#include "stats/trace.hh"
 
 namespace dtbl {
 
@@ -18,11 +20,21 @@ struct BenchResult
     MetricsReport report;
     SimStats stats;
     bool verified = false;
+    /** Per-event trace counts and the run's trace hash. */
+    TraceSummary trace;
+};
+
+/** Optional per-run knobs that don't belong in GpuConfig. */
+struct RunOptions
+{
+    /** When non-empty, stream a Chrome trace_event JSON file here. */
+    std::string traceJsonPath;
 };
 
 /** Run one benchmark in one mode. */
 BenchResult runBenchmark(App &app, Mode mode,
-                         const GpuConfig &base = GpuConfig::k20c());
+                         const GpuConfig &base = GpuConfig::k20c(),
+                         const RunOptions &opts = {});
 
 /** The five evaluation modes in the paper's plotting order. */
 constexpr std::array<Mode, 5> evalModes = {

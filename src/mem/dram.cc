@@ -6,8 +6,8 @@
 
 namespace dtbl {
 
-Dram::Dram(const DramConfig &cfg, std::uint32_t line_bytes)
-    : cfg_(cfg), lineBytes_(line_bytes)
+Dram::Dram(const DramConfig &cfg, std::uint32_t line_bytes, TraceSink *trace)
+    : cfg_(cfg), lineBytes_(line_bytes), trace_(trace)
 {
     partitions_.resize(cfg_.numPartitions);
     for (auto &p : partitions_)
@@ -41,6 +41,9 @@ Dram::access(Addr addr, bool is_write, Cycle now)
         ++writes_;
     else
         ++reads_;
+    TraceSink::emit(trace_, now,
+                    is_write ? TraceEvent::DramWrite : TraceEvent::DramRead,
+                    traceLaneMem, line % cfg_.numPartitions, addr);
     return end;
 }
 

@@ -13,13 +13,15 @@
 #include "common/config.hh"
 #include "common/types.hh"
 #include "stats/busy_tracker.hh"
+#include "stats/trace.hh"
 
 namespace dtbl {
 
 class Dram
 {
   public:
-    explicit Dram(const DramConfig &cfg, std::uint32_t line_bytes);
+    explicit Dram(const DramConfig &cfg, std::uint32_t line_bytes,
+                  TraceSink *trace = nullptr);
 
     /**
      * Issue one line-sized command and return its completion cycle.
@@ -56,6 +58,7 @@ class Dram
 
     DramConfig cfg_;
     std::uint32_t lineBytes_;
+    TraceSink *trace_;
     std::vector<Partition> partitions_;
     std::uint64_t reads_ = 0;
     std::uint64_t writes_ = 0;

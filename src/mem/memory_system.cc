@@ -6,10 +6,11 @@
 
 namespace dtbl {
 
-MemorySystem::MemorySystem(const GpuConfig &cfg, SimStats &stats)
-    : cfg_(cfg), stats_(stats),
+MemorySystem::MemorySystem(const GpuConfig &cfg, SimStats &stats,
+                           TraceSink *trace)
+    : cfg_(cfg), stats_(stats), trace_(trace),
       l2_(cfg.l2, Cache::WritePolicy::WriteBack),
-      dram_(cfg.dram, cfg.l2.lineBytes)
+      dram_(cfg.dram, cfg.l2.lineBytes, trace)
 {
     l1s_.reserve(cfg.numSmx);
     for (unsigned i = 0; i < cfg.numSmx; ++i)
@@ -27,6 +28,8 @@ MemorySystem::accessL2(Addr addr, bool is_write, Cycle now)
         return now + cfg_.l2.hitLatency;
     }
     ++stats_.l2Misses;
+    TraceSink::emit(trace_, now, TraceEvent::L2Miss, traceLaneMem, is_write,
+                    addr);
     if (is_write) {
         // Write-allocate without fetch: accepted after L2 pipeline.
         return now + cfg_.l2.hitLatency;
@@ -45,6 +48,8 @@ MemorySystem::load(unsigned smx, Addr addr, Cycle now)
         return now + cfg_.l1.hitLatency;
     }
     ++stats_.l1Misses;
+    TraceSink::emit(trace_, now, TraceEvent::L1Miss, traceLaneMem, smx,
+                    addr);
     return accessL2(addr, false, now + cfg_.l1.hitLatency);
 }
 
@@ -54,10 +59,13 @@ MemorySystem::store(unsigned smx, Addr addr, Cycle now)
     DTBL_ASSERT(smx < l1s_.size());
     // Write-through: update L1 if present, always go to L2.
     const auto res = l1s_[smx].access(addr, true);
-    if (res.hit)
+    if (res.hit) {
         ++stats_.l1Hits;
-    else
+    } else {
         ++stats_.l1Misses;
+        TraceSink::emit(trace_, now, TraceEvent::L1Miss, traceLaneMem, smx,
+                        addr);
+    }
     return accessL2(addr, true, now + cfg_.l1.hitLatency);
 }
 

@@ -17,13 +17,15 @@
 #include "mem/cache.hh"
 #include "mem/dram.hh"
 #include "stats/metrics.hh"
+#include "stats/trace.hh"
 
 namespace dtbl {
 
 class MemorySystem
 {
   public:
-    MemorySystem(const GpuConfig &cfg, SimStats &stats);
+    MemorySystem(const GpuConfig &cfg, SimStats &stats,
+                 TraceSink *trace = nullptr);
 
     /** Load transaction; returns data-ready cycle for the warp. */
     Cycle load(unsigned smx, Addr addr, Cycle now);
@@ -51,6 +53,7 @@ class MemorySystem
 
     const GpuConfig &cfg_;
     SimStats &stats_;
+    TraceSink *trace_;
     std::vector<Cache> l1s_;
     Cache l2_;
     Dram dram_;

@@ -83,6 +83,10 @@ MetricsReport::str() const
        << " avgWait=" << avgWaitingCycles
        << " peakFootprint=" << peakFootprintBytes << "B"
        << " dynLaunches=" << dynamicLaunches;
+    if (traceEvents > 0) {
+        os << " traceHash=0x" << std::hex << traceHash << std::dec
+           << " traceEvents=" << traceEvents;
+    }
     return os.str();
 }
 

@@ -102,6 +102,11 @@ struct MetricsReport
     double l1HitRate = 0.0;
     double l2HitRate = 0.0;
 
+    /** FNV-1a fingerprint of the run's event trace (stats/trace.hh). */
+    std::uint64_t traceHash = 0;
+    /** Number of trace events folded into the hash. */
+    std::uint64_t traceEvents = 0;
+
     /** Build the derived report from raw counters. */
     static MetricsReport from(const SimStats &s, const std::string &bench,
                               const std::string &mode, unsigned numSmx,

@@ -1,0 +1,205 @@
+#include "stats/trace.hh"
+
+#include <algorithm>
+
+#include "common/log.hh"
+
+namespace dtbl {
+
+const char *
+traceEventName(TraceEvent ev)
+{
+    switch (ev) {
+      case TraceEvent::KmuPushHost: return "KmuPushHost";
+      case TraceEvent::KmuPushDevice: return "KmuPushDevice";
+      case TraceEvent::KmuPop: return "KmuPop";
+      case TraceEvent::KdeAlloc: return "KdeAlloc";
+      case TraceEvent::KdeRelease: return "KdeRelease";
+      case TraceEvent::AggLaunch: return "AggLaunch";
+      case TraceEvent::AggCoalesce: return "AggCoalesce";
+      case TraceEvent::AggFallback: return "AggFallback";
+      case TraceEvent::AgtInsert: return "AgtInsert";
+      case TraceEvent::AgtSpill: return "AgtSpill";
+      case TraceEvent::AgtRelease: return "AgtRelease";
+      case TraceEvent::TbDispatch: return "TbDispatch";
+      case TraceEvent::TbRetire: return "TbRetire";
+      case TraceEvent::L1Miss: return "L1Miss";
+      case TraceEvent::L2Miss: return "L2Miss";
+      case TraceEvent::DramRead: return "DramRead";
+      case TraceEvent::DramWrite: return "DramWrite";
+    }
+    return "?";
+}
+
+const char *
+traceEventCategory(TraceEvent ev)
+{
+    switch (ev) {
+      case TraceEvent::KmuPushHost:
+      case TraceEvent::KmuPushDevice:
+      case TraceEvent::KmuPop:
+        return "kmu";
+      case TraceEvent::KdeAlloc:
+      case TraceEvent::KdeRelease:
+        return "kde";
+      case TraceEvent::AggLaunch:
+      case TraceEvent::AggCoalesce:
+      case TraceEvent::AggFallback:
+        return "agg";
+      case TraceEvent::AgtInsert:
+      case TraceEvent::AgtSpill:
+      case TraceEvent::AgtRelease:
+        return "agt";
+      case TraceEvent::TbDispatch:
+      case TraceEvent::TbRetire:
+        return "smx";
+      case TraceEvent::L1Miss:
+      case TraceEvent::L2Miss:
+      case TraceEvent::DramRead:
+      case TraceEvent::DramWrite:
+        return "mem";
+    }
+    return "?";
+}
+
+namespace {
+
+constexpr std::uint64_t fnvPrime = 0x100000001b3ull;
+
+/** FNV-1a over the 8 little-endian bytes of @p v. */
+inline std::uint64_t
+fnvFold(std::uint64_t h, std::uint64_t v)
+{
+    for (unsigned i = 0; i < 8; ++i) {
+        h ^= (v >> (i * 8)) & 0xff;
+        h *= fnvPrime;
+    }
+    return h;
+}
+
+} // namespace
+
+TraceSink::~TraceSink()
+{
+    closeJson();
+}
+
+void
+TraceSink::recordImpl(Cycle cycle, TraceEvent ev, std::uint32_t unit,
+                      std::uint64_t arg0, std::uint64_t arg1)
+{
+    std::uint64_t h = hash_;
+    h = fnvFold(h, cycle);
+    h = fnvFold(h, static_cast<std::uint64_t>(ev));
+    h = fnvFold(h, unit);
+    h = fnvFold(h, arg0);
+    h = fnvFold(h, arg1);
+    hash_ = h;
+    ++total_;
+    ++counts_[static_cast<std::size_t>(ev)];
+
+    if (ringCap_ == 0 && !json_)
+        return;
+
+    const TraceRecord r{cycle, ev, unit, arg0, arg1};
+    if (ringCap_ > 0) {
+        if (ring_.size() < ringCap_) {
+            ring_.push_back(r);
+        } else {
+            ring_[ringNext_] = r;
+            ringWrapped_ = true;
+        }
+        ringNext_ = (ringNext_ + 1) % ringCap_;
+    }
+    if (json_)
+        writeJson(r);
+}
+
+TraceSummary
+TraceSink::summary() const
+{
+    TraceSummary s;
+    s.hash = hash_;
+    s.total = total_;
+    s.counts = counts_;
+    return s;
+}
+
+void
+TraceSink::setCapture(std::size_t capacity)
+{
+    ringCap_ = capacity;
+    ring_.clear();
+    ring_.reserve(std::min<std::size_t>(capacity, 1 << 20));
+    ringNext_ = 0;
+    ringWrapped_ = false;
+}
+
+std::vector<TraceRecord>
+TraceSink::captured() const
+{
+    if (!ringWrapped_)
+        return ring_;
+    std::vector<TraceRecord> out;
+    out.reserve(ring_.size());
+    for (std::size_t i = 0; i < ring_.size(); ++i)
+        out.push_back(ring_[(ringNext_ + i) % ring_.size()]);
+    return out;
+}
+
+void
+TraceSink::nameLane(std::uint32_t tid, std::string name)
+{
+    laneNames_.emplace_back(tid, std::move(name));
+}
+
+bool
+TraceSink::openJson(const std::string &path)
+{
+    closeJson();
+    json_ = std::fopen(path.c_str(), "w");
+    if (!json_) {
+        DTBL_WARN("trace: cannot open ", path, " for writing");
+        return false;
+    }
+    jsonFirst_ = true;
+    std::fputs("{\"displayTimeUnit\":\"ns\",\"traceEvents\":[", json_);
+    // Metadata: lane (thread) names registered by the Gpu.
+    for (const auto &[tid, name] : laneNames_) {
+        std::fprintf(json_,
+                     "%s\n{\"name\":\"thread_name\",\"ph\":\"M\","
+                     "\"pid\":0,\"tid\":%u,\"args\":{\"name\":\"%s\"}}",
+                     jsonFirst_ ? "" : ",", tid, name.c_str());
+        jsonFirst_ = false;
+    }
+    return true;
+}
+
+void
+TraceSink::writeJson(const TraceRecord &r)
+{
+    // One instant event per record; ts is the simulated cycle.
+    std::fprintf(
+        json_,
+        "%s\n{\"name\":\"%s\",\"cat\":\"%s\",\"ph\":\"i\",\"s\":\"t\","
+        "\"ts\":%llu,\"pid\":0,\"tid\":%u,"
+        "\"args\":{\"a0\":%llu,\"a1\":%llu}}",
+        jsonFirst_ ? "" : ",", traceEventName(r.event),
+        traceEventCategory(r.event),
+        static_cast<unsigned long long>(r.cycle), r.unit,
+        static_cast<unsigned long long>(r.arg0),
+        static_cast<unsigned long long>(r.arg1));
+    jsonFirst_ = false;
+}
+
+void
+TraceSink::closeJson()
+{
+    if (!json_)
+        return;
+    std::fputs("\n]}\n", json_);
+    std::fclose(json_);
+    json_ = nullptr;
+}
+
+} // namespace dtbl

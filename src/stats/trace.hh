@@ -1,0 +1,195 @@
+/**
+ * @file
+ * Cycle-level event tracing for the simulator.
+ *
+ * Every timing-critical unit emits typed events into a TraceSink owned
+ * by the Gpu: kernel push/pop in the KMU, Kernel Distributor entry
+ * alloc/release, aggregated-group launch/coalesce/fallback, AGT
+ * insert/spill/release, per-SMX TB dispatch/retire, and cache-miss /
+ * DRAM-burst events. Each record is stamped with the simulated cycle.
+ *
+ * Two backends consume the stream:
+ *  - a running 64-bit FNV-1a hash plus per-event counters (always on
+ *    while tracing is compiled in) — a cheap behavioural fingerprint
+ *    that the determinism and regression tests compare across runs;
+ *  - an optional Chrome `trace_event` JSON exporter whose output loads
+ *    in chrome://tracing or Perfetto, and an optional bounded in-memory
+ *    ring of raw records for golden-trace unit tests.
+ *
+ * Tracing is compile-time gateable: configure with -DDTBL_ENABLE_TRACE=OFF
+ * (which defines DTBL_TRACE_ENABLED=0) to compile every record() call
+ * down to nothing for maximum-speed sweeps.
+ */
+
+#ifndef DTBL_STATS_TRACE_HH
+#define DTBL_STATS_TRACE_HH
+
+#include <array>
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/types.hh"
+
+#ifndef DTBL_TRACE_ENABLED
+#define DTBL_TRACE_ENABLED 1
+#endif
+
+namespace dtbl {
+
+/** Typed pipeline events, one per hook point in the simulator. */
+enum class TraceEvent : std::uint8_t
+{
+    // KMU: kernel queue push (host HWQ / device pending) and pop.
+    KmuPushHost = 0,
+    KmuPushDevice,
+    KmuPop,
+    // Kernel Distributor entry lifecycle.
+    KdeAlloc,
+    KdeRelease,
+    // DTBL aggregated-group launch path (Figure 5).
+    AggLaunch,
+    AggCoalesce,
+    AggFallback,
+    // Aggregated Group Table slot activity.
+    AgtInsert,
+    AgtSpill,
+    AgtRelease,
+    // Per-SMX thread-block lifecycle.
+    TbDispatch,
+    TbRetire,
+    // Memory hierarchy.
+    L1Miss,
+    L2Miss,
+    DramRead,
+    DramWrite,
+};
+
+constexpr std::size_t kNumTraceEvents = 17;
+
+/** Stable display name ("AgtInsert", ...). */
+const char *traceEventName(TraceEvent ev);
+
+/** Chrome-trace category ("kmu", "kde", "agg", "agt", "smx", "mem"). */
+const char *traceEventCategory(TraceEvent ev);
+
+// Trace lanes: the "tid" of the emitted Chrome events, grouping events
+// by the unit that produced them.
+constexpr std::uint32_t traceLaneKmu = 0;
+constexpr std::uint32_t traceLaneKd = 1;
+constexpr std::uint32_t traceLaneAgt = 2;
+constexpr std::uint32_t traceLaneMem = 3;
+/** SMX i emits on lane traceLaneSmxBase + i. */
+constexpr std::uint32_t traceLaneSmxBase = 16;
+
+/** FNV-1a 64-bit offset basis: the hash of an empty trace. */
+constexpr std::uint64_t traceHashSeed = 0xcbf29ce484222325ull;
+
+/** One trace record; args are event-specific (see the hook sites). */
+struct TraceRecord
+{
+    Cycle cycle = 0;
+    TraceEvent event{};
+    std::uint32_t unit = 0;
+    std::uint64_t arg0 = 0;
+    std::uint64_t arg1 = 0;
+};
+
+/**
+ * Cheap per-run fingerprint: the folded hash, total record count and
+ * per-event counts. Copyable out of the Gpu by the harness.
+ */
+struct TraceSummary
+{
+    std::uint64_t hash = traceHashSeed;
+    std::uint64_t total = 0;
+    std::array<std::uint64_t, kNumTraceEvents> counts{};
+
+    std::uint64_t
+    count(TraceEvent ev) const
+    {
+        return counts[static_cast<std::size_t>(ev)];
+    }
+};
+
+class TraceSink
+{
+  public:
+    /** False when the build compiled tracing out (DTBL_ENABLE_TRACE=OFF). */
+    static constexpr bool compiledIn = DTBL_TRACE_ENABLED != 0;
+
+    TraceSink() = default;
+    ~TraceSink();
+    TraceSink(const TraceSink &) = delete;
+    TraceSink &operator=(const TraceSink &) = delete;
+
+    /** Record one event. Compiles to nothing when tracing is gated off. */
+    void
+    record(Cycle cycle, TraceEvent ev, std::uint32_t unit,
+           std::uint64_t arg0 = 0, std::uint64_t arg1 = 0)
+    {
+#if DTBL_TRACE_ENABLED
+        recordImpl(cycle, ev, unit, arg0, arg1);
+#else
+        (void)cycle, (void)ev, (void)unit, (void)arg0, (void)arg1;
+#endif
+    }
+
+    /** Null-tolerant hook helper for units holding an optional sink. */
+    static void
+    emit(TraceSink *sink, Cycle cycle, TraceEvent ev, std::uint32_t unit,
+         std::uint64_t arg0 = 0, std::uint64_t arg1 = 0)
+    {
+        if (sink)
+            sink->record(cycle, ev, unit, arg0, arg1);
+    }
+
+    // --- fingerprint backend -----------------------------------------
+    std::uint64_t hash() const { return hash_; }
+    std::uint64_t total() const { return total_; }
+    std::uint64_t
+    count(TraceEvent ev) const
+    {
+        return counts_[static_cast<std::size_t>(ev)];
+    }
+    TraceSummary summary() const;
+
+    // --- in-memory ring backend (golden-trace tests) -------------------
+    /** Keep the most recent @p capacity records; 0 disables capture. */
+    void setCapture(std::size_t capacity);
+    /** Captured records, oldest first. */
+    std::vector<TraceRecord> captured() const;
+
+    // --- Chrome trace_event JSON backend -------------------------------
+    /** Give lane @p tid a display name in the exported trace. */
+    void nameLane(std::uint32_t tid, std::string name);
+    /** Start streaming records to @p path; returns false on I/O error. */
+    bool openJson(const std::string &path);
+    /** Finalize and close the JSON stream (no-op when not open). */
+    void closeJson();
+    bool jsonOpen() const { return json_ != nullptr; }
+
+  private:
+    void recordImpl(Cycle cycle, TraceEvent ev, std::uint32_t unit,
+                    std::uint64_t arg0, std::uint64_t arg1);
+    void writeJson(const TraceRecord &r);
+
+    std::uint64_t hash_ = traceHashSeed;
+    std::uint64_t total_ = 0;
+    std::array<std::uint64_t, kNumTraceEvents> counts_{};
+
+    std::vector<TraceRecord> ring_;
+    std::size_t ringCap_ = 0;
+    std::size_t ringNext_ = 0;
+    bool ringWrapped_ = false;
+
+    std::FILE *json_ = nullptr;
+    bool jsonFirst_ = true;
+    std::vector<std::pair<std::uint32_t, std::string>> laneNames_;
+};
+
+} // namespace dtbl
+
+#endif // DTBL_STATS_TRACE_HH

@@ -87,6 +87,71 @@ TEST(ModeInvariants, HighCoalesceRateWithDynamicWork)
     }
 }
 
+TEST(ModeInvariants, AggAccountingReconciles)
+{
+    // Every aggregated-group launch either coalesces onto an eligible
+    // kernel or falls back to a device-kernel launch — never both,
+    // never neither (Section 4.2).
+    for (const char *id : {"bfs_citation", "join_gaussian", "regx_darpa",
+                           "amr_combustion"}) {
+        const auto dtbl = run(id, Mode::Dtbl);
+        const auto &st = dtbl.stats;
+        EXPECT_EQ(st.aggGroupsCoalesced + st.aggGroupsFallback,
+                  st.aggGroupLaunches)
+            << id;
+        EXPECT_LE(st.agtOverflows, st.aggGroupsCoalesced) << id;
+    }
+}
+
+TEST(ModeInvariants, TraceCountsReconcileWithStats)
+{
+    // The trace subsystem observes the same events the SimStats
+    // counters count; if the two disagree a hook is missing or doubled.
+    if (!TraceSink::compiledIn)
+        GTEST_SKIP() << "tracing compiled out";
+    for (const char *id : {"join_gaussian", "bfs_citation"}) {
+        for (Mode m : {Mode::Flat, Mode::Cdp, Mode::Dtbl}) {
+            const auto r = run(id, m);
+            const auto &st = r.stats;
+            const auto &tr = r.trace;
+            const std::string label =
+                std::string(id) + "/" + modeName(m);
+            EXPECT_EQ(tr.count(TraceEvent::AggLaunch),
+                      st.aggGroupLaunches)
+                << label;
+            EXPECT_EQ(tr.count(TraceEvent::AggCoalesce),
+                      st.aggGroupsCoalesced)
+                << label;
+            EXPECT_EQ(tr.count(TraceEvent::AggFallback),
+                      st.aggGroupsFallback)
+                << label;
+            EXPECT_EQ(tr.count(TraceEvent::AgtSpill), st.agtOverflows)
+                << label;
+            EXPECT_EQ(tr.count(TraceEvent::AgtInsert) +
+                          tr.count(TraceEvent::AgtSpill),
+                      st.aggGroupsCoalesced)
+                << label;
+            EXPECT_EQ(tr.count(TraceEvent::TbRetire), st.tbsCompleted)
+                << label;
+            EXPECT_EQ(tr.count(TraceEvent::TbDispatch),
+                      tr.count(TraceEvent::TbRetire))
+                << label;
+            EXPECT_EQ(tr.count(TraceEvent::KdeRelease),
+                      st.kernelsCompleted)
+                << label;
+            EXPECT_EQ(tr.count(TraceEvent::KmuPushDevice),
+                      st.deviceKernelLaunches + st.aggGroupsFallback)
+                << label;
+            EXPECT_EQ(tr.count(TraceEvent::L1Miss), st.l1Misses) << label;
+            EXPECT_EQ(tr.count(TraceEvent::L2Miss), st.l2Misses) << label;
+            EXPECT_EQ(tr.count(TraceEvent::DramRead), st.dramReads)
+                << label;
+            EXPECT_EQ(tr.count(TraceEvent::DramWrite), st.dramWrites)
+                << label;
+        }
+    }
+}
+
 TEST(ModeInvariants, DeterministicAcrossRuns)
 {
     // Same benchmark + mode twice: identical cycle counts and metrics

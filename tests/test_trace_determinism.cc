@@ -1,0 +1,120 @@
+/**
+ * @file
+ * Golden-trace determinism: running the same (benchmark, mode) twice
+ * must produce bit-identical event traces and counters. The trace hash
+ * (stats/trace.hh) folds every event the simulator emits, so any hidden
+ * nondeterminism — iteration over unordered containers, uninitialised
+ * state, address-dependent ordering — shows up as a hash mismatch even
+ * when the aggregate metrics happen to agree.
+ */
+
+#include <gtest/gtest.h>
+
+#include "apps/registry.hh"
+#include "harness/runner.hh"
+
+using namespace dtbl;
+
+namespace {
+
+/** One small benchmark per application family (Table 4). */
+const char *const kBenchIds[] = {
+    "amr_combustion", "bht",           "bfs_citation",  "clr_citation",
+    "regx_darpa",     "pre_movielens", "join_gaussian", "sssp_flight",
+};
+
+const Mode kModes[] = {Mode::Flat, Mode::Cdp, Mode::Dtbl};
+
+void
+expectIdenticalStats(const SimStats &a, const SimStats &b,
+                     const std::string &label)
+{
+    EXPECT_EQ(a.totalCycles, b.totalCycles) << label;
+    EXPECT_EQ(a.warpInstrsIssued, b.warpInstrsIssued) << label;
+    EXPECT_EQ(a.activeLaneSum, b.activeLaneSum) << label;
+    EXPECT_EQ(a.dramReads, b.dramReads) << label;
+    EXPECT_EQ(a.dramWrites, b.dramWrites) << label;
+    EXPECT_EQ(a.dramActivityCycles, b.dramActivityCycles) << label;
+    EXPECT_EQ(a.residentWarpCycleSum, b.residentWarpCycleSum) << label;
+    EXPECT_EQ(a.busyCycles, b.busyCycles) << label;
+    EXPECT_EQ(a.deviceKernelLaunches, b.deviceKernelLaunches) << label;
+    EXPECT_EQ(a.aggGroupLaunches, b.aggGroupLaunches) << label;
+    EXPECT_EQ(a.aggGroupsCoalesced, b.aggGroupsCoalesced) << label;
+    EXPECT_EQ(a.aggGroupsFallback, b.aggGroupsFallback) << label;
+    EXPECT_EQ(a.agtOverflows, b.agtOverflows) << label;
+    EXPECT_EQ(a.launchWaitCycleSum, b.launchWaitCycleSum) << label;
+    EXPECT_EQ(a.launchWaitSamples, b.launchWaitSamples) << label;
+    EXPECT_EQ(a.dynamicLaunchThreadSum, b.dynamicLaunchThreadSum) << label;
+    EXPECT_EQ(a.peakPendingLaunchBytes, b.peakPendingLaunchBytes) << label;
+    EXPECT_EQ(a.l1Hits, b.l1Hits) << label;
+    EXPECT_EQ(a.l1Misses, b.l1Misses) << label;
+    EXPECT_EQ(a.l2Hits, b.l2Hits) << label;
+    EXPECT_EQ(a.l2Misses, b.l2Misses) << label;
+    EXPECT_EQ(a.tbsCompleted, b.tbsCompleted) << label;
+    EXPECT_EQ(a.kernelsCompleted, b.kernelsCompleted) << label;
+}
+
+void
+expectIdenticalTraces(const TraceSummary &a, const TraceSummary &b,
+                      const std::string &label)
+{
+    EXPECT_EQ(a.hash, b.hash) << label;
+    EXPECT_EQ(a.total, b.total) << label;
+    for (std::size_t ev = 0; ev < kNumTraceEvents; ++ev) {
+        EXPECT_EQ(a.counts[ev], b.counts[ev])
+            << label << " event "
+            << traceEventName(static_cast<TraceEvent>(ev));
+    }
+}
+
+} // namespace
+
+class TraceDeterminism : public ::testing::TestWithParam<const char *>
+{
+};
+
+TEST_P(TraceDeterminism, IdenticalHashAndStatsAcrossReruns)
+{
+    const std::string id = GetParam();
+    for (Mode m : kModes) {
+        const std::string label = id + "/" + modeName(m);
+        auto appA = makeBenchmark(id);
+        auto appB = makeBenchmark(id);
+        const BenchResult a = runBenchmark(*appA, m);
+        const BenchResult b = runBenchmark(*appB, m);
+        ASSERT_TRUE(a.verified) << label;
+        ASSERT_TRUE(b.verified) << label;
+
+        expectIdenticalStats(a.stats, b.stats, label);
+        if (!TraceSink::compiledIn)
+            continue; // hooks compiled out: only the stats can be checked
+        ASSERT_GT(a.trace.total, 0u) << label;
+        expectIdenticalTraces(a.trace, b.trace, label);
+        EXPECT_EQ(a.report.traceHash, a.trace.hash) << label;
+        EXPECT_EQ(a.report.traceEvents, a.trace.total) << label;
+    }
+}
+
+TEST(TraceDeterminism, ModesProduceDistinctTraces)
+{
+    // A benchmark with dynamic work must behave differently per mode —
+    // if Flat, CDP and DTBL fold to the same hash the hooks are dead.
+    if (!TraceSink::compiledIn)
+        GTEST_SKIP() << "tracing compiled out";
+    auto runOnce = [](Mode m) {
+        auto app = makeBenchmark("join_gaussian");
+        return runBenchmark(*app, m).trace.hash;
+    };
+    const std::uint64_t flat = runOnce(Mode::Flat);
+    const std::uint64_t cdp = runOnce(Mode::Cdp);
+    const std::uint64_t dtbl = runOnce(Mode::Dtbl);
+    EXPECT_NE(flat, cdp);
+    EXPECT_NE(flat, dtbl);
+    EXPECT_NE(cdp, dtbl);
+}
+
+INSTANTIATE_TEST_SUITE_P(Apps, TraceDeterminism,
+                         ::testing::ValuesIn(kBenchIds),
+                         [](const auto &info) {
+                             return std::string(info.param);
+                         });
