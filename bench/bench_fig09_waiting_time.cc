@@ -10,8 +10,10 @@
  */
 
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <string>
+#include <vector>
 
 #include "eval_common.hh"
 #include "harness/report.hh"
@@ -21,15 +23,27 @@ using namespace dtbl;
 int
 main(int argc, char **argv)
 {
+    // --check[=N]: runtime sanitizer level (default 3 = full); check
+    // errors abort the sweep. --bench <id>: restrict to one benchmark.
     std::string traceDir;
+    std::vector<std::string> ids;
+    int checkLevel = 0;
     for (int i = 1; i < argc; ++i) {
         if (std::strcmp(argv[i], "--trace-out") == 0 && i + 1 < argc)
             traceDir = argv[++i];
+        else if (std::strcmp(argv[i], "--bench") == 0 && i + 1 < argc)
+            ids.push_back(argv[++i]);
+        else if (std::strncmp(argv[i], "--check", 7) == 0)
+            checkLevel = argv[i][7] == '=' ? std::atoi(argv[i] + 8) : 3;
     }
 
+    const std::vector<Mode> modes = {Mode::CdpIdeal, Mode::DtblIdeal,
+                                     Mode::Cdp, Mode::Dtbl};
     const auto rows =
-        runSweep({Mode::CdpIdeal, Mode::DtblIdeal, Mode::Cdp, Mode::Dtbl},
-                 GpuConfig::k20c(), traceDir);
+        ids.empty()
+            ? runSweep(modes, GpuConfig::k20c(), traceDir, checkLevel)
+            : runSweep(ids, modes, GpuConfig::k20c(), traceDir,
+                       checkLevel);
 
     Table t({"benchmark", "CDPI", "DTBLI", "CDP", "DTBL", "DTBL/CDP"});
     std::vector<double> ratio;

@@ -11,7 +11,7 @@ namespace dtbl {
 std::vector<EvalRow>
 runSweep(const std::vector<std::string> &ids,
          const std::vector<Mode> &modes, const GpuConfig &base,
-         const std::string &trace_dir)
+         const std::string &trace_dir, int check_level)
 {
     if (!trace_dir.empty())
         std::filesystem::create_directories(trace_dir);
@@ -25,6 +25,7 @@ runSweep(const std::vector<std::string> &ids,
             std::fflush(stderr);
             auto app = makeBenchmark(id);
             RunOptions opts;
+            opts.checkLevel = check_level;
             if (!trace_dir.empty()) {
                 opts.traceJsonPath =
                     trace_dir + "/" + id + "_" + modeName(m) + ".json";
@@ -37,6 +38,12 @@ runSweep(const std::vector<std::string> &ids,
                 DTBL_FATAL("verification failed for ", id, " in mode ",
                            modeName(m));
             }
+            if (r.checkErrors > 0) {
+                for (const Diagnostic &d : r.checkFindings)
+                    std::fprintf(stderr, "    %s\n", d.str().c_str());
+                DTBL_FATAL("dtbl-check reported ", r.checkErrors,
+                           " error(s) for ", id, " in mode ", modeName(m));
+            }
             row.results.emplace(m, std::move(r));
         }
         rows.push_back(std::move(row));
@@ -46,12 +53,12 @@ runSweep(const std::vector<std::string> &ids,
 
 std::vector<EvalRow>
 runSweep(const std::vector<Mode> &modes, const GpuConfig &base,
-         const std::string &trace_dir)
+         const std::string &trace_dir, int check_level)
 {
     std::vector<std::string> ids;
     for (const auto &s : allBenchmarks())
         ids.push_back(s.id);
-    return runSweep(ids, modes, base, trace_dir);
+    return runSweep(ids, modes, base, trace_dir, check_level);
 }
 
 } // namespace dtbl

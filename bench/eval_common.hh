@@ -36,13 +36,15 @@ struct EvalRow
  */
 std::vector<EvalRow> runSweep(const std::vector<Mode> &modes,
                               const GpuConfig &base = GpuConfig::k20c(),
-                              const std::string &trace_dir = {});
+                              const std::string &trace_dir = {},
+                              int check_level = 0);
 
 /** As runSweep but restricted to the given benchmark ids. */
 std::vector<EvalRow> runSweep(const std::vector<std::string> &ids,
                               const std::vector<Mode> &modes,
                               const GpuConfig &base = GpuConfig::k20c(),
-                              const std::string &trace_dir = {});
+                              const std::string &trace_dir = {},
+                              int check_level = 0);
 
 } // namespace dtbl
 

@@ -8,6 +8,7 @@
  */
 
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <string>
 #include <vector>
@@ -22,10 +23,17 @@ main(int argc, char **argv)
 {
     // --trace-out <path>: write a Chrome trace_event JSON of the run
     // (open it in chrome://tracing or https://ui.perfetto.dev).
+    // --check[=N]: enable the runtime sanitizer at level N (default 3 =
+    // full; see analysis/sanitizer.hh for the tiers).
     std::string traceOut;
+    int checkLevel = 0;
     for (int i = 1; i < argc; ++i) {
-        if (std::strcmp(argv[i], "--trace-out") == 0 && i + 1 < argc)
+        if (std::strcmp(argv[i], "--trace-out") == 0 && i + 1 < argc) {
             traceOut = argv[++i];
+        } else if (std::strncmp(argv[i], "--check", 7) == 0) {
+            checkLevel = argv[i][7] == '=' ? std::atoi(argv[i] + 8)
+                                           : int(CheckLevel::Full);
+        }
     }
 
     // --- 1. Describe the kernel in the SIMT IR -----------------------
@@ -62,6 +70,8 @@ main(int argc, char **argv)
     Gpu gpu(GpuConfig::k20c(), prog);
     if (!traceOut.empty() && gpu.trace().openJson(traceOut))
         std::printf("writing Chrome trace to %s\n", traceOut.c_str());
+    if (checkLevel > 0)
+        gpu.enableChecks(CheckLevel(checkLevel));
     const std::uint32_t n = 4096;
     std::vector<std::uint32_t> x(n), y(n), rep(n);
     for (std::uint32_t i = 0; i < n; ++i) {
@@ -99,6 +109,12 @@ main(int argc, char **argv)
 
     const MetricsReport r = gpu.report("quickstart", "flat");
     std::printf("\n--- metrics ---\n%s\n", r.str().c_str());
+    if (const Sanitizer *san = gpu.sanitizer()) {
+        for (const Diagnostic &d : san->findings())
+            std::printf("%s\n", d.str().c_str());
+        std::printf("%s\n", san->summary().c_str());
+        ok = ok && san->errorCount() == 0;
+    }
     gpu.trace().closeJson();
     return ok ? 0 : 1;
 }

@@ -1,0 +1,58 @@
+#include "analysis/diagnostics.hh"
+
+#include <sstream>
+
+namespace dtbl {
+
+const char *
+ruleName(CheckRule rule)
+{
+    switch (rule) {
+      case CheckRule::BranchTarget: return "branch-target";
+      case CheckRule::ReconvTarget: return "reconv-target";
+      case CheckRule::RegIndex: return "reg-index";
+      case CheckRule::PredIndex: return "pred-index";
+      case CheckRule::OperandKind: return "operand-kind";
+      case CheckRule::MemWidth: return "mem-width";
+      case CheckRule::MemAlign: return "mem-align";
+      case CheckRule::ParamBounds: return "param-bounds";
+      case CheckRule::LaunchFunc: return "launch-func";
+      case CheckRule::LaunchOperand: return "launch-operand";
+      case CheckRule::UseBeforeDef: return "use-before-def";
+      case CheckRule::MaybeUninit: return "maybe-uninit";
+      case CheckRule::BarrierDivergence: return "barrier-divergence";
+      case CheckRule::NoTerminator: return "no-terminator";
+      case CheckRule::OobGlobal: return "oob-global";
+      case CheckRule::OobShared: return "oob-shared";
+      case CheckRule::OobParam: return "oob-param";
+      case CheckRule::UninitRead: return "uninit-read";
+      case CheckRule::SharedRace: return "shared-race";
+      case CheckRule::LeakKde: return "leak-kde";
+      case CheckRule::LeakAgt: return "leak-agt";
+      case CheckRule::KdeLinkage: return "kde-linkage";
+      case CheckRule::AggCount: return "agg-count";
+      case CheckRule::LeakLaunchBytes: return "leak-launch-bytes";
+    }
+    return "unknown";
+}
+
+const char *
+severityName(Severity sev)
+{
+    return sev == Severity::Error ? "error" : "warning";
+}
+
+std::string
+Diagnostic::str() const
+{
+    std::ostringstream os;
+    os << severityName(severity) << "[" << ruleName(rule) << "]";
+    if (funcId != invalidKernelFunc)
+        os << " func=" << funcId;
+    if (pc >= 0)
+        os << " pc=" << pc;
+    os << ": " << message;
+    return os.str();
+}
+
+} // namespace dtbl

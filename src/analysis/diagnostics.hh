@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Structured diagnostics shared by the static kernel verifier and the
+ * runtime sanitizer ("dtbl-check").
+ *
+ * Every finding carries a stable rule id so tests can assert on exact
+ * diagnostics (golden rule + pc) and CI can grep for classes of
+ * failures. Severities follow the usual compiler convention: an Error
+ * means the kernel (or machine state) is definitely broken; a Warning
+ * flags a construct that is only wrong on some execution paths.
+ */
+
+#ifndef DTBL_ANALYSIS_DIAGNOSTICS_HH
+#define DTBL_ANALYSIS_DIAGNOSTICS_HH
+
+#include <cstdint>
+#include <string>
+
+#include "common/types.hh"
+
+namespace dtbl {
+
+enum class Severity : std::uint8_t { Warning, Error };
+
+/**
+ * Stable check identifiers. The first block is produced by the static
+ * verifier (verifier.hh), the second by the runtime sanitizer
+ * (sanitizer.hh), the third by the drain-time invariant pass.
+ */
+enum class CheckRule : std::uint8_t
+{
+    // --- static verifier -------------------------------------------------
+    BranchTarget,      //!< Bra target outside [0, code.size())
+    ReconvTarget,      //!< reconvergence PC outside [0, code.size()]
+    RegIndex,          //!< register operand >= numRegs
+    PredIndex,         //!< predicate index >= numPreds
+    OperandKind,       //!< operand missing / wrong kind for the opcode
+    MemWidth,          //!< access width not in {1, 2, 4}
+    MemAlign,          //!< memOffset not a multiple of the access width
+    ParamBounds,       //!< constant param load beyond paramBytes
+    LaunchFunc,        //!< launch references an unregistered function
+    LaunchOperand,     //!< launch numTbs/paramAddr operand malformed
+    UseBeforeDef,      //!< register/predicate read with no def on any path
+    MaybeUninit,       //!< read defined on some but not all paths
+    BarrierDivergence, //!< Bar predicated or inside a divergent region
+    NoTerminator,      //!< control flow can run off the end of code
+    // --- runtime sanitizer ----------------------------------------------
+    OobGlobal,         //!< global access outside any live allocation
+    OobShared,         //!< shared access outside the TB segment
+    OobParam,          //!< param access outside the parameter buffer
+    UninitRead,        //!< lane read a register it never wrote
+    SharedRace,        //!< cross-warp shared access with no barrier
+    // --- drain invariants -------------------------------------------------
+    LeakKde,           //!< Kernel Distributor entry valid after drain
+    LeakAgt,           //!< AGT group record or slot live after drain
+    KdeLinkage,        //!< NAGEI/LAGEI linkage malformed
+    AggCount,          //!< coalesced + fallback != aggregated launches
+    LeakLaunchBytes,   //!< pending launch-metadata bytes not released
+};
+
+/** Stable kebab-case rule name ("branch-target", "oob-global", ...). */
+const char *ruleName(CheckRule rule);
+
+const char *severityName(Severity sev);
+
+/** One finding; pc / funcId are -1 / invalid for machine-level rules. */
+struct Diagnostic
+{
+    KernelFuncId funcId = invalidKernelFunc;
+    std::int32_t pc = -1;
+    Severity severity = Severity::Error;
+    CheckRule rule = CheckRule::OperandKind;
+    std::string message;
+
+    /** "error[use-before-def] func=2 pc=7: ..." */
+    std::string str() const;
+};
+
+} // namespace dtbl
+
+#endif // DTBL_ANALYSIS_DIAGNOSTICS_HH

@@ -1,0 +1,281 @@
+#include "analysis/sanitizer.hh"
+
+#include <bit>
+#include <sstream>
+
+#include "analysis/verifier.hh"
+
+namespace dtbl {
+namespace {
+
+/** Bound on stored diagnostics; counters keep running past it. */
+constexpr std::size_t kMaxStoredFindings = 100;
+
+unsigned
+firstLane(ActiveMask m)
+{
+    return unsigned(std::countr_zero(m));
+}
+
+} // namespace
+
+const char *
+checkLevelName(CheckLevel lvl)
+{
+    switch (lvl) {
+      case CheckLevel::Off: return "off";
+      case CheckLevel::Invariants: return "invariants";
+      case CheckLevel::Memory: return "memory";
+      case CheckLevel::Full: return "full";
+    }
+    return "?";
+}
+
+Sanitizer::Sanitizer(CheckLevel level, const GlobalMemory &mem)
+    : level_(level), mem_(mem)
+{
+}
+
+void
+Sanitizer::reportAt(const KernelFunction *fn, std::int32_t pc,
+                    CheckRule rule, Severity sev, std::string msg)
+{
+    const KernelFuncId func = fn ? fn->id : invalidKernelFunc;
+    if (!seen_.insert({func, pc, int(rule)}).second)
+        return;
+    if (sev == Severity::Error)
+        ++errors_;
+    else
+        ++warnings_;
+    if (findings_.size() >= kMaxStoredFindings) {
+        ++dropped_;
+        return;
+    }
+    Diagnostic d;
+    d.funcId = func;
+    d.pc = pc;
+    d.severity = sev;
+    d.rule = rule;
+    if (fn && pc >= 0 && pc < std::int32_t(fn->code.size()))
+        msg += " in '" + disasm(fn->code[pc]) + "'";
+    d.message = std::move(msg);
+    findings_.push_back(std::move(d));
+}
+
+void
+Sanitizer::report(CheckRule rule, Severity sev, std::string msg)
+{
+    reportAt(nullptr, -1, rule, sev, std::move(msg));
+}
+
+Sanitizer::WarpShadow &
+Sanitizer::shadowOf(const Warp &w)
+{
+    WarpShadow &s = warpShadows_[&w];
+    if (s.regInit.empty() && s.predInit.empty()) {
+        s.regInit.assign(w.fn()->numRegs, 0);
+        s.predInit.assign(w.fn()->numPreds, 0);
+    }
+    return s;
+}
+
+void
+Sanitizer::onIssue(const Warp &w, const Instruction &inst, std::int32_t pc,
+                   ActiveMask exec, ActiveMask active)
+{
+    if (level_ < CheckLevel::Full)
+        return;
+    WarpShadow &s = shadowOf(w);
+    const InstAccess a = instAccess(inst);
+
+    const auto flagUninit = [&](char prefix, unsigned idx,
+                                ActiveMask lanes) {
+        std::ostringstream os;
+        os << w.fn()->name << ": " << prefix << idx << " read by "
+           << std::popcount(lanes) << " lane(s) (first " << firstLane(lanes)
+           << ") before any write";
+        reportAt(w.fn(), pc, CheckRule::UninitRead, Severity::Error,
+                 os.str());
+    };
+
+    // The guard predicate is read by every active lane; the remaining
+    // operands only by the lanes that pass the guard.
+    if (inst.pred >= 0) {
+        const ActiveMask uninit =
+            active & ~s.predInit[std::size_t(inst.pred)];
+        if (uninit)
+            flagUninit('p', unsigned(inst.pred), uninit);
+    }
+    for (unsigned i = 0; i < a.numRegReads; ++i) {
+        const ActiveMask uninit = exec & ~s.regInit[a.regReads[i]];
+        if (uninit)
+            flagUninit('r', a.regReads[i], uninit);
+    }
+    for (unsigned i = 0; i < a.numPredReads; ++i) {
+        if (a.predReads[i] == inst.pred)
+            continue; // guard handled above against the active mask
+        const ActiveMask uninit = exec & ~s.predInit[a.predReads[i]];
+        if (uninit)
+            flagUninit('p', a.predReads[i], uninit);
+    }
+
+    if (a.regWrite >= 0)
+        s.regInit[std::size_t(a.regWrite)] |= exec;
+    if (a.predWrite >= 0)
+        s.predInit[std::size_t(a.predWrite)] |= exec;
+}
+
+void
+Sanitizer::onMemory(const Warp &w, const Instruction &inst, std::int32_t pc,
+                    const std::array<Addr, warpSize> &addrs,
+                    ActiveMask exec)
+{
+    if (level_ < CheckLevel::Memory)
+        return;
+    const ThreadBlock &tb = *w.tb();
+
+    switch (inst.space) {
+      case MemSpace::Global:
+        for (unsigned lane = 0; lane < warpSize; ++lane) {
+            if (!(exec & (1u << lane)))
+                continue;
+            if (!mem_.inLiveAllocation(addrs[lane], inst.width)) {
+                std::ostringstream os;
+                os << w.fn()->name << ": lane " << lane << " "
+                   << (inst.op == Opcode::Ld ? "reads" : "writes")
+                   << " global addr " << addrs[lane] << " (+"
+                   << int(inst.width) << ") outside any live allocation";
+                reportAt(w.fn(), pc, CheckRule::OobGlobal, Severity::Error,
+                         os.str());
+                break;
+            }
+        }
+        break;
+      case MemSpace::Shared:
+        for (unsigned lane = 0; lane < warpSize; ++lane) {
+            if (!(exec & (1u << lane)))
+                continue;
+            if (addrs[lane] + inst.width > tb.sharedMem.size()) {
+                std::ostringstream os;
+                os << w.fn()->name << ": lane " << lane
+                   << " accesses shared offset " << addrs[lane] << " (+"
+                   << int(inst.width) << ") outside the "
+                   << tb.sharedMem.size() << "-byte TB segment";
+                reportAt(w.fn(), pc, CheckRule::OobShared, Severity::Error,
+                         os.str());
+                break;
+            }
+        }
+        if (level_ >= CheckLevel::Full)
+            checkShared(w, inst, pc, addrs, exec);
+        break;
+      case MemSpace::Param:
+        for (unsigned lane = 0; lane < warpSize; ++lane) {
+            if (!(exec & (1u << lane)))
+                continue;
+            const Addr a = tb.asg.paramAddr + addrs[lane];
+            if (!mem_.inLiveAllocation(a, inst.width)) {
+                std::ostringstream os;
+                os << w.fn()->name << ": lane " << lane
+                   << " reads param offset " << addrs[lane]
+                   << " outside the bound parameter buffer at "
+                   << tb.asg.paramAddr;
+                reportAt(w.fn(), pc, CheckRule::OobParam, Severity::Error,
+                         os.str());
+                break;
+            }
+        }
+        break;
+    }
+}
+
+void
+Sanitizer::checkShared(const Warp &w, const Instruction &inst,
+                       std::int32_t pc,
+                       const std::array<Addr, warpSize> &addrs,
+                       ActiveMask exec)
+{
+    const ThreadBlock &tb = *w.tb();
+    if (tb.numWarps < 2)
+        return; // races need two warps; intra-warp lanes are lock-step
+    TbShadow &s = tbShadows_[&tb];
+    if (s.bytes.size() < tb.sharedMem.size())
+        s.bytes.resize(tb.sharedMem.size());
+
+    const bool isWrite = inst.op != Opcode::Ld;
+    const std::int16_t warp = std::int16_t(w.warpInTb());
+    const std::uint64_t warpBit = 1ull << w.warpInTb();
+
+    for (unsigned lane = 0; lane < warpSize; ++lane) {
+        if (!(exec & (1u << lane)))
+            continue;
+        const Addr base = addrs[lane];
+        for (unsigned b = 0; b < inst.width; ++b) {
+            if (base + b >= s.bytes.size())
+                break; // out of bounds reported separately
+            SharedByte &sb = s.bytes[base + b];
+            if (isWrite) {
+                const bool otherWriter =
+                    sb.writerWarp >= 0 && sb.writerWarp != warp;
+                const bool otherReader = (sb.readers & ~warpBit) != 0;
+                if (otherWriter || otherReader) {
+                    std::ostringstream os;
+                    os << w.fn()->name << ": warp " << warp
+                       << " writes shared byte " << base + b << " also "
+                       << (otherWriter ? "written" : "read")
+                       << " by another warp with no barrier in between";
+                    reportAt(w.fn(), pc, CheckRule::SharedRace,
+                             Severity::Error, os.str());
+                }
+                sb.writerWarp = warp;
+                sb.readers = 0;
+            } else {
+                if (sb.writerWarp >= 0 && sb.writerWarp != warp) {
+                    std::ostringstream os;
+                    os << w.fn()->name << ": warp " << warp
+                       << " reads shared byte " << base + b
+                       << " written by warp " << sb.writerWarp
+                       << " with no barrier in between";
+                    reportAt(w.fn(), pc, CheckRule::SharedRace,
+                             Severity::Error, os.str());
+                }
+                sb.readers |= warpBit;
+            }
+        }
+    }
+}
+
+void
+Sanitizer::onBarrierRelease(const ThreadBlock &tb)
+{
+    auto it = tbShadows_.find(&tb);
+    if (it == tbShadows_.end())
+        return;
+    for (SharedByte &sb : it->second.bytes)
+        sb = SharedByte{};
+}
+
+void
+Sanitizer::onWarpFinish(const Warp &w)
+{
+    warpShadows_.erase(&w);
+}
+
+void
+Sanitizer::onTbFinish(const ThreadBlock &tb)
+{
+    tbShadows_.erase(&tb);
+}
+
+std::string
+Sanitizer::summary() const
+{
+    std::ostringstream os;
+    os << "dtbl-check[" << checkLevelName(level_) << "]: " << errors_
+       << " error(s), " << warnings_ << " warning(s)";
+    if (dropped_ > 0)
+        os << " (" << dropped_ << " not stored)";
+    return os.str();
+}
+
+} // namespace dtbl

@@ -1,0 +1,141 @@
+/**
+ * @file
+ * Runtime sanitizer for the simulated machine ("dtbl-check").
+ *
+ * Plays the role cuda-memcheck/racecheck plays for real CDP code, but
+ * over the simulator's architectural state. All checks are pure
+ * observers: they read warp/TB/memory state at the Smx hook points and
+ * never touch simulated timing, so a run with checks on produces
+ * bit-identical stats and trace hashes to a run with checks off.
+ *
+ * Check levels (RunOptions::checkLevel / --check):
+ *   Off        (0) no sanitizer; hooks still compiled in when enabled.
+ *   Invariants (1) microarchitectural drain asserts only: no leaked
+ *                  KDE/AGT entries, NAGEI/LAGEI linkage well-formed,
+ *                  coalesced + fallback == launches, launch-metadata
+ *                  bytes fully released.
+ *   Memory     (2) + every Ld/St/Atom bounds-checked: global accesses
+ *                  against the live-allocation map (including GetPBuf
+ *                  parameter buffers), shared against the TB segment,
+ *                  param against the bound parameter buffer.
+ *   Full       (3) + per-lane uninitialized-register-read tracking and
+ *                  a shared-memory race checker (same-byte WW/RW pairs
+ *                  from different warps of a TB with no intervening
+ *                  barrier).
+ *
+ * Compile-time gate: configure with -DDTBL_ENABLE_CHECK=OFF (defines
+ * DTBL_CHECK_ENABLED=0) and every hook call site in the hot path
+ * compiles out entirely; the trace-hash regression tests then prove the
+ * OFF build behaves identically to the seed.
+ */
+
+#ifndef DTBL_ANALYSIS_SANITIZER_HH
+#define DTBL_ANALYSIS_SANITIZER_HH
+
+#include <array>
+#include <cstdint>
+#include <set>
+#include <string>
+#include <tuple>
+#include <unordered_map>
+#include <vector>
+
+#include "analysis/diagnostics.hh"
+#include "gpu/thread_block.hh"
+#include "gpu/warp.hh"
+#include "mem/global_memory.hh"
+
+#ifndef DTBL_CHECK_ENABLED
+#define DTBL_CHECK_ENABLED 1
+#endif
+
+namespace dtbl {
+
+enum class CheckLevel : std::uint8_t
+{
+    Off = 0,
+    Invariants = 1,
+    Memory = 2,
+    Full = 3,
+};
+
+const char *checkLevelName(CheckLevel lvl);
+
+class Sanitizer
+{
+  public:
+    /** True when the build carries the hook call sites. */
+    static constexpr bool compiledIn = DTBL_CHECK_ENABLED != 0;
+
+    Sanitizer(CheckLevel level, const GlobalMemory &mem);
+
+    CheckLevel level() const { return level_; }
+
+    // --- Smx hook points (observers; never mutate machine state) -------
+    /** Before an instruction executes; @p exec is the post-guard mask. */
+    void onIssue(const Warp &w, const Instruction &inst, std::int32_t pc,
+                 ActiveMask exec, ActiveMask active);
+    /** Before a memory instruction performs its per-lane accesses. */
+    void onMemory(const Warp &w, const Instruction &inst, std::int32_t pc,
+                  const std::array<Addr, warpSize> &addrs,
+                  ActiveMask exec);
+    /** All warps of @p tb passed a barrier (race epoch boundary). */
+    void onBarrierRelease(const ThreadBlock &tb);
+    /** Warp is about to be destroyed (its slot may be reused). */
+    void onWarpFinish(const Warp &w);
+    /** TB is about to be destroyed. */
+    void onTbFinish(const ThreadBlock &tb);
+
+    // --- machine-level reporting (drain invariants live in Gpu) --------
+    void report(CheckRule rule, Severity sev, std::string msg);
+
+    // --- results --------------------------------------------------------
+    const std::vector<Diagnostic> &findings() const { return findings_; }
+    std::uint64_t errorCount() const { return errors_; }
+    std::uint64_t warningCount() const { return warnings_; }
+    /** "dtbl-check[full]: 2 errors, 0 warnings" */
+    std::string summary() const;
+
+  private:
+    struct WarpShadow
+    {
+        /** Per-register mask of lanes that have written it. */
+        std::vector<ActiveMask> regInit;
+        std::vector<ActiveMask> predInit;
+    };
+
+    struct SharedByte
+    {
+        std::int16_t writerWarp = -1; //!< warp-in-TB of last writer
+        std::uint64_t readers = 0;    //!< warp-in-TB read mask
+    };
+
+    struct TbShadow
+    {
+        std::vector<SharedByte> bytes;
+    };
+
+    void reportAt(const KernelFunction *fn, std::int32_t pc,
+                  CheckRule rule, Severity sev, std::string msg);
+    WarpShadow &shadowOf(const Warp &w);
+    void checkShared(const Warp &w, const Instruction &inst,
+                     std::int32_t pc, const std::array<Addr, warpSize> &addrs,
+                     ActiveMask exec);
+
+    CheckLevel level_;
+    const GlobalMemory &mem_;
+
+    std::vector<Diagnostic> findings_;
+    std::uint64_t errors_ = 0;
+    std::uint64_t warnings_ = 0;
+    std::uint64_t dropped_ = 0;
+    /** Dedup key: one report per (func, pc, rule) site. */
+    std::set<std::tuple<KernelFuncId, std::int32_t, int>> seen_;
+
+    std::unordered_map<const Warp *, WarpShadow> warpShadows_;
+    std::unordered_map<const ThreadBlock *, TbShadow> tbShadows_;
+};
+
+} // namespace dtbl
+
+#endif // DTBL_ANALYSIS_SANITIZER_HH

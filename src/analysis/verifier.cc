@@ -1,0 +1,550 @@
+#include "analysis/verifier.hh"
+
+#include <algorithm>
+#include <sstream>
+
+namespace dtbl {
+namespace {
+
+bool
+isBinaryAlu(Opcode op)
+{
+    switch (op) {
+      case Opcode::Add: case Opcode::Sub: case Opcode::Mul:
+      case Opcode::Div: case Opcode::Rem: case Opcode::Min:
+      case Opcode::Max: case Opcode::And: case Opcode::Or:
+      case Opcode::Xor: case Opcode::Shl: case Opcode::Shr:
+        return true;
+      default:
+        return false;
+    }
+}
+
+bool
+isUnaryAlu(Opcode op)
+{
+    return op == Opcode::Mov || op == Opcode::Not ||
+           op == Opcode::CvtF2I || op == Opcode::CvtI2F;
+}
+
+/** Successor PCs of @p pc; may include code.size() (= falls off end). */
+void
+successors(const Instruction &inst, std::int32_t pc, std::int32_t n,
+           std::vector<std::int32_t> &out)
+{
+    out.clear();
+    switch (inst.op) {
+      case Opcode::Bra:
+        if (inst.target >= 0 && inst.target < n)
+            out.push_back(inst.target);
+        if (inst.pred >= 0)
+            out.push_back(pc + 1);
+        break;
+      case Opcode::Exit:
+        // An unpredicated exit retires every live lane; lanes in other
+        // stack entries resume at their own reconvergence PCs, which the
+        // branch edges already model.
+        if (inst.pred >= 0)
+            out.push_back(pc + 1);
+        break;
+      default:
+        out.push_back(pc + 1);
+        break;
+    }
+}
+
+class KernelVerifier
+{
+  public:
+    KernelVerifier(const KernelFunction &fn, std::size_t num_funcs)
+        : fn_(fn), numFuncs_(num_funcs)
+    {}
+
+    std::vector<Diagnostic>
+    run()
+    {
+        if (fn_.code.empty()) {
+            report(-1, Severity::Error, CheckRule::NoTerminator,
+                   "kernel has no code");
+            return std::move(diags_);
+        }
+        for (std::size_t pc = 0; pc < fn_.code.size(); ++pc)
+            checkInstruction(std::int32_t(pc), fn_.code[pc]);
+        checkBarrierDivergence();
+        if (!anyError_) {
+            // The CFG walks assume in-bounds targets and indices.
+            checkTermination();
+            checkDataflow();
+        }
+        return std::move(diags_);
+    }
+
+  private:
+    void
+    report(std::int32_t pc, Severity sev, CheckRule rule, std::string msg)
+    {
+        if (sev == Severity::Error)
+            anyError_ = true;
+        Diagnostic d;
+        d.funcId = fn_.id;
+        d.pc = pc;
+        d.severity = sev;
+        d.rule = rule;
+        if (pc >= 0 && pc < std::int32_t(fn_.code.size()))
+            msg += " in '" + disasm(fn_.code[pc]) + "'";
+        d.message = std::move(msg);
+        diags_.push_back(std::move(d));
+    }
+
+    void
+    requireSrc(std::int32_t pc, const Instruction &inst, unsigned i)
+    {
+        if (inst.src[i].isNone()) {
+            std::ostringstream os;
+            os << "opcode requires src" << i;
+            report(pc, Severity::Error, CheckRule::OperandKind, os.str());
+        }
+    }
+
+    void
+    requireDst(std::int32_t pc, const Instruction &inst)
+    {
+        if (inst.dst < 0) {
+            report(pc, Severity::Error, CheckRule::OperandKind,
+                   "opcode requires a destination register");
+        }
+    }
+
+    void
+    checkRegOperand(std::int32_t pc, const Operand &op)
+    {
+        if (op.kind == Operand::Kind::Reg && op.value >= fn_.numRegs) {
+            std::ostringstream os;
+            os << "register r" << op.value << " out of range (numRegs="
+               << fn_.numRegs << ")";
+            report(pc, Severity::Error, CheckRule::RegIndex, os.str());
+        }
+    }
+
+    void
+    checkInstruction(std::int32_t pc, const Instruction &inst)
+    {
+        const std::int32_t n = std::int32_t(fn_.code.size());
+
+        // Register/predicate indices within the declared budgets.
+        if (inst.dst >= 0 && std::uint32_t(inst.dst) >= fn_.numRegs) {
+            std::ostringstream os;
+            os << "destination r" << inst.dst << " out of range (numRegs="
+               << fn_.numRegs << ")";
+            report(pc, Severity::Error, CheckRule::RegIndex, os.str());
+        }
+        if (inst.pdst >= 0 && std::uint32_t(inst.pdst) >= fn_.numPreds) {
+            std::ostringstream os;
+            os << "destination p" << inst.pdst << " out of range (numPreds="
+               << fn_.numPreds << ")";
+            report(pc, Severity::Error, CheckRule::PredIndex, os.str());
+        }
+        if (inst.pred >= 0 && std::uint32_t(inst.pred) >= fn_.numPreds) {
+            std::ostringstream os;
+            os << "guard p" << inst.pred << " out of range (numPreds="
+               << fn_.numPreds << ")";
+            report(pc, Severity::Error, CheckRule::PredIndex, os.str());
+        }
+        for (const Operand &s : inst.src)
+            checkRegOperand(pc, s);
+
+        // Operand kinds and per-opcode structure.
+        switch (inst.op) {
+          case Opcode::Nop:
+          case Opcode::Bar:
+          case Opcode::Exit:
+          case Opcode::StreamCreate:
+            break;
+          case Opcode::Setp:
+            requireSrc(pc, inst, 0);
+            requireSrc(pc, inst, 1);
+            if (inst.pdst < 0) {
+                report(pc, Severity::Error, CheckRule::OperandKind,
+                       "setp requires a destination predicate");
+            }
+            break;
+          case Opcode::Selp:
+            requireSrc(pc, inst, 0);
+            requireSrc(pc, inst, 1);
+            requireDst(pc, inst);
+            if (inst.src[2].kind != Operand::Kind::Imm) {
+                report(pc, Severity::Error, CheckRule::OperandKind,
+                       "selp selector (src2) must be an immediate "
+                       "predicate index");
+            } else if (inst.src[2].value >= fn_.numPreds) {
+                std::ostringstream os;
+                os << "selector p" << inst.src[2].value
+                   << " out of range (numPreds=" << fn_.numPreds << ")";
+                report(pc, Severity::Error, CheckRule::PredIndex, os.str());
+            }
+            break;
+          case Opcode::Mad:
+            requireSrc(pc, inst, 0);
+            requireSrc(pc, inst, 1);
+            requireSrc(pc, inst, 2);
+            requireDst(pc, inst);
+            break;
+          case Opcode::Ld:
+          case Opcode::St:
+          case Opcode::Atom:
+            checkMemory(pc, inst);
+            break;
+          case Opcode::Bra:
+            if (inst.target < 0 || inst.target >= n) {
+                std::ostringstream os;
+                os << "branch target " << inst.target
+                   << " out of range (code size " << n << ")";
+                report(pc, Severity::Error, CheckRule::BranchTarget,
+                       os.str());
+            }
+            if (inst.pred >= 0 && inst.reconv < 0) {
+                report(pc, Severity::Error, CheckRule::ReconvTarget,
+                       "predicated branch missing a reconvergence pc");
+            }
+            if (inst.reconv >= 0 && inst.reconv > n) {
+                std::ostringstream os;
+                os << "reconvergence pc " << inst.reconv
+                   << " out of range (code size " << n << ")";
+                report(pc, Severity::Error, CheckRule::ReconvTarget,
+                       os.str());
+            }
+            break;
+          case Opcode::GetPBuf:
+            requireDst(pc, inst);
+            if (inst.src[0].kind != Operand::Kind::Imm) {
+                report(pc, Severity::Error, CheckRule::OperandKind,
+                       "getpbuf size (src0) must be an immediate");
+            }
+            break;
+          case Opcode::LaunchDevice:
+          case Opcode::LaunchAgg:
+            if (inst.launch.func == invalidKernelFunc ||
+                inst.launch.func >= numFuncs_) {
+                std::ostringstream os;
+                os << "launch references unregistered function "
+                   << inst.launch.func << " (known: " << numFuncs_ << ")";
+                report(pc, Severity::Error, CheckRule::LaunchFunc,
+                       os.str());
+            }
+            if (inst.launch.numTbs.isNone()) {
+                report(pc, Severity::Error, CheckRule::LaunchOperand,
+                       "launch requires a TB-count operand");
+            }
+            if (inst.launch.paramAddr.isNone()) {
+                report(pc, Severity::Error, CheckRule::LaunchOperand,
+                       "launch requires a parameter-address operand");
+            }
+            break;
+          default: // remaining ALU opcodes
+            requireSrc(pc, inst, 0);
+            if (isBinaryAlu(inst.op) && inst.op != Opcode::Not)
+                requireSrc(pc, inst, 1);
+            requireDst(pc, inst);
+            break;
+        }
+    }
+
+    void
+    checkMemory(std::int32_t pc, const Instruction &inst)
+    {
+        requireSrc(pc, inst, 0);
+        if (inst.op != Opcode::Ld)
+            requireSrc(pc, inst, 1);
+        if (inst.op == Opcode::Ld)
+            requireDst(pc, inst);
+
+        if (inst.width != 1 && inst.width != 2 && inst.width != 4) {
+            std::ostringstream os;
+            os << "access width " << int(inst.width) << " not in {1,2,4}";
+            report(pc, Severity::Error, CheckRule::MemWidth, os.str());
+            return;
+        }
+        if (inst.op == Opcode::Atom && inst.width != 4) {
+            report(pc, Severity::Error, CheckRule::MemWidth,
+                   "atomics are 32-bit only");
+        }
+        if (inst.memOffset % std::int32_t(inst.width) != 0) {
+            std::ostringstream os;
+            os << "memOffset " << inst.memOffset
+               << " not aligned to width " << int(inst.width);
+            report(pc, Severity::Error, CheckRule::MemAlign, os.str());
+        }
+
+        if (inst.space == MemSpace::Param) {
+            if (inst.op != Opcode::Ld) {
+                report(pc, Severity::Error, CheckRule::OperandKind,
+                       "parameter space is read-only");
+            } else if (inst.src[0].kind == Operand::Kind::Imm) {
+                const std::int64_t off =
+                    std::int64_t(inst.src[0].value) + inst.memOffset;
+                if (off < 0 || off + inst.width > fn_.paramBytes) {
+                    std::ostringstream os;
+                    os << "param load at byte " << off << " (+"
+                       << int(inst.width) << ") outside paramBytes="
+                       << fn_.paramBytes;
+                    report(pc, Severity::Error, CheckRule::ParamBounds,
+                           os.str());
+                }
+            }
+        }
+        if (inst.op == Opcode::Atom && inst.space != MemSpace::Global) {
+            report(pc, Severity::Error, CheckRule::OperandKind,
+                   "atomics are global-memory only");
+        }
+        if (inst.op == Opcode::Atom && inst.atom == AtomOp::Cas)
+            requireSrc(pc, inst, 2);
+    }
+
+    void
+    checkBarrierDivergence()
+    {
+        const std::int32_t n = std::int32_t(fn_.code.size());
+        for (std::int32_t pc = 0; pc < n; ++pc) {
+            const Instruction &inst = fn_.code[pc];
+            if (inst.op != Opcode::Bar)
+                continue;
+            if (inst.pred >= 0) {
+                report(pc, Severity::Error, CheckRule::BarrierDivergence,
+                       "barrier must not be predicated");
+                continue;
+            }
+            // Inside the open interval (branch, reconv) of a predicated
+            // branch the warp can be divergent; a barrier there can wait
+            // on lanes that will never arrive.
+            for (std::int32_t b = 0; b < n; ++b) {
+                const Instruction &br = fn_.code[b];
+                if (br.op == Opcode::Bra && br.pred >= 0 &&
+                    br.reconv >= 0 && b < pc && pc < br.reconv) {
+                    std::ostringstream os;
+                    os << "barrier inside divergent region of branch at pc "
+                       << b << " (reconv " << br.reconv << ")";
+                    report(pc, Severity::Error,
+                           CheckRule::BarrierDivergence, os.str());
+                    break;
+                }
+            }
+        }
+    }
+
+    /** Flag reachable instructions whose fallthrough runs off the end. */
+    void
+    checkTermination()
+    {
+        const std::int32_t n = std::int32_t(fn_.code.size());
+        reachable_.assign(fn_.code.size(), false);
+        std::vector<std::int32_t> stack{0}, succ;
+        while (!stack.empty()) {
+            const std::int32_t pc = stack.back();
+            stack.pop_back();
+            if (reachable_[pc])
+                continue;
+            reachable_[pc] = true;
+            successors(fn_.code[pc], pc, n, succ);
+            for (std::int32_t s : succ) {
+                if (s >= n) {
+                    report(pc, Severity::Error, CheckRule::NoTerminator,
+                           "control flow can run off the end of the "
+                           "kernel (missing exit)");
+                } else if (!reachable_[s]) {
+                    stack.push_back(s);
+                }
+            }
+        }
+    }
+
+    /**
+     * Forward must/may definedness over registers and predicates.
+     * Index space: [0, numRegs) registers, [numRegs, numRegs+numPreds)
+     * predicates. must = intersection over predecessors (defined on
+     * every path), may = union (defined on some path).
+     */
+    void
+    checkDataflow()
+    {
+        const std::size_t n = fn_.code.size();
+        const std::size_t bits = fn_.numRegs + fn_.numPreds;
+        if (bits == 0)
+            return;
+
+        std::vector<std::vector<std::int32_t>> preds(n);
+        std::vector<std::int32_t> succ;
+        for (std::size_t pc = 0; pc < n; ++pc) {
+            successors(fn_.code[pc], std::int32_t(pc), std::int32_t(n),
+                       succ);
+            for (std::int32_t s : succ) {
+                if (s < std::int32_t(n))
+                    preds[s].push_back(std::int32_t(pc));
+            }
+        }
+
+        // IN sets; entry starts empty, everything else starts "all
+        // defined" so the intersection converges from above.
+        std::vector<std::vector<bool>> mustIn(n), mayIn(n);
+        for (std::size_t pc = 0; pc < n; ++pc) {
+            mustIn[pc].assign(bits, pc != 0);
+            mayIn[pc].assign(bits, false);
+        }
+
+        const auto defsOf = [&](std::size_t pc, std::vector<bool> &set,
+                                bool predicated_counts) {
+            const Instruction &inst = fn_.code[pc];
+            if (inst.pred >= 0 && !predicated_counts)
+                return;
+            const InstAccess a = instAccess(inst);
+            if (a.regWrite >= 0)
+                set[std::size_t(a.regWrite)] = true;
+            if (a.predWrite >= 0)
+                set[fn_.numRegs + std::size_t(a.predWrite)] = true;
+        };
+
+        bool changed = true;
+        while (changed) {
+            changed = false;
+            for (std::size_t pc = 0; pc < n; ++pc) {
+                if (!reachable_[pc])
+                    continue;
+                std::vector<bool> must(bits, pc != 0), may(bits, false);
+                for (std::int32_t p : preds[pc]) {
+                    std::vector<bool> mustOut = mustIn[p];
+                    defsOf(std::size_t(p), mustOut, false);
+                    std::vector<bool> mayOut = mayIn[p];
+                    defsOf(std::size_t(p), mayOut, true);
+                    for (std::size_t i = 0; i < bits; ++i) {
+                        must[i] = must[i] && mustOut[i];
+                        may[i] = may[i] || mayOut[i];
+                    }
+                }
+                if (must != mustIn[pc] || may != mayIn[pc]) {
+                    mustIn[pc] = std::move(must);
+                    mayIn[pc] = std::move(may);
+                    changed = true;
+                }
+            }
+        }
+
+        for (std::size_t pc = 0; pc < n; ++pc) {
+            if (!reachable_[pc])
+                continue;
+            const InstAccess a = instAccess(fn_.code[pc]);
+            const auto checkRead = [&](std::size_t bit, char prefix,
+                                       unsigned idx) {
+                if (!mayIn[pc][bit]) {
+                    std::ostringstream os;
+                    os << prefix << idx << " read before any definition";
+                    report(std::int32_t(pc), Severity::Error,
+                           CheckRule::UseBeforeDef, os.str());
+                } else if (!mustIn[pc][bit]) {
+                    std::ostringstream os;
+                    os << prefix << idx
+                       << " may be uninitialized on some paths";
+                    report(std::int32_t(pc), Severity::Warning,
+                           CheckRule::MaybeUninit, os.str());
+                }
+            };
+            for (unsigned i = 0; i < a.numRegReads; ++i)
+                checkRead(a.regReads[i], 'r', a.regReads[i]);
+            for (unsigned i = 0; i < a.numPredReads; ++i)
+                checkRead(fn_.numRegs + a.predReads[i], 'p',
+                          a.predReads[i]);
+        }
+    }
+
+    const KernelFunction &fn_;
+    std::size_t numFuncs_;
+    std::vector<Diagnostic> diags_;
+    std::vector<bool> reachable_;
+    bool anyError_ = false;
+};
+
+} // namespace
+
+InstAccess
+instAccess(const Instruction &inst)
+{
+    InstAccess a;
+    const auto readReg = [&](const Operand &op) {
+        if (op.kind == Operand::Kind::Reg &&
+            a.numRegReads < a.regReads.size())
+            a.regReads[a.numRegReads++] = std::uint16_t(op.value);
+    };
+    if (inst.pred >= 0 && a.numPredReads < a.predReads.size())
+        a.predReads[a.numPredReads++] = std::uint16_t(inst.pred);
+
+    switch (inst.op) {
+      case Opcode::Nop:
+      case Opcode::Bar:
+      case Opcode::Exit:
+      case Opcode::Bra:
+      case Opcode::StreamCreate:
+        break;
+      case Opcode::Mov:
+      case Opcode::Not:
+      case Opcode::CvtF2I:
+      case Opcode::CvtI2F:
+        readReg(inst.src[0]);
+        a.regWrite = inst.dst;
+        break;
+      case Opcode::Setp:
+        readReg(inst.src[0]);
+        readReg(inst.src[1]);
+        a.predWrite = inst.pdst;
+        break;
+      case Opcode::Selp:
+        readReg(inst.src[0]);
+        readReg(inst.src[1]);
+        if (inst.src[2].kind == Operand::Kind::Imm &&
+            a.numPredReads < a.predReads.size())
+            a.predReads[a.numPredReads++] =
+                std::uint16_t(inst.src[2].value);
+        a.regWrite = inst.dst;
+        break;
+      case Opcode::Mad:
+        readReg(inst.src[0]);
+        readReg(inst.src[1]);
+        readReg(inst.src[2]);
+        a.regWrite = inst.dst;
+        break;
+      case Opcode::Ld:
+        readReg(inst.src[0]);
+        a.regWrite = inst.dst;
+        break;
+      case Opcode::St:
+        readReg(inst.src[0]);
+        readReg(inst.src[1]);
+        break;
+      case Opcode::Atom:
+        readReg(inst.src[0]);
+        readReg(inst.src[1]);
+        if (inst.atom == AtomOp::Cas)
+            readReg(inst.src[2]);
+        a.regWrite = inst.dst;
+        break;
+      case Opcode::GetPBuf:
+        a.regWrite = inst.dst;
+        break;
+      case Opcode::LaunchDevice:
+      case Opcode::LaunchAgg:
+        readReg(inst.launch.numTbs);
+        readReg(inst.launch.paramAddr);
+        break;
+      default: // remaining binary ALU ops
+        readReg(inst.src[0]);
+        readReg(inst.src[1]);
+        a.regWrite = inst.dst;
+        break;
+    }
+    return a;
+}
+
+std::vector<Diagnostic>
+verifyKernel(const KernelFunction &fn, std::size_t num_funcs_known)
+{
+    return KernelVerifier(fn, num_funcs_known).run();
+}
+
+} // namespace dtbl

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Static verifier for kernel IR.
+ *
+ * Runs automatically in Program::add, so every kernel — hand-built or
+ * emitted by KernelBuilder — is validated before the simulator can
+ * execute it. The checks mirror what a PTX assembler plus cuda-memcheck
+ * style tooling would reject up front:
+ *
+ *  - structural: branch/reconvergence targets in bounds, register and
+ *    predicate indices within the declared budgets, operand kinds legal
+ *    per opcode, memory width in {1,2,4} with aligned memOffset,
+ *    constant param loads inside paramBytes, launch func ids registered
+ *    (a function may reference itself for recursive launches);
+ *  - dataflow: def-before-use via a forward must/may analysis over the
+ *    per-instruction CFG. A read with no def on any path is an Error
+ *    (use-before-def); a read defined on some paths only is a Warning
+ *    (maybe-uninit) — the runtime sanitizer catches the lanes that
+ *    actually hit it;
+ *  - SIMT legality: Bar must not be predicated or sit inside the
+ *    (branch, reconv) region of a predicated branch, where warps can be
+ *    divergent; and no reachable instruction may fall off the end of
+ *    code (every path must end in an unpredicated Exit).
+ */
+
+#ifndef DTBL_ANALYSIS_VERIFIER_HH
+#define DTBL_ANALYSIS_VERIFIER_HH
+
+#include <array>
+#include <vector>
+
+#include "analysis/diagnostics.hh"
+#include "isa/kernel_function.hh"
+
+namespace dtbl {
+
+/**
+ * Verify one kernel. @p num_funcs_known bounds the launch func-id
+ * space: Program::add passes its post-insert size so a kernel may
+ * launch itself or any previously registered function.
+ */
+std::vector<Diagnostic> verifyKernel(const KernelFunction &fn,
+                                     std::size_t num_funcs_known);
+
+/**
+ * The registers/predicates one instruction semantically reads and
+ * writes (shared between the dataflow pass and the runtime
+ * uninitialized-read tracker). Only Reg-kind operands that the
+ * interpreter actually consumes are listed; guard predicates and the
+ * Selp selector are reported as predicate reads.
+ */
+struct InstAccess
+{
+    std::array<std::uint16_t, 4> regReads{};
+    unsigned numRegReads = 0;
+    std::array<std::uint16_t, 2> predReads{};
+    unsigned numPredReads = 0;
+    std::int16_t regWrite = -1;
+    std::int16_t predWrite = -1;
+};
+
+InstAccess instAccess(const Instruction &inst);
+
+} // namespace dtbl
+
+#endif // DTBL_ANALYSIS_VERIFIER_HH

@@ -1,6 +1,7 @@
 #include "gpu/gpu.hh"
 
 #include <algorithm>
+#include <sstream>
 
 #include "common/log.hh"
 
@@ -73,6 +74,73 @@ Gpu::deviceLaunchKernel(KernelFuncId func, std::uint32_t num_tbs,
 }
 
 void
+Gpu::enableChecks(CheckLevel level)
+{
+    if (level == CheckLevel::Off) {
+        san_.reset();
+        return;
+    }
+    if (!Sanitizer::compiledIn) {
+        DTBL_WARN("runtime checks requested but compiled out; rebuild "
+                  "with -DDTBL_ENABLE_CHECK=ON");
+        return;
+    }
+    san_ = std::make_unique<Sanitizer>(level, mem_);
+}
+
+void
+Gpu::checkDrainInvariants()
+{
+    // After synchronize() the machine drained: every Kernel Distributor
+    // entry must be released, every AGT record freed, the launch-path
+    // counters consistent and all reserved launch-metadata bytes
+    // returned. Violations are simulator bugs, not app bugs.
+    for (std::size_t i = 0; i < kd_.size(); ++i) {
+        const Kde &e = kd_.entry(std::int32_t(i));
+        if (e.valid) {
+            std::ostringstream os;
+            os << "KDE " << i << " (func " << e.func
+               << ") still valid after drain";
+            san_->report(CheckRule::LeakKde, Severity::Error, os.str());
+            continue;
+        }
+        // Released entries must have a clean scheduling state; LAGEI is
+        // provenance only and may keep its last value.
+        if (e.nagei >= 0 || e.pendingAggGroups != 0 ||
+            e.liveAggGroups != 0 || e.exeBl != 0) {
+            std::ostringstream os;
+            os << "released KDE " << i << " has dangling linkage (nagei="
+               << e.nagei << " pending=" << e.pendingAggGroups
+               << " live=" << e.liveAggGroups << " exeBl=" << e.exeBl
+               << ")";
+            san_->report(CheckRule::KdeLinkage, Severity::Error, os.str());
+        }
+    }
+    if (agt_.liveCount() != 0 || agt_.onChipCount() != 0) {
+        std::ostringstream os;
+        os << agt_.liveCount() << " AGT group record(s) and "
+           << agt_.onChipCount() << " on-chip slot(s) live after drain";
+        san_->report(CheckRule::LeakAgt, Severity::Error, os.str());
+    }
+    if (stats_.aggGroupsCoalesced + stats_.aggGroupsFallback !=
+        stats_.aggGroupLaunches) {
+        std::ostringstream os;
+        os << "coalesced (" << stats_.aggGroupsCoalesced
+           << ") + fallback (" << stats_.aggGroupsFallback
+           << ") != aggregated launches (" << stats_.aggGroupLaunches
+           << ")";
+        san_->report(CheckRule::AggCount, Severity::Error, os.str());
+    }
+    if (stats_.pendingLaunchBytes != 0) {
+        std::ostringstream os;
+        os << stats_.pendingLaunchBytes
+           << " launch-metadata byte(s) still reserved after drain";
+        san_->report(CheckRule::LeakLaunchBytes, Severity::Error,
+                     os.str());
+    }
+}
+
+void
 Gpu::submitAggLaunches(std::vector<AggLaunchRequest> reqs, Cycle when)
 {
     sched_->enqueueAggRequests(std::move(reqs), when);
@@ -139,6 +207,10 @@ Gpu::synchronize()
             DTBL_FATAL("simulation exceeded ", maxCycles_, " cycles");
     }
     stats_.totalCycles = now_;
+#if DTBL_CHECK_ENABLED
+    if (san_ && san_->level() >= CheckLevel::Invariants)
+        checkDrainInvariants();
+#endif
 }
 
 MetricsReport

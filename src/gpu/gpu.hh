@@ -12,6 +12,7 @@
 #include <string>
 #include <vector>
 
+#include "analysis/sanitizer.hh"
 #include "common/config.hh"
 #include "core/agt.hh"
 #include "core/dtbl_scheduler.hh"
@@ -67,6 +68,16 @@ class Gpu
     /** Finalize counters and build the derived metrics report. */
     MetricsReport report(const std::string &bench, const std::string &mode);
 
+    /**
+     * Enable the runtime sanitizer at @p level (analysis/sanitizer.hh).
+     * Warns and stays off when the hooks are compiled out
+     * (-DDTBL_ENABLE_CHECK=OFF).
+     */
+    void enableChecks(CheckLevel level);
+    /** The sanitizer, or nullptr when checks are off. */
+    Sanitizer *sanitizer() { return san_.get(); }
+    const Sanitizer *sanitizer() const { return san_.get(); }
+
     // --- device-side hooks (called by the SMXs) ------------------------
     MemorySystem &memSys() { return memSys_; }
     DeviceRuntime &runtime() { return runtime_; }
@@ -93,6 +104,8 @@ class Gpu
 
   private:
     bool idle() const;
+    /** Drain-time invariant checks (sanitizer tier 1). */
+    void checkDrainInvariants();
 
     GpuConfig cfg_;
     const Program &prog_;
@@ -109,6 +122,7 @@ class Gpu
     DtblScheduler dtblSched_;
     std::vector<std::unique_ptr<Smx>> smxs_;
     std::unique_ptr<SmxScheduler> sched_;
+    std::unique_ptr<Sanitizer> san_;
 
     Cycle now_ = 0;
     Cycle maxCycles_ = 2'000'000'000ull;

@@ -263,6 +263,11 @@ Smx::issue(Warp &w, Cycle now)
     ++stats.warpInstrsIssued;
     stats.activeLaneSum += std::popcount(exec);
 
+#if DTBL_CHECK_ENABLED
+    if (Sanitizer *san = gpu_.sanitizer())
+        san->onIssue(w, inst, t.pc, exec, active);
+#endif
+
     switch (inst.op) {
       case Opcode::Bra:
         execBranch(w, inst, exec, active);
@@ -354,6 +359,11 @@ Smx::execMemory(Warp &w, const Instruction &inst, ActiveMask exec,
         w.readyCycle = now + cfg_.aluLatency;
         return;
     }
+
+#if DTBL_CHECK_ENABLED
+    if (Sanitizer *san = gpu_.sanitizer())
+        san->onMemory(w, inst, w.top().pc, addrs, exec);
+#endif
 
     switch (inst.space) {
       case MemSpace::Param: {
@@ -507,6 +517,10 @@ Smx::execBarrier(Warp &w, Cycle now)
 void
 Smx::releaseBarrier(ThreadBlock &tb, Cycle now)
 {
+#if DTBL_CHECK_ENABLED
+    if (Sanitizer *san = gpu_.sanitizer())
+        san->onBarrierRelease(tb);
+#endif
     tb.warpsAtBarrier = 0;
     for (unsigned slot : tb.warpSlots) {
         Warp *w = warps_[slot].get();
@@ -615,6 +629,12 @@ Smx::finishWarp(Warp &w, Cycle now)
 {
     ThreadBlock &tb = *w.tb();
     const unsigned slot = w.slot();
+#if DTBL_CHECK_ENABLED
+    // Shadow state is keyed by address; drop it before the slot can be
+    // reused by a new warp at the same address.
+    if (Sanitizer *san = gpu_.sanitizer())
+        san->onWarpFinish(w);
+#endif
     for (auto &li : lastIssued_) {
         if (li == std::int32_t(slot))
             li = -1;
@@ -634,6 +654,10 @@ Smx::finishWarp(Warp &w, Cycle now)
 void
 Smx::finishTb(ThreadBlock &tb, Cycle now)
 {
+#if DTBL_CHECK_ENABLED
+    if (Sanitizer *san = gpu_.sanitizer())
+        san->onTbFinish(tb);
+#endif
     ++freeTbSlots_;
     freeThreads_ += tb.threadsUsed;
     freeRegs_ += tb.regsUsed;

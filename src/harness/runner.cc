@@ -12,6 +12,8 @@ runBenchmark(App &app, Mode mode, const GpuConfig &base,
     Gpu gpu(cfg, prog);
     if (!opts.traceJsonPath.empty())
         gpu.trace().openJson(opts.traceJsonPath);
+    if (opts.checkLevel > 0)
+        gpu.enableChecks(CheckLevel(opts.checkLevel));
     app.setup(gpu);
     app.execute(gpu, mode);
 
@@ -20,6 +22,11 @@ runBenchmark(App &app, Mode mode, const GpuConfig &base,
     r.stats = gpu.stats();
     r.verified = app.verify(gpu);
     r.trace = gpu.trace().summary();
+    if (const Sanitizer *san = gpu.sanitizer()) {
+        r.checkFindings = san->findings();
+        r.checkErrors = san->errorCount();
+        r.checkWarnings = san->warningCount();
+    }
     gpu.trace().closeJson();
     return r;
 }

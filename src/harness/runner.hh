@@ -9,7 +9,10 @@
 
 #include <array>
 #include <string>
+#include <vector>
 
+#include "analysis/diagnostics.hh"
+#include "analysis/sanitizer.hh"
 #include "apps/app.hh"
 #include "stats/trace.hh"
 
@@ -22,6 +25,10 @@ struct BenchResult
     bool verified = false;
     /** Per-event trace counts and the run's trace hash. */
     TraceSummary trace;
+    /** Sanitizer findings (empty when checks are off or clean). */
+    std::vector<Diagnostic> checkFindings;
+    std::uint64_t checkErrors = 0;
+    std::uint64_t checkWarnings = 0;
 };
 
 /** Optional per-run knobs that don't belong in GpuConfig. */
@@ -29,6 +36,8 @@ struct RunOptions
 {
     /** When non-empty, stream a Chrome trace_event JSON file here. */
     std::string traceJsonPath;
+    /** Runtime sanitizer tier (cast to CheckLevel); 0 = off. */
+    int checkLevel = 0;
 };
 
 /** Run one benchmark in one mode. */

@@ -2,6 +2,7 @@
 
 #include <sstream>
 
+#include "analysis/verifier.hh"
 #include "common/log.hh"
 
 namespace dtbl {
@@ -22,6 +23,20 @@ KernelFuncId
 Program::add(KernelFunction fn)
 {
     fn.id = KernelFuncId(funcs_.size());
+    // Verify before registering. The known-function space includes the
+    // id being assigned so a kernel may launch itself (AMR-style
+    // recursive refinement).
+    const auto diags = verifyKernel(fn, funcs_.size() + 1);
+    bool fatal = false;
+    for (const Diagnostic &d : diags) {
+        DTBL_WARN(fn.name, ": ", d.str());
+        fatal = fatal || d.severity == Severity::Error;
+    }
+    if (fatal) {
+        DTBL_FATAL("kernel '", fn.name, "' failed IR verification (",
+                   diags.size(), " diagnostic(s); first: ",
+                   diags.front().str(), ")");
+    }
     funcs_.push_back(std::move(fn));
     return funcs_.back().id;
 }

@@ -1,5 +1,6 @@
 #include "mem/global_memory.hh"
 
+#include <algorithm>
 #include <bit>
 
 namespace dtbl {
@@ -22,7 +23,23 @@ GlobalMemory::allocate(std::uint64_t bytes, std::uint64_t align)
                    ", have ", data_.size(), "B total");
     }
     brk_ = base + bytes;
+    allocs_.push_back({base, bytes});
     return base;
+}
+
+bool
+GlobalMemory::inLiveAllocation(Addr a, std::uint64_t bytes) const
+{
+    // Bases are strictly increasing: find the last allocation at or
+    // below a and test containment.
+    auto it = std::upper_bound(allocs_.begin(), allocs_.end(), a,
+                               [](Addr v, const Allocation &al) {
+                                   return v < al.base;
+                               });
+    if (it == allocs_.begin())
+        return false;
+    --it;
+    return a >= it->base && a + bytes <= it->base + it->bytes;
 }
 
 void

@@ -34,6 +34,15 @@ class GlobalMemory
     /** Bytes currently allocated. */
     std::uint64_t allocated() const { return brk_; }
 
+    /**
+     * Does [a, a+bytes) fall inside one allocation? Backs the runtime
+     * sanitizer's OOB checks; the registry is always maintained (one
+     * record per allocate call, negligible cost under bump allocation).
+     */
+    bool inLiveAllocation(Addr a, std::uint64_t bytes) const;
+
+    std::size_t numAllocations() const { return allocs_.size(); }
+
     // --- typed access -----------------------------------------------
     std::uint32_t read32(Addr a) const;
     void write32(Addr a, std::uint32_t v);
@@ -75,9 +84,17 @@ class GlobalMemory
     }
 
   private:
+    struct Allocation
+    {
+        Addr base = 0;
+        std::uint64_t bytes = 0;
+    };
+
     void check(Addr a, std::uint64_t bytes) const;
 
     std::vector<std::uint8_t> data_;
+    /** All allocations, base-ascending (bump allocation never frees). */
+    std::vector<Allocation> allocs_;
     std::uint64_t brk_ = 256; // keep address 0 unused (null)
 };
 

@@ -7,6 +7,9 @@
 
 #include <gtest/gtest.h>
 
+#include <set>
+#include <string>
+
 #include "isa/kernel_builder.hh"
 
 using namespace dtbl;
@@ -171,16 +174,43 @@ TEST(KernelBuilder, LdParamGrowsParamBytes)
 
 TEST(KernelBuilder, LaunchOperandsEncoded)
 {
+    // Register three children so func id 3 is the builder's own id:
+    // the verifier permits self-launch (AMR-style recursion).
+    Program prog;
+    for (int i = 0; i < 3; ++i) {
+        KernelBuilder child("child" + std::to_string(i), Dim3{32});
+        child.build(prog);
+    }
     KernelBuilder b("k", Dim3{32});
     Reg buf = b.getParameterBuffer(24);
     b.launchAggGroup(KernelFuncId(3), Val(7u), buf, 128);
-    const auto fn = buildAndGet(b);
+    const KernelFunction fn = prog.function(b.build(prog));
     const Instruction &launch = fn.code[1];
     ASSERT_EQ(launch.op, Opcode::LaunchAgg);
     EXPECT_EQ(launch.launch.func, 3u);
     EXPECT_EQ(launch.launch.numTbs.value, 7u);
     EXPECT_EQ(launch.launch.sharedMemBytes, 128u);
     EXPECT_EQ(launch.launch.paramAddr.kind, Operand::Kind::Reg);
+}
+
+TEST(Disasm, EveryOpcodeHasDistinctMnemonic)
+{
+    // Diagnostics embed disasm text, so every opcode must render to
+    // something readable and unambiguous.
+    std::set<std::string> seen;
+    for (int op = 0; op <= int(Opcode::LaunchAgg); ++op) {
+        Instruction inst;
+        inst.op = Opcode(op);
+        const std::string text = disasm(inst);
+        EXPECT_FALSE(text.empty()) << "opcode " << op;
+        EXPECT_EQ(text.find("???"), std::string::npos)
+            << "opcode " << op << " renders as '" << text << "'";
+        // Mnemonic = first whitespace-delimited token.
+        const std::string mnemonic = text.substr(0, text.find(' '));
+        EXPECT_TRUE(seen.insert(mnemonic).second)
+            << "duplicate mnemonic '" << mnemonic << "' for opcode " << op;
+    }
+    EXPECT_EQ(seen.size(), std::size_t(Opcode::LaunchAgg) + 1);
 }
 
 TEST(KernelBuilder, DoubleBuildPanics)

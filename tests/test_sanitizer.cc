@@ -1,0 +1,209 @@
+/**
+ * @file
+ * End-to-end tests for the runtime machine sanitizer ("dtbl-check"):
+ * seeded out-of-bounds / uninitialized-read / shared-race kernels must
+ * produce their golden findings, healthy runs must stay clean, and
+ * checks must never perturb timing (identical trace hashes).
+ */
+
+#include <gtest/gtest.h>
+
+#include "apps/registry.hh"
+#include "harness/runner.hh"
+#include "isa/kernel_builder.hh"
+
+using namespace dtbl;
+
+namespace {
+
+bool
+hasRule(const std::vector<Diagnostic> &findings, CheckRule rule)
+{
+    for (const Diagnostic &d : findings) {
+        if (d.rule == rule)
+            return true;
+    }
+    return false;
+}
+
+/** Run a one-kernel program with the sanitizer at @p level. */
+const Sanitizer *
+runChecked(Gpu &gpu, KernelFuncId k, CheckLevel level,
+           const std::vector<std::uint32_t> &params, Dim3 grid = Dim3{1})
+{
+    gpu.enableChecks(level);
+    gpu.launch(k, grid, params);
+    gpu.synchronize();
+    return gpu.sanitizer();
+}
+
+} // namespace
+
+TEST(Sanitizer, OutOfBoundsGlobalAccess)
+{
+    Program prog;
+    KernelBuilder b("oob_global", Dim3{32});
+    Reg addr = b.ldParam(0);
+    Reg v = b.ld(MemSpace::Global, addr);
+    b.st(MemSpace::Global, b.add(addr, Val(4u)), v);
+    const KernelFuncId k = b.build(prog);
+
+    {
+        Gpu gpu(GpuConfig::k20c(), prog);
+        const Addr buf = gpu.mem().allocate(64);
+        // First byte past the end of the allocation.
+        const auto *san = runChecked(gpu, k, CheckLevel::Memory,
+                                     {std::uint32_t(buf + 64)});
+        ASSERT_NE(san, nullptr);
+        EXPECT_TRUE(hasRule(san->findings(), CheckRule::OobGlobal));
+        EXPECT_GT(san->errorCount(), 0u);
+    }
+    {
+        // Same access in bounds: clean.
+        Gpu gpu(GpuConfig::k20c(), prog);
+        const Addr buf = gpu.mem().allocate(64);
+        const auto *san = runChecked(gpu, k, CheckLevel::Memory,
+                                     {std::uint32_t(buf)});
+        ASSERT_NE(san, nullptr);
+        EXPECT_EQ(san->errorCount(), 0u)
+            << (san->findings().empty() ? "" : san->findings()[0].str());
+    }
+    {
+        // Checks off: no sanitizer at all.
+        Gpu gpu(GpuConfig::k20c(), prog);
+        const Addr buf = gpu.mem().allocate(64);
+        const auto *san = runChecked(gpu, k, CheckLevel::Off,
+                                     {std::uint32_t(buf + 64)});
+        EXPECT_EQ(san, nullptr);
+    }
+}
+
+TEST(Sanitizer, UninitializedRegisterRead)
+{
+    // r defined only by lanes with tid < 16; every lane stores it.
+    // Statically that is just a may-be-uninitialized warning, but at
+    // runtime the upper 16 lanes really do read an undefined register.
+    Program prog;
+    KernelBuilder b("uninit_read", Dim3{32});
+    Reg tid = b.globalThreadIdX();
+    Reg out = b.ldParam(0);
+    Reg v = b.reg();
+    Pred lower = b.setp(CmpOp::Lt, DataType::U32, tid, Val(16u));
+    b.if_(lower, [&] { b.movTo(v, Val(7u)); });
+    b.st(MemSpace::Global, b.add(out, b.shl(tid, 2)), v);
+    const KernelFuncId k = b.build(prog);
+
+    {
+        Gpu gpu(GpuConfig::k20c(), prog);
+        const Addr out_buf = gpu.mem().allocate(32 * 4);
+        const auto *san = runChecked(gpu, k, CheckLevel::Full,
+                                     {std::uint32_t(out_buf)});
+        ASSERT_NE(san, nullptr);
+        EXPECT_TRUE(hasRule(san->findings(), CheckRule::UninitRead));
+    }
+    {
+        // The uninit tracker is a Full-level check only.
+        Gpu gpu(GpuConfig::k20c(), prog);
+        const Addr out_buf = gpu.mem().allocate(32 * 4);
+        const auto *san = runChecked(gpu, k, CheckLevel::Memory,
+                                     {std::uint32_t(out_buf)});
+        ASSERT_NE(san, nullptr);
+        EXPECT_FALSE(hasRule(san->findings(), CheckRule::UninitRead));
+        EXPECT_EQ(san->errorCount(), 0u);
+    }
+}
+
+TEST(Sanitizer, SharedMemoryRaceAcrossWarps)
+{
+    // Two warps of one TB write the same shared word with no barrier.
+    Program prog;
+    KernelBuilder b("shared_race", Dim3{64}, /*shared_mem_bytes=*/256);
+    Reg tid = b.globalThreadIdX();
+    b.st(MemSpace::Shared, Val(0u), tid);
+    const KernelFuncId k = b.build(prog);
+
+    Gpu gpu(GpuConfig::k20c(), prog);
+    const auto *san = runChecked(gpu, k, CheckLevel::Full, {});
+    ASSERT_NE(san, nullptr);
+    EXPECT_TRUE(hasRule(san->findings(), CheckRule::SharedRace));
+}
+
+TEST(Sanitizer, BarrierSeparatedSharingIsNotARace)
+{
+    // Warp-disjoint writes, a barrier, then reads of the other warp's
+    // data: the classic produce/consume shape must stay clean.
+    Program prog;
+    KernelBuilder b("shared_clean", Dim3{64}, /*shared_mem_bytes=*/256);
+    Reg tid = b.globalThreadIdX();
+    Reg out = b.ldParam(0);
+    Reg off = b.shl(tid, 2);
+    b.st(MemSpace::Shared, off, tid);
+    b.bar();
+    Reg mirror = b.shl(b.sub(Val(63u), tid), 2);
+    Reg v = b.ld(MemSpace::Shared, mirror);
+    b.st(MemSpace::Global, b.add(out, off), v);
+    const KernelFuncId k = b.build(prog);
+
+    Gpu gpu(GpuConfig::k20c(), prog);
+    const Addr out_buf = gpu.mem().allocate(64 * 4);
+    const auto *san = runChecked(gpu, k, CheckLevel::Full,
+                                 {std::uint32_t(out_buf)});
+    ASSERT_NE(san, nullptr);
+    EXPECT_EQ(san->errorCount(), 0u)
+        << (san->findings().empty() ? "" : san->findings()[0].str());
+    // The kernel really exchanged data across the warps.
+    EXPECT_EQ(gpu.mem().read32(out_buf), 63u);
+}
+
+TEST(Sanitizer, ChecksDoNotPerturbTiming)
+{
+    // Full checks on vs off over a complete DTBL benchmark: identical
+    // trace hash, cycle count and result verification.
+    auto run = [](int level) {
+        auto app = makeBenchmark("bfs_citation");
+        RunOptions opts;
+        opts.checkLevel = level;
+        return runBenchmark(*app, Mode::Dtbl, GpuConfig::k20c(), opts);
+    };
+    const BenchResult off = run(0);
+    const BenchResult full = run(int(CheckLevel::Full));
+    EXPECT_TRUE(off.verified);
+    EXPECT_TRUE(full.verified);
+    EXPECT_EQ(off.report.traceHash, full.report.traceHash);
+    EXPECT_EQ(off.report.cycles, full.report.cycles);
+    EXPECT_EQ(full.checkErrors, 0u)
+        << (full.checkFindings.empty() ? ""
+                                       : full.checkFindings[0].str());
+    EXPECT_TRUE(off.checkFindings.empty());
+}
+
+TEST(Sanitizer, DrainInvariantsHoldOnHealthyDtblRun)
+{
+    // Tier-1 invariants over a benchmark that exercises aggregated
+    // launches, KDE linkage and launch-byte accounting end to end.
+    auto app = makeBenchmark("regx_darpa");
+    RunOptions opts;
+    opts.checkLevel = int(CheckLevel::Invariants);
+    const BenchResult r =
+        runBenchmark(*app, Mode::Dtbl, GpuConfig::k20c(), opts);
+    EXPECT_TRUE(r.verified);
+    EXPECT_EQ(r.checkErrors, 0u)
+        << (r.checkFindings.empty() ? "" : r.checkFindings[0].str());
+    EXPECT_EQ(r.checkWarnings, 0u);
+}
+
+TEST(Sanitizer, SummaryAndLevelNames)
+{
+    EXPECT_STREQ(checkLevelName(CheckLevel::Off), "off");
+    EXPECT_STREQ(checkLevelName(CheckLevel::Invariants), "invariants");
+    EXPECT_STREQ(checkLevelName(CheckLevel::Memory), "memory");
+    EXPECT_STREQ(checkLevelName(CheckLevel::Full), "full");
+
+    GlobalMemory mem(1 << 20);
+    Sanitizer san(CheckLevel::Full, mem);
+    EXPECT_EQ(san.summary(), "dtbl-check[full]: 0 error(s), 0 warning(s)");
+    san.report(CheckRule::LeakAgt, Severity::Error, "leak");
+    EXPECT_EQ(san.errorCount(), 1u);
+    ASSERT_EQ(san.findings().size(), 1u);
+    EXPECT_EQ(san.findings()[0].rule, CheckRule::LeakAgt);
+}

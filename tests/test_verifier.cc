@@ -1,0 +1,328 @@
+/**
+ * @file
+ * Golden-diagnostic tests for the static kernel IR verifier plus the
+ * zero-diagnostic sweep over every registered application kernel.
+ */
+
+#include <gtest/gtest.h>
+
+#include "analysis/verifier.hh"
+#include "apps/registry.hh"
+#include "isa/kernel_builder.hh"
+
+using namespace dtbl;
+
+namespace {
+
+/** Minimal legal kernel skeleton the fault cases mutate. */
+KernelFunction
+skeleton(std::uint32_t num_regs = 4, std::uint32_t num_preds = 2)
+{
+    KernelFunction fn;
+    fn.name = "faulty";
+    fn.tbDim = Dim3{32};
+    fn.numRegs = num_regs;
+    fn.numPreds = num_preds;
+    return fn;
+}
+
+Instruction
+movImm(std::int16_t dst, std::uint32_t v)
+{
+    Instruction i;
+    i.op = Opcode::Mov;
+    i.dst = dst;
+    i.src[0] = Operand::imm(v);
+    return i;
+}
+
+Instruction
+exit()
+{
+    Instruction i;
+    i.op = Opcode::Exit;
+    return i;
+}
+
+/** The single diagnostic with @p rule, failing the test if absent. */
+const Diagnostic *
+find(const std::vector<Diagnostic> &diags, CheckRule rule)
+{
+    for (const Diagnostic &d : diags) {
+        if (d.rule == rule)
+            return &d;
+    }
+    return nullptr;
+}
+
+} // namespace
+
+TEST(Verifier, BadBranchTarget)
+{
+    KernelFunction fn = skeleton();
+    fn.code.push_back(movImm(0, 1));
+    Instruction bra;
+    bra.op = Opcode::Bra;
+    bra.target = 99;
+    fn.code.push_back(bra);
+    fn.code.push_back(exit());
+
+    const auto diags = verifyKernel(fn, 1);
+    const Diagnostic *d = find(diags, CheckRule::BranchTarget);
+    ASSERT_NE(d, nullptr);
+    EXPECT_EQ(d->pc, 1);
+    EXPECT_EQ(d->severity, Severity::Error);
+    EXPECT_NE(d->str().find("branch-target"), std::string::npos);
+}
+
+TEST(Verifier, PredicatedBranchNeedsReconvergence)
+{
+    KernelFunction fn = skeleton();
+    Instruction setp;
+    setp.op = Opcode::Setp;
+    setp.pdst = 0;
+    setp.src[0] = Operand::imm(0);
+    setp.src[1] = Operand::imm(1);
+    fn.code.push_back(setp);
+    Instruction bra;
+    bra.op = Opcode::Bra;
+    bra.target = 2;
+    bra.pred = 0;
+    // reconv left at -1.
+    fn.code.push_back(bra);
+    fn.code.push_back(exit());
+
+    const auto diags = verifyKernel(fn, 1);
+    const Diagnostic *d = find(diags, CheckRule::ReconvTarget);
+    ASSERT_NE(d, nullptr);
+    EXPECT_EQ(d->pc, 1);
+}
+
+TEST(Verifier, UseBeforeDef)
+{
+    KernelFunction fn = skeleton();
+    Instruction add;
+    add.op = Opcode::Add;
+    add.dst = 1;
+    add.src[0] = Operand::reg(0); // r0 never written
+    add.src[1] = Operand::imm(1);
+    fn.code.push_back(add);
+    fn.code.push_back(exit());
+
+    const auto diags = verifyKernel(fn, 1);
+    const Diagnostic *d = find(diags, CheckRule::UseBeforeDef);
+    ASSERT_NE(d, nullptr);
+    EXPECT_EQ(d->pc, 0);
+    EXPECT_EQ(d->severity, Severity::Error);
+}
+
+TEST(Verifier, MaybeUninitIsWarningOnly)
+{
+    // r1 defined only under a predicate, then read unconditionally:
+    // defined on some paths but not all -> warning, not error.
+    KernelFunction fn = skeleton();
+    Instruction setp;
+    setp.op = Opcode::Setp;
+    setp.pdst = 0;
+    setp.src[0] = Operand::imm(0);
+    setp.src[1] = Operand::imm(1);
+    fn.code.push_back(setp); // 0
+    Instruction def = movImm(1, 7);
+    def.pred = 0;
+    fn.code.push_back(def); // 1
+    Instruction use;
+    use.op = Opcode::Add;
+    use.dst = 2;
+    use.src[0] = Operand::reg(1);
+    use.src[1] = Operand::imm(1);
+    fn.code.push_back(use); // 2
+    fn.code.push_back(exit());
+
+    const auto diags = verifyKernel(fn, 1);
+    const Diagnostic *d = find(diags, CheckRule::MaybeUninit);
+    ASSERT_NE(d, nullptr);
+    EXPECT_EQ(d->pc, 2);
+    EXPECT_EQ(d->severity, Severity::Warning);
+    EXPECT_EQ(find(diags, CheckRule::UseBeforeDef), nullptr);
+}
+
+TEST(Verifier, DivergentBarrier)
+{
+    // Barrier inside the open (branch, reconv) interval of a
+    // predicated branch; also a directly predicated barrier.
+    KernelFunction fn = skeleton();
+    Instruction setp;
+    setp.op = Opcode::Setp;
+    setp.pdst = 0;
+    setp.src[0] = Operand::imm(0);
+    setp.src[1] = Operand::imm(1);
+    fn.code.push_back(setp); // 0
+    Instruction bra;
+    bra.op = Opcode::Bra;
+    bra.pred = 0;
+    bra.predSense = false;
+    bra.target = 3;
+    bra.reconv = 3;
+    fn.code.push_back(bra); // 1
+    Instruction bar;
+    bar.op = Opcode::Bar;
+    fn.code.push_back(bar); // 2: divergent region (1, 3)
+    fn.code.push_back(exit()); // 3
+
+    {
+        const auto diags = verifyKernel(fn, 1);
+        const Diagnostic *d = find(diags, CheckRule::BarrierDivergence);
+        ASSERT_NE(d, nullptr);
+        EXPECT_EQ(d->pc, 2);
+    }
+    fn.code[2].pred = 1; // directly predicated barrier
+    {
+        const auto diags = verifyKernel(fn, 1);
+        const Diagnostic *d = find(diags, CheckRule::BarrierDivergence);
+        ASSERT_NE(d, nullptr);
+        EXPECT_EQ(d->pc, 2);
+    }
+}
+
+TEST(Verifier, MisalignedStore)
+{
+    KernelFunction fn = skeleton();
+    fn.code.push_back(movImm(0, 64));
+    Instruction st;
+    st.op = Opcode::St;
+    st.src[0] = Operand::reg(0);
+    st.src[1] = Operand::imm(1);
+    st.width = 4;
+    st.memOffset = 2; // not 4-aligned
+    fn.code.push_back(st);
+    fn.code.push_back(exit());
+
+    const auto diags = verifyKernel(fn, 1);
+    const Diagnostic *d = find(diags, CheckRule::MemAlign);
+    ASSERT_NE(d, nullptr);
+    EXPECT_EQ(d->pc, 1);
+}
+
+TEST(Verifier, RegisterIndexOutOfRange)
+{
+    KernelFunction fn = skeleton(/*num_regs=*/2);
+    fn.code.push_back(movImm(5, 1)); // r5 with numRegs=2
+    fn.code.push_back(exit());
+
+    const auto diags = verifyKernel(fn, 1);
+    const Diagnostic *d = find(diags, CheckRule::RegIndex);
+    ASSERT_NE(d, nullptr);
+    EXPECT_EQ(d->pc, 0);
+}
+
+TEST(Verifier, MissingExit)
+{
+    KernelFunction fn = skeleton();
+    fn.code.push_back(movImm(0, 1)); // falls off the end
+    const auto diags = verifyKernel(fn, 1);
+    const Diagnostic *d = find(diags, CheckRule::NoTerminator);
+    ASSERT_NE(d, nullptr);
+    EXPECT_EQ(d->pc, 0);
+}
+
+TEST(Verifier, ParamLoadOutOfBounds)
+{
+    KernelFunction fn = skeleton();
+    fn.paramBytes = 8;
+    Instruction ld;
+    ld.op = Opcode::Ld;
+    ld.space = MemSpace::Param;
+    ld.dst = 0;
+    ld.src[0] = Operand::imm(8); // bytes [8,12) outside paramBytes=8
+    fn.code.push_back(ld);
+    fn.code.push_back(exit());
+
+    const auto diags = verifyKernel(fn, 1);
+    const Diagnostic *d = find(diags, CheckRule::ParamBounds);
+    ASSERT_NE(d, nullptr);
+    EXPECT_EQ(d->pc, 0);
+}
+
+TEST(Verifier, LaunchOfUnregisteredFunction)
+{
+    KernelFunction fn = skeleton();
+    Instruction l;
+    l.op = Opcode::LaunchAgg;
+    l.launch.func = KernelFuncId(7);
+    l.launch.numTbs = Operand::imm(1);
+    l.launch.paramAddr = Operand::reg(0);
+    fn.code.push_back(movImm(0, 0));
+    fn.code.push_back(l);
+    fn.code.push_back(exit());
+
+    // 7 known functions: id 7 still out of range (self-launch allows
+    // only the id being registered, i.e. < known count).
+    const auto diags = verifyKernel(fn, 7);
+    const Diagnostic *d = find(diags, CheckRule::LaunchFunc);
+    ASSERT_NE(d, nullptr);
+    EXPECT_EQ(d->pc, 1);
+    EXPECT_TRUE(verifyKernel(fn, 8).empty()); // self-launch id is legal
+}
+
+TEST(Verifier, ProgramAddRejectsFaultyKernel)
+{
+    KernelFunction fn = skeleton();
+    Instruction bra;
+    bra.op = Opcode::Bra;
+    bra.target = 42;
+    fn.code.push_back(bra);
+    fn.code.push_back(exit());
+
+    Program prog;
+    EXPECT_THROW(prog.add(std::move(fn)), std::runtime_error);
+    EXPECT_EQ(prog.size(), 0u);
+}
+
+TEST(Verifier, ProgramAddAcceptsWarnings)
+{
+    KernelFunction fn = skeleton();
+    Instruction setp;
+    setp.op = Opcode::Setp;
+    setp.pdst = 0;
+    setp.src[0] = Operand::imm(0);
+    setp.src[1] = Operand::imm(1);
+    fn.code.push_back(setp);
+    Instruction def = movImm(1, 7);
+    def.pred = 0;
+    fn.code.push_back(def);
+    Instruction use = movImm(2, 0);
+    use.src[0] = Operand::reg(1);
+    fn.code.push_back(use);
+    fn.code.push_back(exit());
+
+    Program prog;
+    EXPECT_NO_THROW(prog.add(std::move(fn)));
+    EXPECT_EQ(prog.size(), 1u);
+}
+
+/**
+ * Acceptance sweep: every kernel of every Table 4 benchmark in every
+ * evaluation mode verifies with zero diagnostics — warnings included.
+ */
+TEST(Verifier, AllAppKernelsAreClean)
+{
+    const std::array<Mode, 5> modes = {Mode::Flat, Mode::CdpIdeal,
+                                       Mode::DtblIdeal, Mode::Cdp,
+                                       Mode::Dtbl};
+    for (const auto &spec : allBenchmarks()) {
+        for (Mode m : modes) {
+            auto app = spec.make();
+            Program prog;
+            app->build(prog, m); // Program::add already rejects errors
+            for (std::size_t f = 0; f < prog.size(); ++f) {
+                const KernelFunction &fn = prog.function(KernelFuncId(f));
+                const auto diags = verifyKernel(fn, prog.size());
+                for (const Diagnostic &d : diags) {
+                    ADD_FAILURE()
+                        << spec.id << " [" << modeName(m) << "] kernel '"
+                        << fn.name << "': " << d.str();
+                }
+            }
+        }
+    }
+}
