@@ -11,7 +11,8 @@ namespace dtbl {
 std::vector<EvalRow>
 runSweep(const std::vector<std::string> &ids,
          const std::vector<Mode> &modes, const GpuConfig &base,
-         const std::string &trace_dir, int check_level)
+         const std::string &trace_dir, int check_level,
+         Cycle profile_window, const std::string &profile_dir)
 {
     if (!trace_dir.empty())
         std::filesystem::create_directories(trace_dir);
@@ -26,6 +27,8 @@ runSweep(const std::vector<std::string> &ids,
             auto app = makeBenchmark(id);
             RunOptions opts;
             opts.checkLevel = check_level;
+            opts.profileWindow = profile_window;
+            opts.profileOutDir = profile_dir;
             if (!trace_dir.empty()) {
                 opts.traceJsonPath =
                     trace_dir + "/" + id + "_" + modeName(m) + ".json";
@@ -53,12 +56,31 @@ runSweep(const std::vector<std::string> &ids,
 
 std::vector<EvalRow>
 runSweep(const std::vector<Mode> &modes, const GpuConfig &base,
-         const std::string &trace_dir, int check_level)
+         const std::string &trace_dir, int check_level,
+         Cycle profile_window, const std::string &profile_dir)
 {
     std::vector<std::string> ids;
     for (const auto &s : allBenchmarks())
         ids.push_back(s.id);
-    return runSweep(ids, modes, base, trace_dir, check_level);
+    return runSweep(ids, modes, base, trace_dir, check_level,
+                    profile_window, profile_dir);
+}
+
+void
+writeMetricsCsv(const std::vector<EvalRow> &rows, const std::string &path)
+{
+    std::FILE *f = std::fopen(path.c_str(), "w");
+    if (!f)
+        DTBL_FATAL("cannot open metrics CSV for writing: ", path);
+    const std::string header = MetricsReport::csvHeader() + "\n";
+    std::fwrite(header.data(), 1, header.size(), f);
+    for (const EvalRow &row : rows) {
+        for (const auto &[mode, result] : row.results) {
+            const std::string line = result.report.csvRow() + "\n";
+            std::fwrite(line.data(), 1, line.size(), f);
+        }
+    }
+    std::fclose(f);
 }
 
 } // namespace dtbl

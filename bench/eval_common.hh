@@ -32,19 +32,32 @@ struct EvalRow
  * Progress is reported on stderr; verification failures are fatal so a
  * figure is never produced from wrong results. When @p trace_dir is
  * non-empty each run streams a Chrome trace to
- * `<trace_dir>/<bench>_<mode>.json`.
+ * `<trace_dir>/<bench>_<mode>.json`. When @p profile_window > 0 or
+ * @p profile_dir is non-empty the PMU interval profiler runs and, with a
+ * directory given, writes `<profile_dir>/<bench>_<mode>.{csv,json,txt}`.
  */
 std::vector<EvalRow> runSweep(const std::vector<Mode> &modes,
                               const GpuConfig &base = GpuConfig::k20c(),
                               const std::string &trace_dir = {},
-                              int check_level = 0);
+                              int check_level = 0,
+                              Cycle profile_window = 0,
+                              const std::string &profile_dir = {});
 
 /** As runSweep but restricted to the given benchmark ids. */
 std::vector<EvalRow> runSweep(const std::vector<std::string> &ids,
                               const std::vector<Mode> &modes,
                               const GpuConfig &base = GpuConfig::k20c(),
                               const std::string &trace_dir = {},
-                              int check_level = 0);
+                              int check_level = 0,
+                              Cycle profile_window = 0,
+                              const std::string &profile_dir = {});
+
+/**
+ * Write one MetricsReport::csvRow() per (bench, mode) of @p rows to
+ * @p path, preceded by MetricsReport::csvHeader() (schema v3).
+ */
+void writeMetricsCsv(const std::vector<EvalRow> &rows,
+                     const std::string &path);
 
 } // namespace dtbl
 

@@ -10,6 +10,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <filesystem>
 #include <string>
 #include <vector>
 
@@ -25,11 +26,25 @@ main(int argc, char **argv)
     // (open it in chrome://tracing or https://ui.perfetto.dev).
     // --check[=N]: enable the runtime sanitizer at level N (default 3 =
     // full; see analysis/sanitizer.hh for the tiers).
+    // --profile[=W]: enable the PMU interval profiler (window W cycles,
+    // default 512). --profile-out <dir>: write the sampled timelines
+    // (csv/json) and the nvprof-style text report there.
     std::string traceOut;
+    std::string profileOut;
     int checkLevel = 0;
+    Cycle profileWindow = 0;
+    bool profile = false;
     for (int i = 1; i < argc; ++i) {
         if (std::strcmp(argv[i], "--trace-out") == 0 && i + 1 < argc) {
             traceOut = argv[++i];
+        } else if (std::strcmp(argv[i], "--profile-out") == 0 &&
+                   i + 1 < argc) {
+            profileOut = argv[++i];
+            profile = true;
+        } else if (std::strncmp(argv[i], "--profile", 9) == 0) {
+            profile = true;
+            if (argv[i][9] == '=')
+                profileWindow = Cycle(std::atoll(argv[i] + 10));
         } else if (std::strncmp(argv[i], "--check", 7) == 0) {
             checkLevel = argv[i][7] == '=' ? std::atoi(argv[i] + 8)
                                            : int(CheckLevel::Full);
@@ -72,6 +87,8 @@ main(int argc, char **argv)
         std::printf("writing Chrome trace to %s\n", traceOut.c_str());
     if (checkLevel > 0)
         gpu.enableChecks(CheckLevel(checkLevel));
+    if (profile)
+        gpu.enableProfiling(profileWindow);
     const std::uint32_t n = 4096;
     std::vector<std::uint32_t> x(n), y(n), rep(n);
     for (std::uint32_t i = 0; i < n; ++i) {
@@ -109,6 +126,17 @@ main(int argc, char **argv)
 
     const MetricsReport r = gpu.report("quickstart", "flat");
     std::printf("\n--- metrics ---\n%s\n", r.str().c_str());
+    if (const IntervalProfiler *prof = gpu.profiler()) {
+        std::printf("\n%s",
+                    prof->textReport("quickstart", "flat").c_str());
+        if (!profileOut.empty()) {
+            std::filesystem::create_directories(profileOut);
+            prof->writeCsv(profileOut + "/quickstart_flat.csv");
+            prof->writeJson(profileOut + "/quickstart_flat.json");
+            std::printf("profiler timelines written to %s\n",
+                        profileOut.c_str());
+        }
+    }
     if (const Sanitizer *san = gpu.sanitizer()) {
         for (const Diagnostic &d : san->findings())
             std::printf("%s\n", d.str().c_str());

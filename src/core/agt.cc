@@ -4,11 +4,21 @@
 
 namespace dtbl {
 
-Agt::Agt(unsigned num_slots, TraceSink *trace)
+Agt::Agt(unsigned num_slots, TraceSink *trace, Pmu *pmu)
     : numSlots_(num_slots), trace_(trace), slots_(num_slots, -1)
 {
     DTBL_ASSERT(num_slots > 0 && (num_slots & (num_slots - 1)) == 0,
                 "AGT size must be a power of two: ", num_slots);
+    if (pmu) {
+        inserts_ = pmu->counter("agt.inserts", PmuUnit::Agt);
+        spills_ = pmu->counter("agt.spills", PmuUnit::Agt);
+        releases_ = pmu->counter("agt.releases", PmuUnit::Agt);
+        pmu->probe("agt.live", PmuUnit::Agt,
+                   [this] { return std::uint64_t(liveCount_); });
+        pmu->probe("agt.on_chip", PmuUnit::Agt,
+                   [this] { return std::uint64_t(onChipCount_); });
+        residencyHist_ = pmu->histogram("agt.residency", PmuUnit::Agt);
+    }
 }
 
 std::int32_t
@@ -28,6 +38,7 @@ Agt::allocate(const AggGroup &proto, unsigned hw_tid, Cycle now)
     ++liveCount_;
 
     AggGroup &g = pool_[id];
+    g.allocCycle = now;
     // Paper hash: ind = hw_tid & (AGT_size - 1). With our scaled-down
     // benchmarks the same physical thread slots launch again while
     // their previous groups are still pending, so a pure hw_tid hash
@@ -41,11 +52,13 @@ Agt::allocate(const AggGroup &proto, unsigned hw_tid, Cycle now)
         g.onChip = true;
         g.agtSlot = std::int32_t(slot);
         ++onChipCount_;
+        inserts_.add();
         TraceSink::emit(trace_, now, TraceEvent::AgtInsert, traceLaneAgt,
                         std::uint64_t(id), slot);
     } else {
         g.onChip = false;
         g.agtSlot = -1;
+        spills_.add();
         TraceSink::emit(trace_, now, TraceEvent::AgtSpill, traceLaneAgt,
                         std::uint64_t(id), hw_tid);
     }
@@ -56,6 +69,8 @@ void
 Agt::release(std::int32_t id, Cycle now)
 {
     AggGroup &g = group(id);
+    releases_.add();
+    PmuHistogram::note(residencyHist_, now - g.allocCycle);
     TraceSink::emit(trace_, now, TraceEvent::AgtRelease, traceLaneAgt,
                     std::uint64_t(id), g.onChip);
     if (g.onChip) {

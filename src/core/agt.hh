@@ -25,6 +25,7 @@
 #include <vector>
 
 #include "common/types.hh"
+#include "stats/pmu.hh"
 #include "stats/trace.hh"
 
 namespace dtbl {
@@ -52,6 +53,8 @@ struct AggGroup
 
     /** Launch command time (waiting-time metric, Figure 9). */
     Cycle launchCycle = 0;
+    /** Allocation time (AGT residency histogram; set by allocate()). */
+    Cycle allocCycle = 0;
     /** Set when the first TB of the group is dispatched. */
     bool firstDispatchDone = false;
     /**
@@ -80,8 +83,10 @@ class Agt
     /**
      * @param num_slots on-chip entries; must be a power of two.
      * @param trace optional event sink (AgtInsert/AgtSpill/AgtRelease).
+     * @param pmu optional counter registry (agt.* counters + probes).
      */
-    explicit Agt(unsigned num_slots, TraceSink *trace = nullptr);
+    explicit Agt(unsigned num_slots, TraceSink *trace = nullptr,
+                 Pmu *pmu = nullptr);
 
     /**
      * Allocate a group record; attempts to claim the on-chip slot
@@ -106,6 +111,10 @@ class Agt
   private:
     unsigned numSlots_;
     TraceSink *trace_;
+    PmuCounter inserts_;
+    PmuCounter spills_;
+    PmuCounter releases_;
+    PmuHistogram *residencyHist_ = nullptr;
     std::vector<std::int32_t> slots_; //!< slot -> group id (-1 free)
     std::vector<AggGroup> pool_;
     std::vector<std::int32_t> freeIds_;

@@ -9,22 +9,101 @@ namespace dtbl {
 
 Gpu::Gpu(const GpuConfig &cfg, const Program &prog)
     : cfg_(cfg), prog_(prog), mem_(cfg.globalMemBytes),
-      memSys_(cfg_, stats_, &trace_), runtime_(cfg_, mem_, stats_),
+      memSys_(cfg_, stats_, &trace_, &pmu_), runtime_(cfg_, mem_, stats_),
       streams_(cfg.numHwqs), kmu_(cfg_, &trace_), kd_(cfg_, &trace_),
-      agt_(cfg.agtSize, &trace_), dtblSched_(agt_, cfg_, stats_, &trace_)
+      agt_(cfg.agtSize, &trace_, &pmu_),
+      dtblSched_(agt_, cfg_, stats_, &trace_)
 {
     cfg_.validate();
     trace_.nameLane(traceLaneKmu, "KMU");
     trace_.nameLane(traceLaneKd, "KernelDistributor");
     trace_.nameLane(traceLaneAgt, "AGT/DTBL");
     trace_.nameLane(traceLaneMem, "Memory");
+    registerPmuProbes();
     for (unsigned i = 0; i < cfg_.numSmx; ++i) {
         trace_.nameLane(traceLaneSmxBase + i, "SMX " + std::to_string(i));
         smxs_.push_back(std::make_unique<Smx>(i, *this));
     }
     sched_ = std::make_unique<SmxScheduler>(cfg_, prog_, kd_, kmu_, agt_,
                                             dtblSched_, streams_, stats_,
-                                            smxs_, &trace_);
+                                            smxs_, &trace_, &pmu_);
+}
+
+void
+Gpu::registerPmuProbes()
+{
+    if (!Pmu::compiledIn)
+        return;
+    pmu_.probe("gpu.resident_warps", PmuUnit::Gpu, [this] {
+        std::uint64_t r = 0;
+        for (const auto &s : smxs_)
+            r += s->residentWarps();
+        return r;
+    });
+    pmu_.probe("gpu.warp_instrs", PmuUnit::Gpu,
+               [this] { return stats_.warpInstrsIssued; });
+    pmu_.probe("gpu.active_lanes", PmuUnit::Gpu,
+               [this] { return stats_.activeLaneSum; });
+    pmu_.probe("gpu.tbs_completed", PmuUnit::Gpu,
+               [this] { return stats_.tbsCompleted; });
+    pmu_.probe("gpu.kernels_completed", PmuUnit::Gpu,
+               [this] { return stats_.kernelsCompleted; });
+    pmu_.probe("kmu.pending_device", PmuUnit::Kmu, [this] {
+        return std::uint64_t(kmu_.pendingDeviceKernels());
+    });
+    pmu_.probe("cdp.device_launches", PmuUnit::Kmu,
+               [this] { return stats_.deviceKernelLaunches; });
+    pmu_.probe("kd.valid_entries", PmuUnit::Kd, [this] {
+        std::uint64_t n = 0;
+        for (std::size_t i = 0; i < kd_.size(); ++i)
+            n += kd_.entry(std::int32_t(i)).valid ? 1 : 0;
+        return n;
+    });
+    pmu_.probe("dtbl.agg_launches", PmuUnit::Sched,
+               [this] { return stats_.aggGroupLaunches; });
+    pmu_.probe("dtbl.agg_coalesced", PmuUnit::Sched,
+               [this] { return stats_.aggGroupsCoalesced; });
+    pmu_.probe("dtbl.agg_fallback", PmuUnit::Sched,
+               [this] { return stats_.aggGroupsFallback; });
+    pmu_.probe("dtbl.agt_overflows", PmuUnit::Sched,
+               [this] { return stats_.agtOverflows; });
+    pmu_.probe("dtbl.pending_launch_bytes", PmuUnit::Gpu,
+               [this] { return stats_.pendingLaunchBytes; });
+    pmu_.probe("dtbl.peak_pending_launch_bytes", PmuUnit::Gpu,
+               [this] { return stats_.peakPendingLaunchBytes; });
+    pmu_.probe("mem.l1_hits", PmuUnit::Mem,
+               [this] { return stats_.l1Hits; });
+    pmu_.probe("mem.l1_misses", PmuUnit::Mem,
+               [this] { return stats_.l1Misses; });
+    pmu_.probe("mem.l2_hits", PmuUnit::Mem,
+               [this] { return stats_.l2Hits; });
+    pmu_.probe("mem.l2_misses", PmuUnit::Mem,
+               [this] { return stats_.l2Misses; });
+    for (std::size_t i = 0; i < prog_.size(); ++i) {
+        std::string base =
+            "kernel." + prog_.function(KernelFuncId(i)).name;
+        if (pmu_.indexOf(base + ".tbs") >= 0)
+            base += "@" + std::to_string(i); // disambiguate name clashes
+        kernelTbs_.push_back(pmu_.counter(base + ".tbs", PmuUnit::Kernel,
+                                          std::int32_t(i)));
+        kernelInstrs_.push_back(
+            pmu_.counter(base + ".instrs", PmuUnit::Kernel,
+                         std::int32_t(i)));
+    }
+}
+
+void
+Gpu::enableProfiling(Cycle window)
+{
+    if (!Pmu::compiledIn) {
+        DTBL_WARN("profiling requested but the PMU is compiled out; "
+                  "rebuild with -DDTBL_ENABLE_PMU=ON");
+        return;
+    }
+    if (window == 0)
+        window = kDefaultProfileWindow;
+    pmu_.setCollecting(true);
+    profiler_ = std::make_unique<IntervalProfiler>(pmu_, window);
 }
 
 void
@@ -199,10 +278,22 @@ Gpu::synchronize()
                     stats_.residentWarpCycleSum +=
                         std::uint64_t(resident) * skip;
                 }
+#if DTBL_PMU_ENABLED
+                // The machine is frozen across the skip (no warp wakes
+                // inside it), so one classification covers all cycles.
+                if (pmu_.collecting()) {
+                    for (auto &s : smxs_)
+                        s->accountSkippedCycles(now_, skip);
+                }
+#endif
                 now_ += skip;
             }
         }
         ++now_;
+#if DTBL_PMU_ENABLED
+        if (profiler_)
+            profiler_->sampleUpTo(now_);
+#endif
         if (now_ > maxCycles_)
             DTBL_FATAL("simulation exceeded ", maxCycles_, " cycles");
     }
@@ -218,10 +309,25 @@ Gpu::report(const std::string &bench, const std::string &mode)
 {
     memSys_.finalizeInto(stats_);
     stats_.totalCycles = now_;
+    stats_.stallSlotCycles.fill(0); // recompute: report() may be re-run
+    for (const auto &s : smxs_) {
+        const auto &sc = s->stallSlotCycles();
+        for (std::size_t i = 0; i < kNumStallReasons; ++i)
+            stats_.stallSlotCycles[i] += sc[i];
+    }
     MetricsReport r = MetricsReport::from(stats_, bench, mode, cfg_.numSmx,
                                           cfg_.maxResidentWarpsPerSmx);
     r.traceHash = trace_.hash();
     r.traceEvents = trace_.total();
+    if (profiler_) {
+        profiler_->finalize(now_);
+        r.profileSamples = profiler_->numSamples();
+        r.sampledPeakResidentWarps =
+            profiler_->sampledPeakByName("gpu.resident_warps");
+        r.sampledPeakAgtLive = profiler_->sampledPeakByName("agt.live");
+        r.sampledPeakPendingLaunchBytes =
+            profiler_->sampledPeakByName("dtbl.pending_launch_bytes");
+    }
     return r;
 }
 

@@ -27,6 +27,8 @@
 #include "mem/global_memory.hh"
 #include "mem/memory_system.hh"
 #include "stats/metrics.hh"
+#include "stats/pmu.hh"
+#include "stats/profiler.hh"
 #include "stats/trace.hh"
 
 namespace dtbl {
@@ -78,6 +80,35 @@ class Gpu
     Sanitizer *sanitizer() { return san_.get(); }
     const Sanitizer *sanitizer() const { return san_.get(); }
 
+    /** The PMU counter registry (stats/pmu.hh). */
+    Pmu &pmu() { return pmu_; }
+    const Pmu &pmu() const { return pmu_; }
+
+    /**
+     * Turn on interval profiling: enables the hot-path stall
+     * attribution and samples every PMU counter each @p window cycles.
+     * Warns and stays off when the PMU is compiled out
+     * (-DDTBL_ENABLE_PMU=OFF). Must be called before work is launched
+     * for the stall taxonomy to cover the whole run.
+     */
+    void enableProfiling(Cycle window = kDefaultProfileWindow);
+    /** The interval profiler, or nullptr when profiling is off. */
+    const IntervalProfiler *profiler() const { return profiler_.get(); }
+
+    /** Per-kernel hot-path counters; call only while pmu().collecting(). */
+    void
+    pmuNoteTbStart(KernelFuncId func)
+    {
+        if (func < kernelTbs_.size())
+            kernelTbs_[func].add();
+    }
+    void
+    pmuNoteIssue(KernelFuncId func)
+    {
+        if (func < kernelInstrs_.size())
+            kernelInstrs_[func].add();
+    }
+
     // --- device-side hooks (called by the SMXs) ------------------------
     MemorySystem &memSys() { return memSys_; }
     DeviceRuntime &runtime() { return runtime_; }
@@ -106,12 +137,16 @@ class Gpu
     bool idle() const;
     /** Drain-time invariant checks (sanitizer tier 1). */
     void checkDrainInvariants();
+    /** Register the Gpu-level PMU probes (SimStats, KMU, KD, kernels). */
+    void registerPmuProbes();
 
     GpuConfig cfg_;
     const Program &prog_;
     SimStats stats_;
     /** Declared before every traced unit so references outlive them. */
     TraceSink trace_;
+    /** Declared before every unit that registers counters or probes. */
+    Pmu pmu_;
     GlobalMemory mem_;
     MemorySystem memSys_;
     DeviceRuntime runtime_;
@@ -123,6 +158,10 @@ class Gpu
     std::vector<std::unique_ptr<Smx>> smxs_;
     std::unique_ptr<SmxScheduler> sched_;
     std::unique_ptr<Sanitizer> san_;
+    std::unique_ptr<IntervalProfiler> profiler_;
+    /** Per-kernel counters indexed by KernelFuncId. */
+    std::vector<PmuCounter> kernelTbs_;
+    std::vector<PmuCounter> kernelInstrs_;
 
     Cycle now_ = 0;
     Cycle maxCycles_ = 2'000'000'000ull;

@@ -112,8 +112,19 @@ Smx::Smx(unsigned id, Gpu &gpu)
       freeTbSlots_(gpu.config().maxResidentTbPerSmx),
       freeThreads_(gpu.config().maxResidentThreadsPerSmx),
       freeRegs_(gpu.config().regsPerSmx),
-      freeSmem_(gpu.config().sharedMemPerSmx)
+      freeSmem_(gpu.config().sharedMemPerSmx),
+      issuedThisTick_(warps_.size(), 0)
 {
+    Pmu &pmu = gpu.pmu();
+    const std::string prefix = "smx" + std::to_string(id);
+    pmu.probe(prefix + ".resident_warps", PmuUnit::Smx,
+              [this] { return std::uint64_t(residentWarps_); },
+              std::int32_t(id));
+    for (std::size_t r = 0; r < kNumStallReasons; ++r) {
+        pmu.probe(prefix + ".slot." + stallReasonName(StallReason(r)),
+                  PmuUnit::Smx, [this, r] { return stallSlotCycles_[r]; },
+                  std::int32_t(id));
+    }
 }
 
 bool
@@ -140,6 +151,10 @@ Smx::canAccept(const KernelFunction &fn, std::uint32_t dyn_smem_bytes) const
 void
 Smx::startTb(const TbAssignment &asg, Cycle now)
 {
+#if DTBL_PMU_ENABLED
+    if (gpu_.pmu().collecting())
+        gpu_.pmuNoteTbStart(asg.func);
+#endif
     const KernelFunction &fn = gpu_.function(asg.func);
     auto tb = std::make_unique<ThreadBlock>();
     tb->asg = asg;
@@ -206,16 +221,63 @@ Smx::pickWarp(unsigned sched, Cycle now)
 unsigned
 Smx::tick(Cycle now)
 {
+#if DTBL_PMU_ENABLED
+    const bool prof = gpu_.pmu().collecting();
+    if (prof && residentWarps_ == 0) {
+        stallSlotCycles_[std::size_t(StallReason::IdleNoWarp)] +=
+            warps_.size();
+        return 0;
+    }
+    if (prof) {
+        std::fill(issuedThisTick_.begin(), issuedThisTick_.end(),
+                  std::uint8_t(0));
+    }
+#endif
     if (residentWarps_ == 0)
         return 0;
     unsigned issued = 0;
     for (unsigned sched = 0; sched < cfg_.warpSchedulersPerSmx; ++sched) {
         if (Warp *w = pickWarp(sched, now)) {
+#if DTBL_PMU_ENABLED
+            // Record by slot, not pointer: issue() may retire the warp.
+            if (prof)
+                issuedThisTick_[w->slot()] = 1;
+#endif
             issue(*w, now);
             ++issued;
         }
     }
+#if DTBL_PMU_ENABLED
+    if (prof)
+        accountStallSlots(now, 1, true);
+#endif
     return issued;
+}
+
+void
+Smx::accountStallSlots(Cycle now, std::uint64_t n, bool ticked)
+{
+    for (std::size_t slot = 0; slot < warps_.size(); ++slot) {
+        const Warp *w = warps_[slot].get();
+        StallReason r;
+        if (ticked && issuedThisTick_[slot])
+            r = StallReason::Issued; // counts warps that retired mid-tick
+        else if (!w)
+            r = StallReason::IdleNoWarp;
+        else if (w->atBarrier)
+            r = StallReason::Barrier;
+        else if (w->readyCycle > now)
+            r = w->stallClass;
+        else
+            r = StallReason::NoInstruction; // ready but not selected
+        stallSlotCycles_[std::size_t(r)] += n;
+    }
+}
+
+void
+Smx::accountSkippedCycles(Cycle now, std::uint64_t n)
+{
+    accountStallSlots(now, n, false);
 }
 
 Cycle
@@ -263,6 +325,11 @@ Smx::issue(Warp &w, Cycle now)
     ++stats.warpInstrsIssued;
     stats.activeLaneSum += std::popcount(exec);
 
+#if DTBL_PMU_ENABLED
+    if (gpu_.pmu().collecting())
+        gpu_.pmuNoteIssue(w.tb()->asg.func);
+#endif
+
 #if DTBL_CHECK_ENABLED
     if (Sanitizer *san = gpu_.sanitizer())
         san->onIssue(w, inst, t.pc, exec, active);
@@ -272,6 +339,7 @@ Smx::issue(Warp &w, Cycle now)
       case Opcode::Bra:
         execBranch(w, inst, exec, active);
         w.readyCycle = now + cfg_.aluLatency;
+        w.stallClass = StallReason::Reconvergence;
         break;
       case Opcode::Ld:
       case Opcode::St:
@@ -287,6 +355,7 @@ Smx::issue(Warp &w, Cycle now)
         execExit(w, exec);
         t.pc += 1;
         w.readyCycle = now + 1;
+        w.stallClass = StallReason::PipelineBusy;
         break;
       case Opcode::GetPBuf:
       case Opcode::StreamCreate:
@@ -298,6 +367,7 @@ Smx::issue(Warp &w, Cycle now)
       case Opcode::Nop:
         t.pc += 1;
         w.readyCycle = now + cfg_.aluLatency;
+        w.stallClass = StallReason::PipelineBusy;
         break;
       default:
         execAlu(w, inst, exec, now);
@@ -338,6 +408,7 @@ Smx::execAlu(Warp &w, const Instruction &inst, ActiveMask exec, Cycle now)
     }
     const bool heavy = inst.op == Opcode::Div || inst.op == Opcode::Rem;
     w.readyCycle = now + (heavy ? cfg_.sfuLatency : cfg_.aluLatency);
+    w.stallClass = StallReason::PipelineBusy;
 }
 
 void
@@ -357,6 +428,7 @@ Smx::execMemory(Warp &w, const Instruction &inst, ActiveMask exec,
 
     if (exec == 0) {
         w.readyCycle = now + cfg_.aluLatency;
+        w.stallClass = StallReason::PipelineBusy;
         return;
     }
 
@@ -381,6 +453,7 @@ Smx::execMemory(Warp &w, const Instruction &inst, ActiveMask exec,
             }
         }
         w.readyCycle = now + cfg_.l1.hitLatency;
+        w.stallClass = StallReason::DataHazard;
         return;
       }
       case MemSpace::Shared: {
@@ -404,6 +477,7 @@ Smx::execMemory(Warp &w, const Instruction &inst, ActiveMask exec,
             }
         }
         w.readyCycle = now + cfg_.sharedMemLatency;
+        w.stallClass = StallReason::DataHazard;
         return;
       }
       case MemSpace::Global:
@@ -422,6 +496,7 @@ Smx::execMemory(Warp &w, const Instruction &inst, ActiveMask exec,
         for (Addr seg : coalescer_.coalesce(addrs, exec, inst.width))
             done = std::max(done, gpu_.memSys().load(id_, seg, now));
         w.readyCycle = done;
+        w.stallClass = StallReason::MemoryPending;
     } else if (inst.op == Opcode::St) {
         for (unsigned lane = 0; lane < warpSize; ++lane) {
             if (exec & (1u << lane)) {
@@ -433,6 +508,7 @@ Smx::execMemory(Warp &w, const Instruction &inst, ActiveMask exec,
             gpu_.memSys().store(id_, seg, now);
         // Stores retire through the write queue without stalling.
         w.readyCycle = now + cfg_.aluLatency;
+        w.stallClass = StallReason::PipelineBusy;
     } else { // Atom
         for (unsigned lane = 0; lane < warpSize; ++lane) {
             if (!(exec & (1u << lane)))
@@ -485,6 +561,7 @@ Smx::execMemory(Warp &w, const Instruction &inst, ActiveMask exec,
         for (Addr seg : coalescer_.coalesce(addrs, exec, inst.width))
             done = std::max(done, gpu_.memSys().atomic(id_, seg, now));
         w.readyCycle = done;
+        w.stallClass = StallReason::MemoryPending;
     }
 }
 
@@ -527,6 +604,7 @@ Smx::releaseBarrier(ThreadBlock &tb, Cycle now)
         if (w && w->atBarrier) {
             w->atBarrier = false;
             w->readyCycle = now + 1;
+            w->stallClass = StallReason::Barrier;
         }
     }
 }
@@ -556,11 +634,13 @@ Smx::execLaunch(Warp &w, const Instruction &inst, ActiveMask exec,
         }
         w.readyCycle =
             now + std::max<Cycle>(1, rt.latGetParameterBuffer(callers));
+        w.stallClass = StallReason::LaunchPending;
         return;
       }
       case Opcode::StreamCreate:
         w.readyCycle =
             now + std::max<Cycle>(1, callers ? rt.latStreamCreate() : 1);
+        w.stallClass = StallReason::LaunchPending;
         return;
       case Opcode::LaunchDevice: {
         const Cycle lat = rt.latLaunchDevice(callers);
@@ -580,6 +660,7 @@ Smx::execLaunch(Warp &w, const Instruction &inst, ActiveMask exec,
                 now, paramBytes + cfg.cdpKernelRecordBytes);
         }
         w.readyCycle = now + std::max<Cycle>(1, lat);
+        w.stallClass = StallReason::LaunchPending;
         return;
       }
       case Opcode::LaunchAgg: {
@@ -617,6 +698,7 @@ Smx::execLaunch(Warp &w, const Instruction &inst, ActiveMask exec,
                                    now + std::max<Cycle>(1, lat));
         }
         w.readyCycle = now + std::max<Cycle>(1, lat);
+        w.stallClass = StallReason::LaunchPending;
         return;
       }
       default:

@@ -9,6 +9,7 @@
 #ifndef DTBL_GPU_SMX_HH
 #define DTBL_GPU_SMX_HH
 
+#include <array>
 #include <memory>
 #include <vector>
 
@@ -16,6 +17,7 @@
 #include "gpu/thread_block.hh"
 #include "gpu/warp.hh"
 #include "mem/coalescer.hh"
+#include "stats/pmu.hh"
 
 namespace dtbl {
 
@@ -50,7 +52,33 @@ class Smx
     unsigned freeTbSlots() const { return freeTbSlots_; }
     unsigned freeThreads() const { return freeThreads_; }
 
+    // --- PMU issue-stall attribution -----------------------------------
+    /**
+     * Attribute the skipped cycles of an idle fast-forward: the machine
+     * state is frozen over the skip (no warp becomes ready inside it, or
+     * the skip would have been shorter), so one classification at @p now
+     * holds for all @p n cycles. Only called while pmu.collecting().
+     */
+    void accountSkippedCycles(Cycle now, std::uint64_t n);
+
+    /**
+     * Slot-cycles attributed to each StallReason. While profiling, the
+     * entries sum to cycles-simulated * maxResidentWarpsPerSmx.
+     */
+    const std::array<std::uint64_t, kNumStallReasons> &
+    stallSlotCycles() const
+    {
+        return stallSlotCycles_;
+    }
+
   private:
+    /**
+     * Classify every warp slot for the cycle(s) at @p now. @p ticked is
+     * true when called at the end of a real tick (issuedThisTick_ is
+     * valid) and false from a fast-forward skip.
+     */
+    void accountStallSlots(Cycle now, std::uint64_t n, bool ticked);
+
     /** Pick a warp for scheduler @p sched (greedy-then-oldest). */
     Warp *pickWarp(unsigned sched, Cycle now);
 
@@ -93,6 +121,10 @@ class Smx
     std::uint32_t freeSmem_;
     unsigned residentWarps_ = 0;
     std::uint64_t nextAgeStamp_ = 0;
+
+    /** Slots that issued in the current tick (survives warp teardown). */
+    std::vector<std::uint8_t> issuedThisTick_;
+    std::array<std::uint64_t, kNumStallReasons> stallSlotCycles_{};
 };
 
 } // namespace dtbl

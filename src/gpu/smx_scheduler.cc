@@ -11,10 +11,15 @@ SmxScheduler::SmxScheduler(const GpuConfig &cfg, const Program &prog,
                            DtblScheduler &dtbl, StreamTable &streams,
                            SimStats &stats,
                            std::vector<std::unique_ptr<Smx>> &smxs,
-                           TraceSink *trace)
+                           TraceSink *trace, Pmu *pmu)
     : cfg_(cfg), prog_(prog), kd_(kd), kmu_(kmu), agt_(agt), dtbl_(dtbl),
       streams_(streams), stats_(stats), smxs_(smxs), trace_(trace)
 {
+    if (pmu) {
+        pmu->probe("sched.fcfs_depth", PmuUnit::Sched,
+                   [this] { return std::uint64_t(fcfs_.size()); });
+        tbWaitHist_ = pmu->histogram("sched.tb_wait", PmuUnit::Sched);
+    }
 }
 
 bool
@@ -198,6 +203,7 @@ SmxScheduler::commitAssignment(std::int32_t kde_idx, const TbAssignment &asg,
         if (e.trackWaitingTime) {
             stats_.launchWaitCycleSum += now - e.launchCycle;
             ++stats_.launchWaitSamples;
+            PmuHistogram::note(tbWaitHist_, now - e.launchCycle);
         }
     }
 
@@ -214,6 +220,7 @@ SmxScheduler::commitAssignment(std::int32_t kde_idx, const TbAssignment &asg,
             g.firstDispatchDone = true;
             stats_.launchWaitCycleSum += now - g.launchCycle;
             ++stats_.launchWaitSamples;
+            PmuHistogram::note(tbWaitHist_, now - g.launchCycle);
         }
         ++g.nextTb;
         if (g.fullyDistributed()) {

@@ -33,7 +33,7 @@ class SmxScheduler
                  KernelDistributor &kd, Kmu &kmu, Agt &agt,
                  DtblScheduler &dtbl, StreamTable &streams, SimStats &stats,
                  std::vector<std::unique_ptr<Smx>> &smxs,
-                 TraceSink *trace = nullptr);
+                 TraceSink *trace = nullptr, Pmu *pmu = nullptr);
 
     /**
      * One scheduler cycle: dispatch kernels KMU->KD, process arrived
@@ -94,6 +94,8 @@ class SmxScheduler
     SimStats &stats_;
     std::vector<std::unique_ptr<Smx>> &smxs_;
     TraceSink *trace_ = nullptr;
+    /** TB waiting time (launch command -> first TB dispatch), Figure 9. */
+    PmuHistogram *tbWaitHist_ = nullptr;
 
     std::deque<std::int32_t> fcfs_;
     std::deque<PendingAgg> aggQueue_;

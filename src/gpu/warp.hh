@@ -12,6 +12,7 @@
 
 #include "common/types.hh"
 #include "isa/kernel_function.hh"
+#include "stats/pmu.hh"
 
 namespace dtbl {
 
@@ -101,6 +102,12 @@ class Warp
     Cycle readyCycle = 0;
     bool atBarrier = false;
     bool finished = false;
+    /**
+     * Why the warp is waiting whenever readyCycle > now: set by the SMX
+     * at every readyCycle write, read by the PMU stall attribution.
+     * Fresh warps default to NoInstruction (nothing fetched yet).
+     */
+    StallReason stallClass = StallReason::NoInstruction;
 
   private:
     ThreadBlock *tb_;

@@ -1,5 +1,8 @@
 #include "harness/runner.hh"
 
+#include <cstdio>
+#include <filesystem>
+
 namespace dtbl {
 
 BenchResult
@@ -14,11 +17,27 @@ runBenchmark(App &app, Mode mode, const GpuConfig &base,
         gpu.trace().openJson(opts.traceJsonPath);
     if (opts.checkLevel > 0)
         gpu.enableChecks(CheckLevel(opts.checkLevel));
+    if (opts.profileWindow > 0 || !opts.profileOutDir.empty())
+        gpu.enableProfiling(opts.profileWindow);
     app.setup(gpu);
     app.execute(gpu, mode);
 
     BenchResult r;
     r.report = gpu.report(app.name(), modeName(mode));
+    if (const IntervalProfiler *prof = gpu.profiler();
+        prof && !opts.profileOutDir.empty()) {
+        std::filesystem::create_directories(opts.profileOutDir);
+        const std::string stem =
+            opts.profileOutDir + "/" + app.name() + "_" + modeName(mode);
+        prof->writeCsv(stem + ".csv");
+        prof->writeJson(stem + ".json");
+        const std::string txt =
+            prof->textReport(app.name(), modeName(mode));
+        if (std::FILE *f = std::fopen((stem + ".txt").c_str(), "w")) {
+            std::fwrite(txt.data(), 1, txt.size(), f);
+            std::fclose(f);
+        }
+    }
     r.stats = gpu.stats();
     r.verified = app.verify(gpu);
     r.trace = gpu.trace().summary();

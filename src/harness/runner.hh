@@ -38,6 +38,16 @@ struct RunOptions
     std::string traceJsonPath;
     /** Runtime sanitizer tier (cast to CheckLevel); 0 = off. */
     int checkLevel = 0;
+    /**
+     * PMU sampling window in cycles; 0 = profiling off (unless
+     * profileOutDir is set, which turns it on at the default window).
+     */
+    Cycle profileWindow = 0;
+    /**
+     * When non-empty, write `<dir>/<bench>_<mode>.{csv,json,txt}`
+     * profiler timelines + text report after the run.
+     */
+    std::string profileOutDir;
 };
 
 /** Run one benchmark in one mode. */

@@ -6,12 +6,24 @@
 
 namespace dtbl {
 
-Dram::Dram(const DramConfig &cfg, std::uint32_t line_bytes, TraceSink *trace)
+Dram::Dram(const DramConfig &cfg, std::uint32_t line_bytes, TraceSink *trace,
+           Pmu *pmu)
     : cfg_(cfg), lineBytes_(line_bytes), trace_(trace)
 {
     partitions_.resize(cfg_.numPartitions);
     for (auto &p : partitions_)
         p.banks.resize(cfg_.banksPerPartition);
+    if (pmu) {
+        pmu->probe("dram.reads", PmuUnit::Dram, [this] { return reads_; });
+        pmu->probe("dram.writes", PmuUnit::Dram, [this] { return writes_; });
+        pmu->probe("dram.row_hits", PmuUnit::Dram,
+                   [this] { return rowHits_; });
+        pmu->probe("dram.row_misses", PmuUnit::Dram,
+                   [this] { return rowMisses_; });
+        for (std::size_t i = 0; i < partitions_.size(); ++i)
+            pmu->busy("dram.p" + std::to_string(i) + ".busy", PmuUnit::Dram,
+                      &partitions_[i].activity, std::int32_t(i));
+    }
 }
 
 Cycle

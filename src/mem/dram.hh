@@ -12,7 +12,7 @@
 
 #include "common/config.hh"
 #include "common/types.hh"
-#include "stats/busy_tracker.hh"
+#include "stats/pmu.hh"
 #include "stats/trace.hh"
 
 namespace dtbl {
@@ -21,7 +21,7 @@ class Dram
 {
   public:
     explicit Dram(const DramConfig &cfg, std::uint32_t line_bytes,
-                  TraceSink *trace = nullptr);
+                  TraceSink *trace = nullptr, Pmu *pmu = nullptr);
 
     /**
      * Issue one line-sized command and return its completion cycle.

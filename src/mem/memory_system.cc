@@ -7,10 +7,10 @@
 namespace dtbl {
 
 MemorySystem::MemorySystem(const GpuConfig &cfg, SimStats &stats,
-                           TraceSink *trace)
+                           TraceSink *trace, Pmu *pmu)
     : cfg_(cfg), stats_(stats), trace_(trace),
       l2_(cfg.l2, Cache::WritePolicy::WriteBack),
-      dram_(cfg.dram, cfg.l2.lineBytes, trace)
+      dram_(cfg.dram, cfg.l2.lineBytes, trace, pmu)
 {
     l1s_.reserve(cfg.numSmx);
     for (unsigned i = 0; i < cfg.numSmx; ++i)

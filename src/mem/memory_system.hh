@@ -25,7 +25,7 @@ class MemorySystem
 {
   public:
     MemorySystem(const GpuConfig &cfg, SimStats &stats,
-                 TraceSink *trace = nullptr);
+                 TraceSink *trace = nullptr, Pmu *pmu = nullptr);
 
     /** Load transaction; returns data-ready cycle for the warp. */
     Cycle load(unsigned smx, Addr addr, Cycle now);

@@ -1,5 +1,7 @@
 #include "stats/metrics.hh"
 
+#include <cinttypes>
+#include <cstdio>
 #include <sstream>
 
 #include "common/log.hh"
@@ -68,6 +70,22 @@ MetricsReport::from(const SimStats &s, const std::string &bench,
         r.l1HitRate = double(s.l1Hits) / double(s.l1Hits + s.l1Misses);
     if (s.l2Hits + s.l2Misses > 0)
         r.l2HitRate = double(s.l2Hits) / double(s.l2Hits + s.l2Misses);
+
+    for (std::uint64_t v : s.stallSlotCycles)
+        r.stallSlotCyclesTotal += v;
+    if (r.stallSlotCyclesTotal > 0) {
+        const std::uint64_t issued =
+            s.stallSlotCycles[std::size_t(StallReason::Issued)];
+        r.issueSlotUtilPct =
+            100.0 * double(issued) / double(r.stallSlotCyclesTotal);
+        const std::uint64_t stalled = r.stallSlotCyclesTotal - issued;
+        if (stalled > 0) {
+            for (std::size_t i = 1; i < kNumStallReasons; ++i) {
+                r.stallPct[i] = 100.0 * double(s.stallSlotCycles[i]) /
+                                double(stalled);
+            }
+        }
+    }
     return r;
 }
 
@@ -87,6 +105,135 @@ MetricsReport::str() const
         os << " traceHash=0x" << std::hex << traceHash << std::dec
            << " traceEvents=" << traceEvents;
     }
+    if (stallSlotCyclesTotal > 0) {
+        char buf[64];
+        std::snprintf(buf, sizeof buf, " issueUtil=%.2f%%",
+                      issueSlotUtilPct);
+        os << buf << " stalls[";
+        bool first = true;
+        for (std::size_t i = 1; i < kNumStallReasons; ++i) {
+            if (stallPct[i] <= 0.0)
+                continue;
+            std::snprintf(buf, sizeof buf, "%s%s=%.1f%%", first ? "" : " ",
+                          stallReasonName(StallReason(i)), stallPct[i]);
+            os << buf;
+            first = false;
+        }
+        os << "]";
+    }
+    if (profileSamples > 0)
+        os << " profileSamples=" << profileSamples;
+    return os.str();
+}
+
+namespace {
+
+/** Shortest round-trippable representation; stable across runs. */
+std::string
+jsonNum(double v)
+{
+    char buf[40];
+    std::snprintf(buf, sizeof buf, "%.17g", v);
+    // Prefer the shorter %.15g form when it round-trips exactly.
+    char buf15[40];
+    std::snprintf(buf15, sizeof buf15, "%.15g", v);
+    double back = 0.0;
+    std::sscanf(buf15, "%lf", &back);
+    return back == v ? buf15 : buf;
+}
+
+std::string
+jsonStr(const std::string &s)
+{
+    std::string out = "\"";
+    for (char c : s) {
+        if (c == '"' || c == '\\')
+            out += '\\';
+        out += c;
+    }
+    out += '"';
+    return out;
+}
+
+} // namespace
+
+std::string
+MetricsReport::json() const
+{
+    std::ostringstream os;
+    os << "{\n";
+    os << "  \"schemaVersion\": " << schemaVersion << ",\n";
+    os << "  \"benchmark\": " << jsonStr(benchmark) << ",\n";
+    os << "  \"mode\": " << jsonStr(mode) << ",\n";
+    os << "  \"cycles\": " << cycles << ",\n";
+    os << "  \"warpActivityPct\": " << jsonNum(warpActivityPct) << ",\n";
+    os << "  \"dramEfficiency\": " << jsonNum(dramEfficiency) << ",\n";
+    os << "  \"smxOccupancyPct\": " << jsonNum(smxOccupancyPct) << ",\n";
+    os << "  \"avgWaitingCycles\": " << jsonNum(avgWaitingCycles) << ",\n";
+    os << "  \"peakFootprintBytes\": " << peakFootprintBytes << ",\n";
+    os << "  \"avgThreadsPerDynamicLaunch\": "
+       << jsonNum(avgThreadsPerDynamicLaunch) << ",\n";
+    os << "  \"dynamicLaunches\": " << dynamicLaunches << ",\n";
+    os << "  \"aggCoalesceRate\": " << jsonNum(aggCoalesceRate) << ",\n";
+    os << "  \"l1HitRate\": " << jsonNum(l1HitRate) << ",\n";
+    os << "  \"l2HitRate\": " << jsonNum(l2HitRate) << ",\n";
+    os << "  \"traceHash\": " << traceHash << ",\n";
+    os << "  \"traceEvents\": " << traceEvents << ",\n";
+    os << "  \"stallSlotCyclesTotal\": " << stallSlotCyclesTotal << ",\n";
+    os << "  \"issueSlotUtilPct\": " << jsonNum(issueSlotUtilPct) << ",\n";
+    os << "  \"stallPct\": {";
+    for (std::size_t i = 1; i < kNumStallReasons; ++i) {
+        os << (i == 1 ? "" : ", ") << "\""
+           << stallReasonName(StallReason(i))
+           << "\": " << jsonNum(stallPct[i]);
+    }
+    os << "},\n";
+    os << "  \"profileSamples\": " << profileSamples << ",\n";
+    os << "  \"sampledPeakResidentWarps\": " << sampledPeakResidentWarps
+       << ",\n";
+    os << "  \"sampledPeakAgtLive\": " << sampledPeakAgtLive << ",\n";
+    os << "  \"sampledPeakPendingLaunchBytes\": "
+       << sampledPeakPendingLaunchBytes << "\n";
+    os << "}\n";
+    return os.str();
+}
+
+std::string
+MetricsReport::csvHeader()
+{
+    std::string h =
+        "schema_version,benchmark,mode,cycles,warp_activity_pct,"
+        "dram_efficiency,smx_occupancy_pct,avg_waiting_cycles,"
+        "peak_footprint_bytes,avg_threads_per_dynamic_launch,"
+        "dynamic_launches,agg_coalesce_rate,l1_hit_rate,l2_hit_rate,"
+        "trace_hash,trace_events,stall_slot_cycles_total,"
+        "issue_slot_util_pct";
+    for (std::size_t i = 1; i < kNumStallReasons; ++i) {
+        h += ",stall_pct_";
+        h += stallReasonName(StallReason(i));
+    }
+    h += ",profile_samples,sampled_peak_resident_warps,"
+         "sampled_peak_agt_live,sampled_peak_pending_launch_bytes";
+    return h;
+}
+
+std::string
+MetricsReport::csvRow() const
+{
+    std::ostringstream os;
+    os << schemaVersion << ',' << benchmark << ',' << mode << ',' << cycles
+       << ',' << jsonNum(warpActivityPct) << ',' << jsonNum(dramEfficiency)
+       << ',' << jsonNum(smxOccupancyPct) << ','
+       << jsonNum(avgWaitingCycles) << ',' << peakFootprintBytes << ','
+       << jsonNum(avgThreadsPerDynamicLaunch) << ',' << dynamicLaunches
+       << ',' << jsonNum(aggCoalesceRate) << ',' << jsonNum(l1HitRate)
+       << ',' << jsonNum(l2HitRate) << ',' << traceHash << ','
+       << traceEvents << ',' << stallSlotCyclesTotal << ','
+       << jsonNum(issueSlotUtilPct);
+    for (std::size_t i = 1; i < kNumStallReasons; ++i)
+        os << ',' << jsonNum(stallPct[i]);
+    os << ',' << profileSamples << ',' << sampledPeakResidentWarps << ','
+       << sampledPeakAgtLive << ',' << sampledPeakPendingLaunchBytes;
     return os.str();
 }
 

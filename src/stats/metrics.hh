@@ -7,11 +7,12 @@
 #ifndef DTBL_STATS_METRICS_HH
 #define DTBL_STATS_METRICS_HH
 
+#include <array>
 #include <cstdint>
 #include <string>
 
 #include "common/types.hh"
-#include "stats/busy_tracker.hh"
+#include "stats/pmu.hh"
 
 namespace dtbl {
 
@@ -63,6 +64,15 @@ struct SimStats
     std::uint64_t l1Hits = 0, l1Misses = 0;
     std::uint64_t l2Hits = 0, l2Misses = 0;
 
+    // --- issue-stall attribution (PMU) -----------------------------------
+    /**
+     * Warp-slot-cycles by StallReason, summed over all SMXs. Populated by
+     * Gpu::report() from the per-SMX counters; all-zero unless profiling
+     * was enabled (Gpu::enableProfiling). While profiling, the entries
+     * sum to totalCycles * numSmx * maxResidentWarpsPerSmx.
+     */
+    std::array<std::uint64_t, kNumStallReasons> stallSlotCycles{};
+
     // --- totals ----------------------------------------------------------
     /** Cycle at which the last tracked work completed. */
     Cycle totalCycles = 0;
@@ -81,6 +91,13 @@ struct SimStats
  */
 struct MetricsReport
 {
+    /**
+     * Version of the report's serialized layouts (json()/csvHeader()).
+     * v3 added the stall-attribution and profiler fields; readers should
+     * reject versions they do not know.
+     */
+    static constexpr int schemaVersion = 3;
+
     std::string benchmark;
     std::string mode;
 
@@ -107,12 +124,41 @@ struct MetricsReport
     /** Number of trace events folded into the hash. */
     std::uint64_t traceEvents = 0;
 
+    // --- issue-stall attribution (all-zero unless profiling) -------------
+    /** Total warp-slot-cycles accounted by the stall taxonomy. */
+    std::uint64_t stallSlotCyclesTotal = 0;
+    /** % of all warp-slot-cycles that issued an instruction. */
+    double issueSlotUtilPct = 0.0;
+    /**
+     * Per-reason % of *non-issued* slot-cycles (the Issued entry stays
+     * 0); the non-issued entries sum to 100 when any slot stalled.
+     */
+    std::array<double, kNumStallReasons> stallPct{};
+
+    // --- interval profiler (zero unless --profile) -----------------------
+    std::uint64_t profileSamples = 0;
+    std::uint64_t sampledPeakResidentWarps = 0;
+    std::uint64_t sampledPeakAgtLive = 0;
+    std::uint64_t sampledPeakPendingLaunchBytes = 0;
+
     /** Build the derived report from raw counters. */
     static MetricsReport from(const SimStats &s, const std::string &bench,
                               const std::string &mode, unsigned numSmx,
                               unsigned maxWarpsPerSmx);
 
+    /**
+     * One-line human-readable summary. The prefix up to (and including)
+     * the trace fields is byte-identical whether or not the PMU is
+     * compiled in; stall/profile fields are appended only when present.
+     */
     std::string str() const;
+
+    /** JSON object with a stable, schema-versioned key order. */
+    std::string json() const;
+
+    /** CSV row (writeMetricsCsv in bench/eval_common.hh). */
+    static std::string csvHeader();
+    std::string csvRow() const;
 };
 
 } // namespace dtbl

@@ -1,0 +1,232 @@
+#include "stats/pmu.hh"
+
+#include <bit>
+
+#include "common/log.hh"
+
+namespace dtbl {
+
+void
+BusyTracker::record(Cycle start, Cycle end)
+{
+    if (end <= start)
+        return;
+    const Cycle effStart = start > coveredUntil_ ? start : coveredUntil_;
+    if (end > effStart)
+        busy_ += end - effStart;
+    if (end > coveredUntil_)
+        coveredUntil_ = end;
+}
+
+void
+BusyTracker::reset()
+{
+    busy_ = 0;
+    coveredUntil_ = 0;
+}
+
+const char *
+stallReasonName(StallReason r)
+{
+    switch (r) {
+      case StallReason::Issued: return "issued";
+      case StallReason::NoInstruction: return "no_instruction";
+      case StallReason::DataHazard: return "data_hazard";
+      case StallReason::MemoryPending: return "memory_pending";
+      case StallReason::Barrier: return "barrier";
+      case StallReason::Reconvergence: return "reconvergence";
+      case StallReason::PipelineBusy: return "pipeline_busy";
+      case StallReason::LaunchPending: return "launch_pending";
+      case StallReason::IdleNoWarp: return "idle_no_warp";
+    }
+    return "?";
+}
+
+const char *
+pmuUnitName(PmuUnit u)
+{
+    switch (u) {
+      case PmuUnit::Gpu: return "gpu";
+      case PmuUnit::Kmu: return "kmu";
+      case PmuUnit::Kd: return "kd";
+      case PmuUnit::Agt: return "agt";
+      case PmuUnit::Sched: return "sched";
+      case PmuUnit::Smx: return "smx";
+      case PmuUnit::Mem: return "mem";
+      case PmuUnit::Dram: return "dram";
+      case PmuUnit::Kernel: return "kernel";
+    }
+    return "?";
+}
+
+void
+PmuHistogram::record(std::uint64_t v)
+{
+    const std::size_t b = v == 0 ? 0 : std::size_t(std::bit_width(v));
+    ++buckets_[b];
+    ++count_;
+    sum_ += v;
+    if (v < min_)
+        min_ = v;
+    if (v > max_)
+        max_ = v;
+}
+
+double
+PmuHistogram::mean() const
+{
+    return count_ ? double(sum_) / double(count_) : 0.0;
+}
+
+std::uint64_t
+PmuHistogram::percentile(double p) const
+{
+    if (count_ == 0)
+        return 0;
+    if (p <= 0)
+        return min();
+    if (p >= 100)
+        return max_;
+    // Rank of the requested sample (1-based, ceil).
+    const auto rank = std::uint64_t(double(count_) * p / 100.0) + 1;
+    std::uint64_t seen = 0;
+    for (std::size_t b = 0; b < kNumBuckets; ++b) {
+        seen += buckets_[b];
+        if (seen >= rank) {
+            // Upper bound of bucket b, clamped to the observed range.
+            const std::uint64_t hi =
+                b == 0 ? 0
+                       : (b >= 64 ? ~std::uint64_t(0)
+                                  : (std::uint64_t(1) << b) - 1);
+            return std::min(std::max(hi, min()), max_);
+        }
+    }
+    return max_;
+}
+
+Pmu::Entry &
+Pmu::add(std::string name, PmuUnit unit, PmuKind kind,
+         std::int32_t instance)
+{
+    DTBL_ASSERT(indexOf(name) < 0, "duplicate PMU counter ", name);
+    Entry e;
+    e.desc.name = std::move(name);
+    e.desc.unit = unit;
+    e.desc.kind = kind;
+    e.desc.instance = instance;
+    entries_.push_back(std::move(e));
+    return entries_.back();
+}
+
+PmuCounter
+Pmu::counter(std::string name, PmuUnit unit, std::int32_t instance)
+{
+    PmuCounter h;
+    if constexpr (!compiledIn)
+        return h;
+    Entry &e = add(std::move(name), unit, PmuKind::Counter, instance);
+    h.slot_ = &e.value;
+    return h;
+}
+
+void
+Pmu::probe(std::string name, PmuUnit unit,
+           std::function<std::uint64_t()> fn, std::int32_t instance)
+{
+    if constexpr (!compiledIn)
+        return;
+    Entry &e = add(std::move(name), unit, PmuKind::Probe, instance);
+    e.probeFn = std::move(fn);
+}
+
+void
+Pmu::busy(std::string name, PmuUnit unit, const BusyTracker *bt,
+          std::int32_t instance)
+{
+    if constexpr (!compiledIn)
+        return;
+    Entry &e = add(std::move(name), unit, PmuKind::Busy, instance);
+    e.busyTracker = bt;
+}
+
+PmuHistogram *
+Pmu::histogram(std::string name, PmuUnit unit, std::int32_t instance)
+{
+    if constexpr (!compiledIn)
+        return nullptr;
+    PmuCounterDesc d;
+    d.name = std::move(name);
+    d.unit = unit;
+    d.kind = PmuKind::Counter;
+    d.instance = instance;
+    for (const auto &[hd, hist] : hists_)
+        DTBL_ASSERT(hd.name != d.name, "duplicate PMU histogram ", d.name);
+    hists_.emplace_back(std::move(d), PmuHistogram{});
+    return &hists_.back().second;
+}
+
+const PmuCounterDesc &
+Pmu::desc(std::size_t i) const
+{
+    return entries_[i].desc;
+}
+
+std::uint64_t
+Pmu::value(std::size_t i) const
+{
+    const Entry &e = entries_[i];
+    switch (e.desc.kind) {
+      case PmuKind::Counter: return e.value;
+      case PmuKind::Probe: return e.probeFn ? e.probeFn() : 0;
+      case PmuKind::Busy:
+        return e.busyTracker ? e.busyTracker->busyCycles() : 0;
+    }
+    return 0;
+}
+
+std::int64_t
+Pmu::indexOf(const std::string &name) const
+{
+    for (std::size_t i = 0; i < entries_.size(); ++i) {
+        if (entries_[i].desc.name == name)
+            return std::int64_t(i);
+    }
+    return -1;
+}
+
+std::uint64_t
+Pmu::valueByName(const std::string &name) const
+{
+    const std::int64_t i = indexOf(name);
+    return i < 0 ? 0 : value(std::size_t(i));
+}
+
+const PmuCounterDesc &
+Pmu::histogramDesc(std::size_t i) const
+{
+    return hists_[i].first;
+}
+
+const PmuHistogram &
+Pmu::histogramAt(std::size_t i) const
+{
+    return hists_[i].second;
+}
+
+const PmuHistogram *
+Pmu::findHistogram(const std::string &name) const
+{
+    for (const auto &[d, h] : hists_) {
+        if (d.name == name)
+            return &h;
+    }
+    return nullptr;
+}
+
+void
+Pmu::setCollecting(bool on)
+{
+    collecting_ = compiledIn && on;
+}
+
+} // namespace dtbl

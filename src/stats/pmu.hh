@@ -1,0 +1,295 @@
+/**
+ * @file
+ * Performance-monitoring-unit (PMU) counter registry.
+ *
+ * Every simulated unit (KMU, Kernel Distributor, AGT, SMX scheduler,
+ * per-SMX pipelines, caches, DRAM) registers its performance counters
+ * here by name. Three counter flavours exist:
+ *  - owned counters: the registry stores the value, units bump it
+ *    through a null-safe PmuCounter handle (cold-path events only);
+ *  - probes: a callable evaluated at sample time, reading state the
+ *    unit already maintains for simulation (occupancy, queue depths,
+ *    SimStats fields) — zero cost on the hot path;
+ *  - histograms: log2-bucketed distributions with percentile queries
+ *    (TB waiting time, AGT residency).
+ *
+ * The registry is a pure observer: registering, bumping or sampling a
+ * counter must never change simulated timing, `traceHash`, or any
+ * existing SimStats/MetricsReport field. The expensive per-warp-slot
+ * issue-stall attribution in the SMX is additionally gated at run time
+ * by collecting() (enabled via Gpu::enableProfiling / --profile).
+ *
+ * The whole subsystem is compile-time gateable like tracing and
+ * dtbl-check: configure with -DDTBL_ENABLE_PMU=OFF (which defines
+ * DTBL_PMU_ENABLED=0) and every hook compiles out; registration
+ * becomes a no-op returning inert handles.
+ *
+ * This file also hosts BusyTracker (the union-of-intervals accumulator
+ * behind the paper's DRAM-activity metric). It used to be a standalone
+ * one-off in busy_tracker.hh; folding it into the PMU lets DRAM
+ * partitions register their activity as sampled counters for free.
+ * BusyTracker itself stays always-on: Figure 7 needs it regardless of
+ * whether the PMU is compiled in.
+ */
+
+#ifndef DTBL_STATS_PMU_HH
+#define DTBL_STATS_PMU_HH
+
+#include <array>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <string>
+
+#include "common/types.hh"
+
+#ifndef DTBL_PMU_ENABLED
+#define DTBL_PMU_ENABLED 1
+#endif
+
+namespace dtbl {
+
+/**
+ * Online union-of-intervals accumulator.
+ *
+ * The paper defines DRAM efficiency as (n_rd + n_write) / n_activity
+ * where n_activity counts "the active cycles when there is a pending
+ * memory request". With the analytic queueing model, requests carry an
+ * [enqueue, complete) interval; n_activity is the measure of the union
+ * of those intervals. Requests are recorded in non-decreasing order of
+ * enqueue time per controller, which lets us fold the union online with
+ * a single coverage watermark.
+ */
+class BusyTracker
+{
+  public:
+    /**
+     * Record that some unit was busy over [start, end).
+     * @pre start values are non-decreasing across calls.
+     */
+    void record(Cycle start, Cycle end);
+
+    /** Total cycles covered by at least one recorded interval. */
+    Cycle busyCycles() const { return busy_; }
+
+    /** End of the last covered region (0 if nothing recorded). */
+    Cycle coveredUntil() const { return coveredUntil_; }
+
+    void reset();
+
+  private:
+    Cycle busy_ = 0;
+    Cycle coveredUntil_ = 0;
+};
+
+/**
+ * Issue-stall taxonomy: what each SMX warp slot did on each cycle.
+ * Every slot-cycle is attributed to exactly one reason, so per SMX the
+ * counts sum to totalCycles * maxResidentWarpsPerSmx (the invariant
+ * test_pmu checks). The non-issue reasons follow the nvprof /
+ * GPGPU-Sim breakdown, plus LaunchPending for the device-runtime
+ * launch path this paper is about.
+ */
+enum class StallReason : std::uint8_t
+{
+    /** The slot's warp issued an instruction this cycle. */
+    Issued = 0,
+    /** Warp was ready but no scheduler selected it (not_selected). */
+    NoInstruction,
+    /** Waiting on a short-latency operand (shared/param load). */
+    DataHazard,
+    /** Global load or atomic in flight. */
+    MemoryPending,
+    /** Warp parked at a thread-block barrier. */
+    Barrier,
+    /** Post-branch bubble while the PDOM stack settles. */
+    Reconvergence,
+    /** ALU/SFU issue latency, store retirement, pipeline bubbles. */
+    PipelineBusy,
+    /** Inside a device-runtime launch API call (Table 3 latencies). */
+    LaunchPending,
+    /** No warp resident in the slot. */
+    IdleNoWarp,
+};
+
+constexpr std::size_t kNumStallReasons = 9;
+
+/** Stable lowercase name ("issued", "no_instruction", ...). */
+const char *stallReasonName(StallReason r);
+
+/** Simulated unit that owns a counter (report grouping). */
+enum class PmuUnit : std::uint8_t
+{
+    Gpu,
+    Kmu,
+    Kd,
+    Agt,
+    Sched,
+    Smx,
+    Mem,
+    Dram,
+    Kernel,
+};
+
+const char *pmuUnitName(PmuUnit u);
+
+/** What a registry entry is backed by. */
+enum class PmuKind : std::uint8_t
+{
+    Counter, //!< value owned by the registry, bumped via PmuCounter
+    Probe,   //!< std::function evaluated at sample time
+    Busy,    //!< externally owned BusyTracker, sampled as busyCycles()
+};
+
+struct PmuCounterDesc
+{
+    std::string name;
+    PmuUnit unit = PmuUnit::Gpu;
+    PmuKind kind = PmuKind::Counter;
+    /** Unit instance (SMX id, DRAM partition); -1 when singular. */
+    std::int32_t instance = -1;
+};
+
+/**
+ * Null-safe handle to an owned counter. Inert (add() is a no-op) when
+ * the PMU is compiled out or the handle was never registered.
+ */
+class PmuCounter
+{
+  public:
+    void
+    add(std::uint64_t delta = 1)
+    {
+        if (slot_)
+            *slot_ += delta;
+    }
+
+    std::uint64_t value() const { return slot_ ? *slot_ : 0; }
+
+  private:
+    friend class Pmu;
+    std::uint64_t *slot_ = nullptr;
+};
+
+/**
+ * Log2-bucketed histogram: bucket 0 holds value 0, bucket b >= 1 holds
+ * values in [2^(b-1), 2^b). Percentile queries return the upper bound
+ * of the bucket containing the requested rank, clamped to the observed
+ * min/max — exact enough for the p50/p90/p99 the reports print while
+ * costing O(1) per record.
+ */
+class PmuHistogram
+{
+  public:
+    static constexpr std::size_t kNumBuckets = 65;
+
+    void record(std::uint64_t v);
+
+    /** Null-tolerant helper for units holding an optional histogram. */
+    static void
+    note(PmuHistogram *h, std::uint64_t v)
+    {
+        if (h)
+            h->record(v);
+    }
+
+    std::uint64_t count() const { return count_; }
+    std::uint64_t sum() const { return sum_; }
+    std::uint64_t min() const { return count_ ? min_ : 0; }
+    std::uint64_t max() const { return max_; }
+    double mean() const;
+
+    /** Estimated value at percentile @p p in [0, 100]. */
+    std::uint64_t percentile(double p) const;
+
+    std::uint64_t
+    bucketCount(std::size_t b) const
+    {
+        return buckets_[b];
+    }
+
+  private:
+    std::array<std::uint64_t, kNumBuckets> buckets_{};
+    std::uint64_t count_ = 0;
+    std::uint64_t sum_ = 0;
+    std::uint64_t min_ = ~std::uint64_t(0);
+    std::uint64_t max_ = 0;
+};
+
+/**
+ * The counter registry. One instance lives in the Gpu (declared before
+ * every unit so probe lambdas capturing unit pointers are outlived by
+ * it). Counters are registered in construction order, which is
+ * deterministic, so CSV column order is stable across runs.
+ */
+class Pmu
+{
+  public:
+    /** False when the build compiled the PMU out (DTBL_ENABLE_PMU=OFF). */
+    static constexpr bool compiledIn = DTBL_PMU_ENABLED != 0;
+
+    Pmu() = default;
+    Pmu(const Pmu &) = delete;
+    Pmu &operator=(const Pmu &) = delete;
+
+    /** Register an owned counter; returns an inert handle when gated. */
+    PmuCounter counter(std::string name, PmuUnit unit,
+                       std::int32_t instance = -1);
+
+    /** Register a sample-time probe (must outlive the registry's use). */
+    void probe(std::string name, PmuUnit unit,
+               std::function<std::uint64_t()> fn,
+               std::int32_t instance = -1);
+
+    /** Register an externally owned BusyTracker (sampled busyCycles). */
+    void busy(std::string name, PmuUnit unit, const BusyTracker *bt,
+              std::int32_t instance = -1);
+
+    /** Register a histogram; returns nullptr when gated. */
+    PmuHistogram *histogram(std::string name, PmuUnit unit,
+                            std::int32_t instance = -1);
+
+    // --- sampling interface (profiler) ---------------------------------
+    std::size_t numCounters() const { return entries_.size(); }
+    const PmuCounterDesc &desc(std::size_t i) const;
+    /** Current value of counter @p i. */
+    std::uint64_t value(std::size_t i) const;
+    /** Registry index of @p name, or -1 when unknown. */
+    std::int64_t indexOf(const std::string &name) const;
+    /** Current value of @p name; 0 when unknown. */
+    std::uint64_t valueByName(const std::string &name) const;
+
+    std::size_t numHistograms() const { return hists_.size(); }
+    const PmuCounterDesc &histogramDesc(std::size_t i) const;
+    const PmuHistogram &histogramAt(std::size_t i) const;
+    const PmuHistogram *findHistogram(const std::string &name) const;
+
+    /**
+     * True while expensive hot-path collection (per-slot stall
+     * attribution, per-kernel instruction counters) should run.
+     * Enabled by Gpu::enableProfiling.
+     */
+    bool collecting() const { return collecting_; }
+    void setCollecting(bool on);
+
+  private:
+    struct Entry
+    {
+        PmuCounterDesc desc;
+        std::uint64_t value = 0;
+        std::function<std::uint64_t()> probeFn;
+        const BusyTracker *busyTracker = nullptr;
+    };
+
+    Entry &add(std::string name, PmuUnit unit, PmuKind kind,
+               std::int32_t instance);
+
+    // Deques: stable addresses for PmuCounter/PmuHistogram handles.
+    std::deque<Entry> entries_;
+    std::deque<std::pair<PmuCounterDesc, PmuHistogram>> hists_;
+    bool collecting_ = false;
+};
+
+} // namespace dtbl
+
+#endif // DTBL_STATS_PMU_HH

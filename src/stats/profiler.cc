@@ -1,0 +1,224 @@
+#include "stats/profiler.hh"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+#include <sstream>
+
+#include "common/log.hh"
+
+namespace dtbl {
+
+IntervalProfiler::IntervalProfiler(const Pmu &pmu, Cycle window)
+    : pmu_(pmu), window_(window), next_(window),
+      series_(pmu.numCounters())
+{
+    DTBL_ASSERT(window > 0, "profiler window must be positive");
+}
+
+void
+IntervalProfiler::takeSample(Cycle at)
+{
+    cycles_.push_back(at);
+    for (std::size_t c = 0; c < series_.size(); ++c)
+        series_[c].push_back(pmu_.value(c));
+}
+
+void
+IntervalProfiler::sampleUpTo(Cycle now)
+{
+    // Idle fast-forwards can jump many windows at once; emitting every
+    // boundary keeps the timeline equidistant (flat, not gapped).
+    while (next_ <= now) {
+        takeSample(next_);
+        next_ += window_;
+    }
+}
+
+void
+IntervalProfiler::finalize(Cycle end)
+{
+    sampleUpTo(end);
+    if (cycles_.empty() || cycles_.back() < end)
+        takeSample(end);
+}
+
+std::uint64_t
+IntervalProfiler::sampledPeak(std::size_t c) const
+{
+    const auto &s = series_[c];
+    return s.empty() ? 0 : *std::max_element(s.begin(), s.end());
+}
+
+std::uint64_t
+IntervalProfiler::sampledPeakByName(const std::string &name) const
+{
+    const std::int64_t i = pmu_.indexOf(name);
+    return i < 0 ? 0 : sampledPeak(std::size_t(i));
+}
+
+bool
+IntervalProfiler::writeCsv(const std::string &path) const
+{
+    std::FILE *f = std::fopen(path.c_str(), "w");
+    if (!f)
+        return false;
+    std::fputs("cycle", f);
+    for (std::size_t c = 0; c < series_.size(); ++c)
+        std::fprintf(f, ",%s", pmu_.desc(c).name.c_str());
+    std::fputc('\n', f);
+    for (std::size_t i = 0; i < cycles_.size(); ++i) {
+        std::fprintf(f, "%" PRIu64, cycles_[i]);
+        for (std::size_t c = 0; c < series_.size(); ++c)
+            std::fprintf(f, ",%" PRIu64, series_[c][i]);
+        std::fputc('\n', f);
+    }
+    std::fclose(f);
+    return true;
+}
+
+bool
+IntervalProfiler::writeJson(const std::string &path) const
+{
+    std::FILE *f = std::fopen(path.c_str(), "w");
+    if (!f)
+        return false;
+    std::fprintf(f, "{\"schemaVersion\": 3, \"window\": %" PRIu64
+                    ", \"cycles\": [", window_);
+    for (std::size_t i = 0; i < cycles_.size(); ++i)
+        std::fprintf(f, "%s%" PRIu64, i ? ", " : "", cycles_[i]);
+    std::fputs("], \"series\": [", f);
+    for (std::size_t c = 0; c < series_.size(); ++c) {
+        const PmuCounterDesc &d = pmu_.desc(c);
+        std::fprintf(f, "%s\n  {\"name\": \"%s\", \"unit\": \"%s\", "
+                        "\"values\": [",
+                     c ? "," : "", d.name.c_str(), pmuUnitName(d.unit));
+        for (std::size_t i = 0; i < series_[c].size(); ++i)
+            std::fprintf(f, "%s%" PRIu64, i ? ", " : "", series_[c][i]);
+        std::fputs("]}", f);
+    }
+    std::fputs("\n]}\n", f);
+    std::fclose(f);
+    return true;
+}
+
+std::string
+IntervalProfiler::textReport(const std::string &bench,
+                             const std::string &mode) const
+{
+    std::ostringstream os;
+    const Cycle end = cycles_.empty() ? 0 : cycles_.back();
+    os << "==== dtbl profile: " << bench << " [" << mode << "] ====\n"
+       << "window " << window_ << " cycles, " << cycles_.size()
+       << " samples, " << end << " cycles covered\n\n";
+
+    // --- per-SMX issue-stall breakdown --------------------------------
+    std::int32_t numSmx = 0;
+    for (std::size_t c = 0; c < pmu_.numCounters(); ++c) {
+        const PmuCounterDesc &d = pmu_.desc(c);
+        if (d.unit == PmuUnit::Smx)
+            numSmx = std::max(numSmx, d.instance + 1);
+    }
+    if (numSmx > 0) {
+        os << "issue-slot utilisation per SMX (issued% of all "
+              "slot-cycles;\nstall columns % of non-issued slot-cycles)\n";
+        os << " smx   issued%";
+        for (std::size_t r = 1; r < kNumStallReasons; ++r) {
+            char buf[20];
+            std::snprintf(buf, sizeof buf, " %14s",
+                          stallReasonName(StallReason(r)));
+            os << buf;
+        }
+        os << '\n';
+        std::array<std::uint64_t, kNumStallReasons> total{};
+        for (std::int32_t s = 0; s <= numSmx; ++s) {
+            std::array<std::uint64_t, kNumStallReasons> v{};
+            if (s < numSmx) {
+                for (std::size_t r = 0; r < kNumStallReasons; ++r) {
+                    const std::string name =
+                        "smx" + std::to_string(s) + ".slot." +
+                        stallReasonName(StallReason(r));
+                    v[r] = pmu_.valueByName(name);
+                    total[r] += v[r];
+                }
+            } else {
+                v = total; // footer row: all SMXs combined
+            }
+            std::uint64_t all = 0;
+            for (std::uint64_t x : v)
+                all += x;
+            const std::uint64_t nonIssued =
+                all - v[std::size_t(StallReason::Issued)];
+            char row[40];
+            const double issuedPct =
+                all ? 100.0 * double(v[0]) / double(all) : 0.0;
+            if (s < numSmx)
+                std::snprintf(row, sizeof row, "%4d %9.2f", s, issuedPct);
+            else
+                std::snprintf(row, sizeof row, " all %9.2f", issuedPct);
+            os << row;
+            for (std::size_t r = 1; r < kNumStallReasons; ++r) {
+                char buf[20];
+                std::snprintf(buf, sizeof buf, " %14.2f",
+                              nonIssued ? 100.0 * double(v[r]) /
+                                              double(nonIssued)
+                                        : 0.0);
+                os << buf;
+            }
+            os << '\n';
+        }
+        os << '\n';
+    }
+
+    // --- histograms ------------------------------------------------------
+    if (pmu_.numHistograms() > 0) {
+        os << "latency histograms (cycles)\n";
+        for (std::size_t h = 0; h < pmu_.numHistograms(); ++h) {
+            const PmuHistogram &hist = pmu_.histogramAt(h);
+            char buf[160];
+            std::snprintf(buf, sizeof buf,
+                          "  %-18s count=%" PRIu64 " mean=%.1f min=%" PRIu64
+                          " p50=%" PRIu64 " p90=%" PRIu64 " p99=%" PRIu64
+                          " max=%" PRIu64 "\n",
+                          pmu_.histogramDesc(h).name.c_str(), hist.count(),
+                          hist.mean(), hist.min(), hist.percentile(50),
+                          hist.percentile(90), hist.percentile(99),
+                          hist.max());
+            os << buf;
+        }
+        os << '\n';
+    }
+
+    // --- per-kernel counters --------------------------------------------
+    bool anyKernel = false;
+    for (std::size_t c = 0; c < pmu_.numCounters(); ++c) {
+        if (pmu_.desc(c).unit != PmuUnit::Kernel)
+            continue;
+        if (!anyKernel) {
+            os << "per-kernel counters\n";
+            anyKernel = true;
+        }
+        char buf[128];
+        std::snprintf(buf, sizeof buf, "  %-32s %12" PRIu64 "\n",
+                      pmu_.desc(c).name.c_str(), pmu_.value(c));
+        os << buf;
+    }
+    if (anyKernel)
+        os << '\n';
+
+    // --- sampled peaks --------------------------------------------------
+    os << "sampled peaks (max over " << cycles_.size() << " samples)\n";
+    for (const char *name :
+         {"gpu.resident_warps", "kmu.pending_device", "kd.valid_entries",
+          "agt.live", "agt.on_chip", "dtbl.pending_launch_bytes"}) {
+        if (pmu_.indexOf(name) < 0)
+            continue;
+        char buf[96];
+        std::snprintf(buf, sizeof buf, "  %-28s %12" PRIu64 "\n", name,
+                      sampledPeakByName(name));
+        os << buf;
+    }
+    return os.str();
+}
+
+} // namespace dtbl

@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Interval profiler: samples every PMU registry counter on a fixed
+ * cycle window into in-memory time series, and exports them as a CSV
+ * timeline, a JSON timeline, and an nvprof-style text report
+ * (per-SMX issue-stall breakdown, per-kernel tables, percentile
+ * histograms for TB waiting time and AGT residency).
+ *
+ * Sampling is driven from the Gpu main loop: sampleUpTo(now) emits one
+ * sample at every window boundary that has elapsed, so idle
+ * fast-forward periods appear as flat regions in the timeline rather
+ * than gaps. Like the registry itself, the profiler is a pure
+ * observer — a profiled run reports bit-identical cycles, stats and
+ * traceHash to an unprofiled one.
+ */
+
+#ifndef DTBL_STATS_PROFILER_HH
+#define DTBL_STATS_PROFILER_HH
+
+#include <string>
+#include <vector>
+
+#include "stats/pmu.hh"
+
+namespace dtbl {
+
+/** Default sampling window (--profile with no =N). */
+constexpr Cycle kDefaultProfileWindow = 512;
+
+class IntervalProfiler
+{
+  public:
+    /** @param window sampling period in cycles (> 0). */
+    IntervalProfiler(const Pmu &pmu, Cycle window);
+
+    Cycle window() const { return window_; }
+
+    /** Emit a sample at every window boundary <= @p now not yet taken. */
+    void sampleUpTo(Cycle now);
+
+    /** Take one final (partial-window) sample at @p end. */
+    void finalize(Cycle end);
+
+    // --- series access ------------------------------------------------
+    std::size_t numSamples() const { return cycles_.size(); }
+    Cycle sampleCycle(std::size_t i) const { return cycles_[i]; }
+    std::size_t numCounters() const { return series_.size(); }
+    /** Value of registry counter @p c at sample @p i. */
+    std::uint64_t
+    value(std::size_t i, std::size_t c) const
+    {
+        return series_[c][i];
+    }
+    /** Max sampled value of registry counter @p c (0 when no samples). */
+    std::uint64_t sampledPeak(std::size_t c) const;
+    /** Max sampled value of counter @p name (0 when unknown). */
+    std::uint64_t sampledPeakByName(const std::string &name) const;
+
+    // --- exporters ------------------------------------------------------
+    /** cycle,<counter>,... one row per sample; false on I/O error. */
+    bool writeCsv(const std::string &path) const;
+    /** {"schemaVersion":3,"window":...,"cycles":[...],"series":[...]} */
+    bool writeJson(const std::string &path) const;
+    /** nvprof-style human-readable report. */
+    std::string textReport(const std::string &bench,
+                           const std::string &mode) const;
+
+  private:
+    void takeSample(Cycle at);
+
+    const Pmu &pmu_;
+    Cycle window_;
+    /** Cycle of the next scheduled sample. */
+    Cycle next_;
+    std::vector<Cycle> cycles_;
+    /** series_[counter][sample]. */
+    std::vector<std::vector<std::uint64_t>> series_;
+};
+
+} // namespace dtbl
+
+#endif // DTBL_STATS_PROFILER_HH

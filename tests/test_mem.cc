@@ -12,7 +12,7 @@
 #include "mem/coalescer.hh"
 #include "mem/dram.hh"
 #include "mem/global_memory.hh"
-#include "stats/busy_tracker.hh"
+#include "stats/pmu.hh"
 
 using namespace dtbl;
 
