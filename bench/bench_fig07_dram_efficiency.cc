@@ -16,9 +16,10 @@
 using namespace dtbl;
 
 int
-main()
+main(int argc, char **argv)
 {
-    const auto rows = runSweep({Mode::Flat, Mode::Cdp, Mode::Dtbl});
+    const SweepOptions opts = SweepOptions::parse(argc, argv);
+    const auto rows = runSweep(opts, {Mode::Flat, Mode::Cdp, Mode::Dtbl});
 
     Table t({"benchmark", "Flat", "CDP", "DTBL", "CDP/Flat",
              "DTBL/Flat"});

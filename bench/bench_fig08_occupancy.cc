@@ -16,10 +16,11 @@
 using namespace dtbl;
 
 int
-main()
+main(int argc, char **argv)
 {
-    const auto rows =
-        runSweep({Mode::CdpIdeal, Mode::DtblIdeal, Mode::Cdp, Mode::Dtbl});
+    const SweepOptions opts = SweepOptions::parse(argc, argv);
+    const auto rows = runSweep(
+        opts, {Mode::CdpIdeal, Mode::DtblIdeal, Mode::Cdp, Mode::Dtbl});
 
     Table t({"benchmark", "CDPI", "DTBLI", "CDP", "DTBL", "lat dCDP",
              "lat dDTBL"});

@@ -10,64 +10,21 @@
  */
 
 #include <cstdio>
-#include <cstdlib>
-#include <cstring>
-#include <string>
 #include <vector>
 
 #include "eval_common.hh"
 #include "harness/report.hh"
-#include "stats/profiler.hh"
 
 using namespace dtbl;
 
 int
 main(int argc, char **argv)
 {
-    // --check[=N]: runtime sanitizer level (default 3 = full); check
-    // errors abort the sweep. --bench <id>: restrict to one benchmark.
-    // --profile[=W]: PMU interval profiling at window W (default 512);
-    // --profile-out <dir>: write per-run profiler timelines + reports.
-    // --results-out <path>: write the sweep metrics as a schema-v3 CSV.
-    std::string traceDir;
-    std::string profileDir;
-    std::string resultsOut;
-    std::vector<std::string> ids;
-    int checkLevel = 0;
-    Cycle profileWindow = 0;
-    bool profile = false;
-    for (int i = 1; i < argc; ++i) {
-        if (std::strcmp(argv[i], "--trace-out") == 0 && i + 1 < argc)
-            traceDir = argv[++i];
-        else if (std::strcmp(argv[i], "--profile-out") == 0 &&
-                 i + 1 < argc) {
-            profileDir = argv[++i];
-            profile = true;
-        } else if (std::strcmp(argv[i], "--results-out") == 0 &&
-                   i + 1 < argc)
-            resultsOut = argv[++i];
-        else if (std::strncmp(argv[i], "--profile", 9) == 0) {
-            profile = true;
-            if (argv[i][9] == '=')
-                profileWindow = Cycle(std::atoll(argv[i] + 10));
-        } else if (std::strcmp(argv[i], "--bench") == 0 && i + 1 < argc)
-            ids.push_back(argv[++i]);
-        else if (std::strncmp(argv[i], "--check", 7) == 0)
-            checkLevel = argv[i][7] == '=' ? std::atoi(argv[i] + 8) : 3;
-    }
-    if (profile && profileWindow == 0)
-        profileWindow = kDefaultProfileWindow;
-
+    // Shared figure-binary CLI (SweepOptions in eval_common.hh).
+    const SweepOptions opts = SweepOptions::parse(argc, argv);
     const std::vector<Mode> modes = {Mode::CdpIdeal, Mode::DtblIdeal,
                                      Mode::Cdp, Mode::Dtbl};
-    const auto rows =
-        ids.empty()
-            ? runSweep(modes, GpuConfig::k20c(), traceDir, checkLevel,
-                       profileWindow, profileDir)
-            : runSweep(ids, modes, GpuConfig::k20c(), traceDir,
-                       checkLevel, profileWindow, profileDir);
-    if (!resultsOut.empty())
-        writeMetricsCsv(rows, resultsOut);
+    const auto rows = runSweep(opts, modes);
 
     Table t({"benchmark", "CDPI", "DTBLI", "CDP", "DTBL", "DTBL/CDP"});
     std::vector<double> ratio;

@@ -16,9 +16,10 @@
 using namespace dtbl;
 
 int
-main()
+main(int argc, char **argv)
 {
-    const auto rows = runSweep({Mode::Cdp, Mode::Dtbl});
+    const SweepOptions opts = SweepOptions::parse(argc, argv);
+    const auto rows = runSweep(opts, {Mode::Cdp, Mode::Dtbl});
 
     Table t({"benchmark", "CDP peak (KB)", "DTBL peak (KB)",
              "reduction (KB)", "reduction (%)"});

@@ -18,10 +18,11 @@
 using namespace dtbl;
 
 int
-main()
+main(int argc, char **argv)
 {
-    const auto rows = runSweep({Mode::Flat, Mode::CdpIdeal,
-                                Mode::DtblIdeal, Mode::Cdp, Mode::Dtbl});
+    const SweepOptions opts = SweepOptions::parse(argc, argv);
+    const auto rows = runSweep(opts, {Mode::Flat, Mode::CdpIdeal,
+                                      Mode::DtblIdeal, Mode::Cdp, Mode::Dtbl});
 
     Table t({"benchmark", "CDPI", "DTBLI", "CDP", "DTBL"});
     std::vector<double> sp[4];

@@ -15,15 +15,23 @@
 using namespace dtbl;
 
 int
-main()
+main(int argc, char **argv)
 {
+    SweepOptions opts = SweepOptions::parse(argc, argv);
+    const std::string resultsOut = opts.resultsOut;
     const unsigned sizes[3] = {512, 1024, 2048};
     std::vector<EvalRow> sweeps[3];
     for (int i = 0; i < 3; ++i) {
         GpuConfig cfg = GpuConfig::k20c();
         cfg.agtSize = sizes[i];
+        // One CSV per AGT size: rows carry no config column, so a
+        // combined file could not be told apart.
+        if (!resultsOut.empty()) {
+            opts.resultsOut = resultsOut + ".agt" +
+                              std::to_string(sizes[i]) + ".csv";
+        }
         std::fprintf(stderr, "AGT size %u:\n", sizes[i]);
-        sweeps[i] = runSweep({Mode::Dtbl}, cfg);
+        sweeps[i] = runSweep(opts, {Mode::Dtbl}, cfg);
     }
 
     Table t({"benchmark", "512", "1024", "2048", "overflow@1024"});

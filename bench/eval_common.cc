@@ -1,12 +1,71 @@
 #include "eval_common.hh"
 
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 #include <filesystem>
 
 #include "apps/registry.hh"
 #include "common/log.hh"
+#include "stats/profiler.hh"
 
 namespace dtbl {
+
+SweepOptions
+SweepOptions::parse(int argc, char **argv)
+{
+    SweepOptions o;
+    bool profile = false;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--trace-out") == 0 && i + 1 < argc) {
+            o.traceDir = argv[++i];
+        } else if (std::strcmp(argv[i], "--profile-out") == 0 &&
+                   i + 1 < argc) {
+            o.profileDir = argv[++i];
+            profile = true;
+        } else if (std::strcmp(argv[i], "--results-out") == 0 &&
+                   i + 1 < argc) {
+            o.resultsOut = argv[++i];
+        } else if (std::strncmp(argv[i], "--profile", 9) == 0) {
+            profile = true;
+            if (argv[i][9] == '=')
+                o.profileWindow = Cycle(std::atoll(argv[i] + 10));
+        } else if (std::strcmp(argv[i], "--bench") == 0 && i + 1 < argc) {
+            o.ids.push_back(argv[++i]);
+        } else if (std::strncmp(argv[i], "--check", 7) == 0) {
+            o.checkLevel = argv[i][7] == '=' ? std::atoi(argv[i] + 8) : 3;
+        } else if (std::strcmp(argv[i], "--no-contention") == 0) {
+            o.modelMemContention = false;
+        }
+    }
+    if (profile && o.profileWindow == 0)
+        o.profileWindow = kDefaultProfileWindow;
+    return o;
+}
+
+GpuConfig
+SweepOptions::config(GpuConfig base) const
+{
+    base.modelMemContention = modelMemContention;
+    return base;
+}
+
+std::vector<EvalRow>
+runSweep(const SweepOptions &opts, const std::vector<Mode> &modes,
+         const GpuConfig &base)
+{
+    const GpuConfig cfg = opts.config(base);
+    const auto rows =
+        opts.ids.empty()
+            ? runSweep(modes, cfg, opts.traceDir, opts.checkLevel,
+                       opts.profileWindow, opts.profileDir)
+            : runSweep(opts.ids, modes, cfg, opts.traceDir,
+                       opts.checkLevel, opts.profileWindow,
+                       opts.profileDir);
+    if (!opts.resultsOut.empty())
+        writeMetricsCsv(rows, opts.resultsOut);
+    return rows;
+}
 
 std::vector<EvalRow>
 runSweep(const std::vector<std::string> &ids,

@@ -53,8 +53,44 @@ std::vector<EvalRow> runSweep(const std::vector<std::string> &ids,
                               const std::string &profile_dir = {});
 
 /**
+ * Command-line options shared by every figure binary:
+ *   --bench <id>          restrict to one benchmark (repeatable)
+ *   --trace-out <dir>     stream per-run Chrome traces
+ *   --check[=N]           runtime sanitizer level (default 3 = full)
+ *   --profile[=W]         PMU interval profiling at window W
+ *   --profile-out <dir>   write per-run profiler timelines + reports
+ *   --results-out <path>  write sweep metrics as a schema-v4 CSV
+ *   --no-contention       flat-latency memory model (regression runs)
+ * Unknown arguments are ignored so binaries can add their own.
+ */
+struct SweepOptions
+{
+    std::string traceDir;
+    std::string profileDir;
+    std::string resultsOut;
+    std::vector<std::string> ids;
+    int checkLevel = 0;
+    Cycle profileWindow = 0;
+    bool modelMemContention = true;
+
+    static SweepOptions parse(int argc, char **argv);
+
+    /** @p base with the config-level switches applied. */
+    GpuConfig config(GpuConfig base = GpuConfig::k20c()) const;
+};
+
+/**
+ * Run the sweep described by @p opts (all Table 4 benchmarks unless
+ * --bench was given) and, when --results-out was set, write the metrics
+ * CSV. @p base is taken before opts' config switches are applied.
+ */
+std::vector<EvalRow> runSweep(const SweepOptions &opts,
+                              const std::vector<Mode> &modes,
+                              const GpuConfig &base = GpuConfig::k20c());
+
+/**
  * Write one MetricsReport::csvRow() per (bench, mode) of @p rows to
- * @p path, preceded by MetricsReport::csvHeader() (schema v3).
+ * @p path, preceded by MetricsReport::csvHeader() (schema v4).
  */
 void writeMetricsCsv(const std::vector<EvalRow> &rows,
                      const std::string &path);

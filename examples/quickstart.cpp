@@ -29,11 +29,14 @@ main(int argc, char **argv)
     // --profile[=W]: enable the PMU interval profiler (window W cycles,
     // default 512). --profile-out <dir>: write the sampled timelines
     // (csv/json) and the nvprof-style text report there.
+    // --no-contention: flat-latency memory model (no MSHR merging or L2
+    // bank contention), for regression comparison against old runs.
     std::string traceOut;
     std::string profileOut;
     int checkLevel = 0;
     Cycle profileWindow = 0;
     bool profile = false;
+    bool contention = true;
     for (int i = 1; i < argc; ++i) {
         if (std::strcmp(argv[i], "--trace-out") == 0 && i + 1 < argc) {
             traceOut = argv[++i];
@@ -48,6 +51,8 @@ main(int argc, char **argv)
         } else if (std::strncmp(argv[i], "--check", 7) == 0) {
             checkLevel = argv[i][7] == '=' ? std::atoi(argv[i] + 8)
                                            : int(CheckLevel::Full);
+        } else if (std::strcmp(argv[i], "--no-contention") == 0) {
+            contention = false;
         }
     }
 
@@ -82,7 +87,9 @@ main(int argc, char **argv)
                 prog.function(saxpy).disassemble().c_str());
 
     // --- 2. Create the device and upload data -------------------------
-    Gpu gpu(GpuConfig::k20c(), prog);
+    GpuConfig cfg = GpuConfig::k20c();
+    cfg.modelMemContention = contention;
+    Gpu gpu(cfg, prog);
     if (!traceOut.empty() && gpu.trace().openJson(traceOut))
         std::printf("writing Chrome trace to %s\n", traceOut.c_str());
     if (checkLevel > 0)

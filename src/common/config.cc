@@ -37,6 +37,16 @@ GpuConfig::validate() const
         DTBL_FATAL("need at least one warp scheduler per SMX");
     if (dram.numPartitions == 0 || dram.banksPerPartition == 0)
         DTBL_FATAL("DRAM needs at least one partition and bank");
+    if (modelMemContention) {
+        if (l1MshrEntries == 0 || l2MshrEntries == 0)
+            DTBL_FATAL("MSHR entry counts must be > 0 when the "
+                       "contention model is on");
+        if (mshrMergeWidth == 0)
+            DTBL_FATAL("mshrMergeWidth must be > 0 (it includes the "
+                       "primary miss)");
+        if (l2Banks == 0)
+            DTBL_FATAL("need at least one L2 bank");
+    }
 }
 
 std::string
@@ -59,7 +69,9 @@ GpuConfig::summary() const
        << "\n"
        << "AGT entries                              " << agtSize << "\n"
        << "Launch latency modeled                   "
-       << (modelLaunchLatency ? "yes" : "no (ideal)") << "\n";
+       << (modelLaunchLatency ? "yes" : "no (ideal)") << "\n"
+       << "Memory contention modeled                "
+       << (modelMemContention ? "yes" : "no (flat latency)") << "\n";
     return os.str();
 }
 

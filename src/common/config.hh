@@ -103,6 +103,36 @@ struct GpuConfig
     /** Shared-memory access latency. */
     Cycle sharedMemLatency = 24;
 
+    // --- Memory contention model (MSHR + banked L2 port) -------------
+    /**
+     * Model MSHR miss-merging and banked L2 port contention. When
+     * false, every path below is bypassed and the hierarchy reverts to
+     * the flat per-transaction latency model (bit-identical timing,
+     * stats and trace to the pre-MSHR simulator) for regression
+     * comparison.
+     */
+    bool modelMemContention = true;
+    /** Miss-status holding registers per L1 (GK110-class per-SMX). */
+    unsigned l1MshrEntries = 32;
+    /** MSHRs at the shared L2 (all slices combined). */
+    unsigned l2MshrEntries = 128;
+    /**
+     * Requests that can share one in-flight fill, primary miss
+     * included; requests beyond the width wait for the fill to retire
+     * (counted as MSHR stall cycles, not merges).
+     */
+    unsigned mshrMergeWidth = 8;
+    /** Address-interleaved L2 ports; GK110 pairs two per partition. */
+    unsigned l2Banks = 12;
+    /** Port occupancy per 128B transaction; conflicts serialize. */
+    Cycle l2BankBusyCycles = 4;
+    /**
+     * DRAM-data-return to requester forwarding latency on an L2 fill
+     * (critical-word-first bypass). The flat model instead re-charges
+     * the full L2 pipeline (l2.hitLatency) after the DRAM round trip.
+     */
+    Cycle l2FillForwardCycles = 30;
+
     // --- Execution latencies ----------------------------------------
     Cycle aluLatency = 1;      //!< issue-to-issue for simple ALU ops
     Cycle sfuLatency = 8;      //!< div/rem/transcendental issue cost

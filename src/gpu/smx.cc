@@ -504,11 +504,19 @@ Smx::execMemory(Warp &w, const Instruction &inst, ActiveMask exec,
                           readOperand(w, inst.src[1], lane), inst.width);
             }
         }
+        Cycle accept = now;
         for (Addr seg : coalescer_.coalesce(addrs, exec, inst.width))
-            gpu_.memSys().store(id_, seg, now);
-        // Stores retire through the write queue without stalling.
-        w.readyCycle = now + cfg_.aluLatency;
-        w.stallClass = StallReason::PipelineBusy;
+            accept = std::max(accept, gpu_.memSys().store(id_, seg, now));
+        // Stores retire through the write queue without stalling —
+        // unless the contention model delays write-buffer acceptance
+        // (L2 bank-port queuing), which back-pressures the warp.
+        if (cfg_.modelMemContention && accept > now + cfg_.aluLatency) {
+            w.readyCycle = accept;
+            w.stallClass = StallReason::MemoryPending;
+        } else {
+            w.readyCycle = now + cfg_.aluLatency;
+            w.stallClass = StallReason::PipelineBusy;
+        }
     } else { // Atom
         for (unsigned lane = 0; lane < warpSize; ++lane) {
             if (!(exec & (1u << lane)))

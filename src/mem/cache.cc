@@ -84,6 +84,16 @@ Cache::invalidate(Addr addr)
 }
 
 void
+Cache::markDirty(Addr addr)
+{
+    const Addr lineAddr = addr / cfg_.lineBytes;
+    const std::uint32_t set = std::uint32_t(lineAddr % numSets_);
+    const Addr tag = lineAddr / numSets_;
+    if (Line *line = findLine(tag, set))
+        line->dirty = true;
+}
+
+void
 Cache::reset()
 {
     for (auto &l : lines_)

@@ -48,6 +48,16 @@ class Cache
     /** Invalidate the line containing @p addr if present (atomics). */
     void invalidate(Addr addr);
 
+    /**
+     * Mark the line containing @p addr dirty without touching LRU or
+     * allocating (atomics' read-modify-write: the read already probed
+     * the tags; a full second access() would double-touch LRU state
+     * and could silently drop a victim writeback). No-op when the line
+     * is absent — an in-flight fill's line can have been evicted by an
+     * interleaved access before the atomic's write half lands.
+     */
+    void markDirty(Addr addr);
+
     Cycle hitLatency() const { return cfg_.hitLatency; }
     std::uint32_t lineBytes() const { return cfg_.lineBytes; }
     std::uint32_t numSets() const { return numSets_; }

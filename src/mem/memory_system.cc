@@ -1,6 +1,7 @@
 #include "mem/memory_system.hh"
 
 #include <algorithm>
+#include <string>
 
 #include "common/log.hh"
 
@@ -10,12 +11,42 @@ MemorySystem::MemorySystem(const GpuConfig &cfg, SimStats &stats,
                            TraceSink *trace, Pmu *pmu)
     : cfg_(cfg), stats_(stats), trace_(trace),
       l2_(cfg.l2, Cache::WritePolicy::WriteBack),
-      dram_(cfg.dram, cfg.l2.lineBytes, trace, pmu)
+      dram_(cfg.dram, cfg.l2.lineBytes, trace, pmu),
+      l2Mshr_(cfg.l2MshrEntries, cfg.mshrMergeWidth),
+      bankBusyUntil_(std::max(1u, cfg.l2Banks), 0),
+      bankConflictCounts_(std::max(1u, cfg.l2Banks), 0)
 {
     l1s_.reserve(cfg.numSmx);
-    for (unsigned i = 0; i < cfg.numSmx; ++i)
+    l1Mshrs_.reserve(cfg.numSmx);
+    for (unsigned i = 0; i < cfg.numSmx; ++i) {
         l1s_.emplace_back(cfg.l1, Cache::WritePolicy::WriteThrough);
+        l1Mshrs_.emplace_back(cfg.l1MshrEntries, cfg.mshrMergeWidth);
+    }
+    if (pmu) {
+        pmu->probe("l1.mshr_merges", PmuUnit::Mem,
+                   [this] { return stats_.l1MshrMerges; });
+        pmu->probe("l2.mshr_merges", PmuUnit::Mem,
+                   [this] { return stats_.l2MshrMerges; });
+        pmu->probe("mem.mshr_stall_cycles", PmuUnit::Mem,
+                   [this] { return stats_.mshrStallCycles; });
+        pmu->probe("l2.bank_conflicts", PmuUnit::Mem,
+                   [this] { return stats_.l2BankConflicts; });
+        for (unsigned b = 0; b < cfg.l2Banks; ++b) {
+            pmu->probe("l2.b" + std::to_string(b) + ".conflicts",
+                       PmuUnit::Mem,
+                       [this, b] { return bankConflictCounts_[b]; },
+                       std::int32_t(b));
+        }
+        PmuHistogram *l1Occ =
+            pmu->histogram("l1.mshr_occupancy", PmuUnit::Mem);
+        for (Mshr &m : l1Mshrs_)
+            m.setOccupancyHistogram(l1Occ);
+        l2Mshr_.setOccupancyHistogram(
+            pmu->histogram("l2.mshr_occupancy", PmuUnit::Mem));
+    }
 }
+
+// --- flat-latency path (pre-MSHR model, kept bit-for-bit) ---------------
 
 Cycle
 MemorySystem::accessL2(Addr addr, bool is_write, Cycle now)
@@ -38,10 +69,154 @@ MemorySystem::accessL2(Addr addr, bool is_write, Cycle now)
     return dramDone + cfg_.l2.hitLatency;
 }
 
+// --- contention path (MSHR merge + banked L2 port) ----------------------
+
+Cycle
+MemorySystem::l2PortGrant(Addr line, Cycle now)
+{
+    const unsigned bank = unsigned(line % bankBusyUntil_.size());
+    const Cycle start = std::max(now, bankBusyUntil_[bank]);
+    if (start > now) {
+        ++stats_.l2BankConflicts;
+        ++bankConflictCounts_[bank];
+        TraceSink::emit(trace_, now, TraceEvent::L2BankConflict,
+                        traceLaneMem, bank, start - now);
+    }
+    bankBusyUntil_[bank] = start + cfg_.l2BankBusyCycles;
+    return start;
+}
+
+Cycle
+MemorySystem::accessL2Contended(Addr addr, bool is_write, Cycle now)
+{
+    const Addr line = addr / cfg_.l2.lineBytes;
+    const Cycle start = l2PortGrant(line, now);
+    if (!is_write) {
+        if (Mshr::Entry *e = l2Mshr_.find(line, start)) {
+            // Secondary miss: the line's fill is still in flight.
+            if (l2Mshr_.merge(*e)) {
+                ++stats_.l2MshrMerges;
+                TraceSink::emit(trace_, start, TraceEvent::MshrMerge,
+                                traceLaneMem, 2, addr);
+                return std::max(e->fillDone, start + cfg_.l2.hitLatency);
+            }
+            // Merge width exhausted: wait for the fill to retire, then
+            // the re-probe hits in the tag array.
+            const Cycle wait = e->fillDone - start;
+            l2Mshr_.noteStall(wait);
+            stats_.mshrStallCycles += wait;
+            return e->fillDone + cfg_.l2.hitLatency;
+        }
+    }
+    const auto res = l2_.access(addr, is_write);
+    if (res.writeback)
+        dram_.access(res.writebackAddr, true, start);
+    if (res.hit) {
+        ++stats_.l2Hits;
+        return start + cfg_.l2.hitLatency;
+    }
+    ++stats_.l2Misses;
+    TraceSink::emit(trace_, start, TraceEvent::L2Miss, traceLaneMem,
+                    is_write, addr);
+    if (is_write) {
+        // Write-allocate without fetch: accepted after L2 pipeline.
+        return start + cfg_.l2.hitLatency;
+    }
+    // Primary miss: occupy an L2 MSHR for the DRAM round trip; a full
+    // file delays the DRAM issue until the earliest entry retires.
+    Cycle issue = start;
+    if (l2Mshr_.full(start)) {
+        const Cycle free = l2Mshr_.nextFree();
+        const Cycle wait = free - start;
+        l2Mshr_.noteStall(wait);
+        stats_.mshrStallCycles += wait;
+        issue = free;
+    }
+    const Cycle dramDone = dram_.access(addr, false, issue);
+    // Critical-word-first fill bypass: the requester gets its data
+    // l2FillForwardCycles after DRAM data return instead of re-paying
+    // the whole L2 pipeline like the flat path does.
+    const Cycle fillDone = dramDone + cfg_.l2FillForwardCycles;
+    l2Mshr_.allocate(line, fillDone, issue);
+    return fillDone;
+}
+
+Cycle
+MemorySystem::loadContended(unsigned smx, Addr addr, Cycle now)
+{
+    const Addr line = addr / cfg_.l1.lineBytes;
+    Mshr &mshr = l1Mshrs_[smx];
+    const auto res = l1s_[smx].access(addr, false);
+    const Cycle l1Done = now + cfg_.l1.hitLatency;
+    if (Mshr::Entry *e = mshr.find(line, now)) {
+        // The line's fill is still in flight: a secondary miss. Tags
+        // allocate at the primary miss so this usually probes as a hit
+        // (the flat model's fake hit), but an interleaved miss can have
+        // evicted the line meanwhile — the pending fill serves the
+        // request either way. Merge onto it instead of re-fetching.
+        if (mshr.merge(*e)) {
+            ++stats_.l1MshrMerges;
+            TraceSink::emit(trace_, now, TraceEvent::MshrMerge,
+                            traceLaneMem, 1, addr);
+            return std::max(e->fillDone, l1Done);
+        }
+        // Merge width exhausted: wait out the fill, then re-probe hits.
+        const Cycle wait = e->fillDone - now;
+        mshr.noteStall(wait);
+        stats_.mshrStallCycles += wait;
+        return e->fillDone + cfg_.l1.hitLatency;
+    }
+    if (res.hit) {
+        ++stats_.l1Hits;
+        return l1Done;
+    }
+    ++stats_.l1Misses;
+    TraceSink::emit(trace_, now, TraceEvent::L1Miss, traceLaneMem, smx,
+                    addr);
+    // Primary miss: needs a free MSHR before the request can leave the
+    // SMX; exhaustion back-pressures the warp until one retires.
+    Cycle issue = now + cfg_.l1.hitLatency;
+    if (mshr.full(now)) {
+        const Cycle free = mshr.nextFree();
+        const Cycle wait = free - now;
+        mshr.noteStall(wait);
+        stats_.mshrStallCycles += wait;
+        issue = std::max(issue, free);
+    }
+    const Cycle fillDone = accessL2Contended(addr, false, issue);
+    mshr.allocate(line, fillDone, issue);
+    return fillDone;
+}
+
+Cycle
+MemorySystem::storeContended(unsigned smx, Addr addr, Cycle now)
+{
+    // Write-through: update L1 if present, always go to L2.
+    const auto res = l1s_[smx].access(addr, true);
+    if (res.hit) {
+        ++stats_.l1Hits;
+    } else {
+        ++stats_.l1Misses;
+        TraceSink::emit(trace_, now, TraceEvent::L1Miss, traceLaneMem, smx,
+                        addr);
+    }
+    const Cycle reqStart = now + cfg_.l1.hitLatency;
+    const Cycle done = accessL2Contended(addr, true, reqStart);
+    // Write path returns grant + L2 pipeline; the store is *accepted*
+    // (write buffer slot granted) as soon as the bank port is, so only
+    // the queuing delay back-pressures the warp.
+    const Cycle queue = done - (reqStart + cfg_.l2.hitLatency);
+    return now + queue;
+}
+
+// --- public entry points ------------------------------------------------
+
 Cycle
 MemorySystem::load(unsigned smx, Addr addr, Cycle now)
 {
     DTBL_ASSERT(smx < l1s_.size());
+    if (cfg_.modelMemContention)
+        return loadContended(smx, addr, now);
     const auto res = l1s_[smx].access(addr, false);
     if (res.hit) {
         ++stats_.l1Hits;
@@ -57,6 +232,8 @@ Cycle
 MemorySystem::store(unsigned smx, Addr addr, Cycle now)
 {
     DTBL_ASSERT(smx < l1s_.size());
+    if (cfg_.modelMemContention)
+        return storeContended(smx, addr, now);
     // Write-through: update L1 if present, always go to L2.
     const auto res = l1s_[smx].access(addr, true);
     if (res.hit) {
@@ -77,8 +254,13 @@ MemorySystem::atomic(unsigned smx, Addr addr, Cycle now)
     // invalidating (other SMXs' stale L1 lines are a timing-only
     // artifact since data is functional-at-issue).
     l1s_[smx].invalidate(addr);
-    const Cycle done = accessL2(addr, false, now);
-    l2_.access(addr, true); // mark the line dirty (read-modify-write)
+    const Cycle done = cfg_.modelMemContention
+                           ? accessL2Contended(addr, false, now)
+                           : accessL2(addr, false, now);
+    // Mark the read-modify-write's line dirty without a second tag
+    // access: the old double access() bumped LRU state twice and would
+    // have dropped any victim writeback it produced.
+    l2_.markDirty(addr);
     return std::max(done, now + cfg_.atomicLatency);
 }
 

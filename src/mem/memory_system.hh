@@ -5,6 +5,17 @@
  * Timing-only: functional data lives in GlobalMemory and is read/written
  * at issue time by the SMX. Each call here models the latency of one
  * coalesced 128B transaction.
+ *
+ * Two timing paths exist, selected by GpuConfig::modelMemContention:
+ *  - the flat path charges every transaction the full independent
+ *    L1 -> L2 -> DRAM latency (the original model, kept bit-for-bit for
+ *    regression comparison);
+ *  - the contention path adds per-L1 and shared-L2 MSHR files
+ *    (mem/mshr.hh) so a second request to an in-flight line merges onto
+ *    the pending fill, MSHR exhaustion back-pressures the requester,
+ *    and an address-interleaved banked L2 port serializes conflicting
+ *    transactions. L2 miss fills forward the critical word after
+ *    l2FillForwardCycles instead of re-charging the whole L2 pipeline.
  */
 
 #ifndef DTBL_MEM_MEMORY_SYSTEM_HH
@@ -16,6 +27,7 @@
 #include "common/config.hh"
 #include "mem/cache.hh"
 #include "mem/dram.hh"
+#include "mem/mshr.hh"
 #include "stats/metrics.hh"
 #include "stats/trace.hh"
 
@@ -32,7 +44,9 @@ class MemorySystem
 
     /**
      * Store transaction; returns the cycle at which the store has been
-     * accepted (stores do not block the warp past acceptance).
+     * accepted (stores do not block the warp past acceptance). Under
+     * the contention model acceptance is delayed by L2 bank-port
+     * queuing; the flat path accepts at the L2 pipeline exit as before.
      */
     Cycle store(unsigned smx, Addr addr, Cycle now);
 
@@ -47,9 +61,31 @@ class MemorySystem
 
     const Dram &dram() const { return dram_; }
 
+    /** L2 bank-port conflicts observed on @p bank (tests/PMU). */
+    std::uint64_t
+    bankConflicts(unsigned bank) const
+    {
+        return bankConflictCounts_[bank];
+    }
+
   private:
     /** L2 + DRAM portion shared by loads and L1 write-through stores. */
     Cycle accessL2(Addr addr, bool is_write, Cycle now);
+
+    // --- contention path ----------------------------------------------
+    Cycle loadContended(unsigned smx, Addr addr, Cycle now);
+    Cycle storeContended(unsigned smx, Addr addr, Cycle now);
+    /**
+     * Banked-port + MSHR L2/DRAM path. @p now is the cycle the request
+     * leaves the L1 (or the SMX for atomics). Writes return port
+     * acceptance + pipeline; reads return the fill-forward cycle.
+     */
+    Cycle accessL2Contended(Addr addr, bool is_write, Cycle now);
+    /**
+     * Arbitrate for the port of the bank holding @p line. Returns the
+     * grant cycle (>= @p now) and accounts/serializes conflicts.
+     */
+    Cycle l2PortGrant(Addr line, Cycle now);
 
     const GpuConfig &cfg_;
     SimStats &stats_;
@@ -57,6 +93,12 @@ class MemorySystem
     std::vector<Cache> l1s_;
     Cache l2_;
     Dram dram_;
+
+    std::vector<Mshr> l1Mshrs_;
+    Mshr l2Mshr_;
+    /** Per-bank cycle until which the port is occupied. */
+    std::vector<Cycle> bankBusyUntil_;
+    std::vector<std::uint64_t> bankConflictCounts_;
 };
 
 } // namespace dtbl

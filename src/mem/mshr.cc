@@ -1,0 +1,74 @@
+#include "mem/mshr.hh"
+
+#include "common/log.hh"
+
+namespace dtbl {
+
+void
+Mshr::prune(Cycle now)
+{
+    for (auto it = inflight_.begin(); it != inflight_.end();) {
+        if (it->second.fillDone <= now)
+            it = inflight_.erase(it);
+        else
+            ++it;
+    }
+}
+
+Mshr::Entry *
+Mshr::find(Addr line, Cycle now)
+{
+    prune(now);
+    auto it = inflight_.find(line);
+    return it == inflight_.end() ? nullptr : &it->second;
+}
+
+bool
+Mshr::full(Cycle now)
+{
+    prune(now);
+    return inflight_.size() >= entries_;
+}
+
+Cycle
+Mshr::nextFree() const
+{
+    DTBL_ASSERT(!inflight_.empty(), "nextFree on an empty MSHR file");
+    Cycle earliest = ~Cycle(0);
+    for (const auto &[line, e] : inflight_)
+        earliest = std::min(earliest, e.fillDone);
+    return earliest;
+}
+
+void
+Mshr::allocate(Addr line, Cycle fill_done, Cycle now)
+{
+    prune(now);
+    DTBL_ASSERT(inflight_.size() < entries_, "MSHR overflow");
+    DTBL_ASSERT(inflight_.find(line) == inflight_.end(),
+                "allocating an already-pending line");
+    inflight_.emplace(line, Entry{fill_done, 1});
+    ++allocations_;
+    PmuHistogram::note(occupancyHist_, inflight_.size());
+}
+
+bool
+Mshr::merge(Entry &e)
+{
+    if (e.requests >= mergeWidth_)
+        return false;
+    ++e.requests;
+    ++merges_;
+    return true;
+}
+
+void
+Mshr::reset()
+{
+    inflight_.clear();
+    allocations_ = 0;
+    merges_ = 0;
+    stallCycles_ = 0;
+}
+
+} // namespace dtbl

@@ -71,6 +71,11 @@ MetricsReport::from(const SimStats &s, const std::string &bench,
     if (s.l2Hits + s.l2Misses > 0)
         r.l2HitRate = double(s.l2Hits) / double(s.l2Hits + s.l2Misses);
 
+    r.l1MshrMerges = s.l1MshrMerges;
+    r.l2MshrMerges = s.l2MshrMerges;
+    r.mshrStallCycles = s.mshrStallCycles;
+    r.l2BankConflicts = s.l2BankConflicts;
+
     for (std::uint64_t v : s.stallSlotCycles)
         r.stallSlotCyclesTotal += v;
     if (r.stallSlotCyclesTotal > 0) {
@@ -104,6 +109,17 @@ MetricsReport::str() const
     if (traceEvents > 0) {
         os << " traceHash=0x" << std::hex << traceHash << std::dec
            << " traceEvents=" << traceEvents;
+    }
+    // Appended only when the contention model produced activity, so a
+    // modelMemContention=false line stays byte-identical to the flat
+    // model's output (the contention-off CI job diffs on this). Ordered
+    // before the profiling-gated fields to keep the unprofiled str() a
+    // prefix of the profiled one (PmuPurity relies on that).
+    if (l1MshrMerges + l2MshrMerges + mshrStallCycles + l2BankConflicts >
+        0) {
+        os << " mshrMerges=" << l1MshrMerges << "+" << l2MshrMerges
+           << " mshrStallCycles=" << mshrStallCycles
+           << " bankConflicts=" << l2BankConflicts;
     }
     if (stallSlotCyclesTotal > 0) {
         char buf[64];
@@ -193,7 +209,11 @@ MetricsReport::json() const
        << ",\n";
     os << "  \"sampledPeakAgtLive\": " << sampledPeakAgtLive << ",\n";
     os << "  \"sampledPeakPendingLaunchBytes\": "
-       << sampledPeakPendingLaunchBytes << "\n";
+       << sampledPeakPendingLaunchBytes << ",\n";
+    os << "  \"l1MshrMerges\": " << l1MshrMerges << ",\n";
+    os << "  \"l2MshrMerges\": " << l2MshrMerges << ",\n";
+    os << "  \"mshrStallCycles\": " << mshrStallCycles << ",\n";
+    os << "  \"l2BankConflicts\": " << l2BankConflicts << "\n";
     os << "}\n";
     return os.str();
 }
@@ -213,7 +233,9 @@ MetricsReport::csvHeader()
         h += stallReasonName(StallReason(i));
     }
     h += ",profile_samples,sampled_peak_resident_warps,"
-         "sampled_peak_agt_live,sampled_peak_pending_launch_bytes";
+         "sampled_peak_agt_live,sampled_peak_pending_launch_bytes,"
+         "l1_mshr_merges,l2_mshr_merges,mshr_stall_cycles,"
+         "l2_bank_conflicts";
     return h;
 }
 
@@ -233,7 +255,9 @@ MetricsReport::csvRow() const
     for (std::size_t i = 1; i < kNumStallReasons; ++i)
         os << ',' << jsonNum(stallPct[i]);
     os << ',' << profileSamples << ',' << sampledPeakResidentWarps << ','
-       << sampledPeakAgtLive << ',' << sampledPeakPendingLaunchBytes;
+       << sampledPeakAgtLive << ',' << sampledPeakPendingLaunchBytes
+       << ',' << l1MshrMerges << ',' << l2MshrMerges << ','
+       << mshrStallCycles << ',' << l2BankConflicts;
     return os.str();
 }
 

@@ -64,6 +64,16 @@ struct SimStats
     std::uint64_t l1Hits = 0, l1Misses = 0;
     std::uint64_t l2Hits = 0, l2Misses = 0;
 
+    // --- memory contention (zero with modelMemContention=false) ----------
+    /** Requests merged onto an in-flight L1 fill. */
+    std::uint64_t l1MshrMerges = 0;
+    /** Requests merged onto an in-flight L2 fill. */
+    std::uint64_t l2MshrMerges = 0;
+    /** Cycles requests waited on full MSHR files / exhausted widths. */
+    std::uint64_t mshrStallCycles = 0;
+    /** L2 transactions delayed by a busy bank port. */
+    std::uint64_t l2BankConflicts = 0;
+
     // --- issue-stall attribution (PMU) -----------------------------------
     /**
      * Warp-slot-cycles by StallReason, summed over all SMXs. Populated by
@@ -93,10 +103,11 @@ struct MetricsReport
 {
     /**
      * Version of the report's serialized layouts (json()/csvHeader()).
-     * v3 added the stall-attribution and profiler fields; readers should
-     * reject versions they do not know.
+     * v3 added the stall-attribution and profiler fields; v4 the MSHR /
+     * L2-bank contention fields; readers should reject versions they do
+     * not know.
      */
-    static constexpr int schemaVersion = 3;
+    static constexpr int schemaVersion = 4;
 
     std::string benchmark;
     std::string mode;
@@ -140,6 +151,12 @@ struct MetricsReport
     std::uint64_t sampledPeakResidentWarps = 0;
     std::uint64_t sampledPeakAgtLive = 0;
     std::uint64_t sampledPeakPendingLaunchBytes = 0;
+
+    // --- memory contention, v4 (zero with modelMemContention=false) ------
+    std::uint64_t l1MshrMerges = 0;
+    std::uint64_t l2MshrMerges = 0;
+    std::uint64_t mshrStallCycles = 0;
+    std::uint64_t l2BankConflicts = 0;
 
     /** Build the derived report from raw counters. */
     static MetricsReport from(const SimStats &s, const std::string &bench,

@@ -206,6 +206,60 @@ IntervalProfiler::textReport(const std::string &bench,
     if (anyKernel)
         os << '\n';
 
+    // --- windowed DRAM busy% (Figure 7 over time) -----------------------
+    // dram.p<i>.busy probes report cumulative covered-until-now cycles;
+    // the delta between consecutive samples over the window length is
+    // the utilisation of that window.
+    std::vector<std::size_t> parts;
+    for (std::int64_t i = 0;; ++i) {
+        const std::int64_t c =
+            pmu_.indexOf("dram.p" + std::to_string(i) + ".busy");
+        if (c < 0)
+            break;
+        parts.push_back(std::size_t(c));
+    }
+    if (!parts.empty() && cycles_.size() >= 2) {
+        os << "windowed DRAM busy% (delta of consecutive busy samples)\n"
+           << "  window (cycles)           all";
+        for (std::size_t p = 0; p < parts.size(); ++p) {
+            char buf[16];
+            std::snprintf(buf, sizeof buf, "     p%zu", p);
+            os << buf;
+        }
+        os << '\n';
+        // Coarsen long timelines so the report stays bounded.
+        const std::size_t intervals = cycles_.size() - 1;
+        constexpr std::size_t kMaxRows = 24;
+        const std::size_t step = (intervals + kMaxRows - 1) / kMaxRows;
+        for (std::size_t j = 0; j < intervals; j += step) {
+            const std::size_t k = std::min(j + step, intervals);
+            const Cycle span = cycles_[k] - cycles_[j];
+            if (span == 0)
+                continue;
+            char head[48];
+            std::snprintf(head, sizeof head,
+                          "  [%10" PRIu64 ", %10" PRIu64 ")", cycles_[j],
+                          cycles_[k]);
+            os << head;
+            std::uint64_t sum = 0;
+            std::string cols;
+            for (std::size_t c : parts) {
+                const std::uint64_t d = series_[c][k] - series_[c][j];
+                sum += d;
+                char buf[16];
+                std::snprintf(buf, sizeof buf, " %6.1f",
+                              100.0 * double(d) / double(span));
+                cols += buf;
+            }
+            char buf[16];
+            std::snprintf(buf, sizeof buf, " %6.1f",
+                          100.0 * double(sum) /
+                              double(span * parts.size()));
+            os << buf << cols << '\n';
+        }
+        os << '\n';
+    }
+
     // --- sampled peaks --------------------------------------------------
     os << "sampled peaks (max over " << cycles_.size() << " samples)\n";
     for (const char *name :

@@ -27,6 +27,8 @@ traceEventName(TraceEvent ev)
       case TraceEvent::L2Miss: return "L2Miss";
       case TraceEvent::DramRead: return "DramRead";
       case TraceEvent::DramWrite: return "DramWrite";
+      case TraceEvent::MshrMerge: return "MshrMerge";
+      case TraceEvent::L2BankConflict: return "L2BankConflict";
     }
     return "?";
 }
@@ -57,6 +59,8 @@ traceEventCategory(TraceEvent ev)
       case TraceEvent::L2Miss:
       case TraceEvent::DramRead:
       case TraceEvent::DramWrite:
+      case TraceEvent::MshrMerge:
+      case TraceEvent::L2BankConflict:
         return "mem";
     }
     return "?";

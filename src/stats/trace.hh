@@ -65,9 +65,16 @@ enum class TraceEvent : std::uint8_t
     L2Miss,
     DramRead,
     DramWrite,
+    // Contention model (appended so earlier events keep their encoded
+    // values and contention-off trace hashes stay comparable across
+    // simulator versions).
+    /** Request merged onto an in-flight fill; arg0 = level (1/2). */
+    MshrMerge,
+    /** L2 bank port busy; arg0 = bank, arg1 = wait cycles. */
+    L2BankConflict,
 };
 
-constexpr std::size_t kNumTraceEvents = 17;
+constexpr std::size_t kNumTraceEvents = 19;
 
 /** Stable display name ("AgtInsert", ...). */
 const char *traceEventName(TraceEvent ev);

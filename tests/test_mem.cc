@@ -1,17 +1,23 @@
 /**
  * @file
  * Unit tests for the memory subsystem: backing store, caches, DRAM
- * timing model and the coalescer (including parameterized
- * pattern-property sweeps).
+ * timing model, the coalescer (including parameterized
+ * pattern-property sweeps), MSHRs and the contended memory system —
+ * plus the flat-path invariance goldens that pin
+ * modelMemContention=false to the pre-MSHR model bit for bit.
  */
 
 #include <gtest/gtest.h>
 
+#include "apps/registry.hh"
 #include "common/rng.hh"
+#include "harness/runner.hh"
 #include "mem/cache.hh"
 #include "mem/coalescer.hh"
 #include "mem/dram.hh"
 #include "mem/global_memory.hh"
+#include "mem/memory_system.hh"
+#include "mem/mshr.hh"
 #include "stats/pmu.hh"
 
 using namespace dtbl;
@@ -154,6 +160,25 @@ TEST(Cache, CleanEvictionHasNoWriteback)
     const auto res = c.access(0x0000 + 512, false);
     EXPECT_FALSE(res.hit);
     EXPECT_FALSE(res.writeback);
+}
+
+TEST(Cache, MarkDirtyCausesWritebackOnEviction)
+{
+    Cache c({512, 128, 1, 10}, Cache::WritePolicy::WriteBack);
+    c.access(0x0000, false); // clean fill
+    c.markDirty(0x0000);
+    const auto res = c.access(0x0000 + 512, false);
+    EXPECT_TRUE(res.writeback);
+    EXPECT_EQ(res.writebackAddr, 0x0000u);
+}
+
+TEST(Cache, MarkDirtyOnAbsentLineIsNoOp)
+{
+    Cache c({512, 128, 1, 10}, Cache::WritePolicy::WriteBack);
+    c.markDirty(0x4000);
+    EXPECT_FALSE(c.access(0x4000, false).hit); // was never allocated
+    // ... and the clean fill above writes nothing back when evicted.
+    EXPECT_FALSE(c.access(0x4000 + 512, false).writeback);
 }
 
 TEST(Cache, InvalidateRemovesLine)
@@ -306,3 +331,196 @@ TEST(Coalescer, DeduplicatesAcrossLanes)
         addrs[i] = 0x1000 + (i % 2) * 128;
     EXPECT_EQ(c.coalesce(addrs, fullMask, 4).size(), 2u);
 }
+
+// --- MSHR file ----------------------------------------------------------
+
+TEST(Mshr, MergeWidthExhausts)
+{
+    Mshr m(4, 2); // one merge slot besides the primary miss
+    m.allocate(7, 100, 0);
+    Mshr::Entry *e = m.find(7, 1);
+    ASSERT_NE(e, nullptr);
+    EXPECT_TRUE(m.merge(*e));
+    EXPECT_FALSE(m.merge(*e));
+    EXPECT_EQ(m.merges(), 1u);
+    EXPECT_EQ(m.allocations(), 1u);
+}
+
+TEST(Mshr, RetiredEntriesPruneAndFree)
+{
+    Mshr m(2, 8);
+    m.allocate(1, 50, 0);
+    m.allocate(2, 80, 0);
+    EXPECT_TRUE(m.full(0));
+    EXPECT_EQ(m.nextFree(), 50u);
+    EXPECT_EQ(m.find(1, 50), nullptr); // retired at its fillDone
+    EXPECT_FALSE(m.full(50));
+    EXPECT_NE(m.find(2, 50), nullptr); // still in flight
+}
+
+// --- MemorySystem contention path ---------------------------------------
+
+TEST(MemorySystem, SecondaryMissMergesOntoPendingFill)
+{
+    GpuConfig cfg = GpuConfig::k20c();
+    SimStats stats;
+    MemorySystem ms(cfg, stats, nullptr, nullptr);
+    const Cycle d1 = ms.load(0, 0x10000, 0);
+    const Cycle d2 = ms.load(0, 0x10000, 1); // same line, fill pending
+    EXPECT_EQ(stats.l1MshrMerges, 1u);
+    EXPECT_EQ(stats.l1Misses, 1u); // the merge is neither hit nor miss
+    EXPECT_EQ(stats.l1Hits, 0u);
+    EXPECT_EQ(d2, d1); // completes with the fill, no second round trip
+    ms.finalizeInto(stats);
+    EXPECT_EQ(stats.dramReads, 1u);
+}
+
+TEST(MemorySystem, MshrExhaustionBackPressures)
+{
+    GpuConfig cfg = GpuConfig::k20c();
+    cfg.l1MshrEntries = 1;
+    SimStats stats;
+    MemorySystem ms(cfg, stats, nullptr, nullptr);
+    const Cycle d1 = ms.load(0, 0x10000, 0);
+    const Cycle d2 = ms.load(0, 0x20000, 1); // different line, file full
+    EXPECT_GT(stats.mshrStallCycles, 0u);
+    EXPECT_GT(d2, d1); // could not issue before the first entry retired
+    ms.finalizeInto(stats);
+    EXPECT_EQ(stats.dramReads, 2u); // both are primary misses
+}
+
+TEST(MemorySystem, SingleBankSerializesConcurrentAccesses)
+{
+    GpuConfig cfg = GpuConfig::k20c();
+    cfg.l2Banks = 1;
+    SimStats stats;
+    MemorySystem ms(cfg, stats, nullptr, nullptr);
+    const Cycle d1 = ms.load(0, 0x10000, 0);
+    const Cycle d2 = ms.load(1, 0x20000, 0); // other SMX, same cycle
+    EXPECT_GE(stats.l2BankConflicts, 1u);
+    EXPECT_EQ(ms.bankConflicts(0), stats.l2BankConflicts);
+    EXPECT_GT(d2, d1); // port grant pushed behind the first access
+}
+
+TEST(MemorySystem, FlatPathHasNoContentionEffects)
+{
+    GpuConfig cfg = GpuConfig::k20c();
+    cfg.modelMemContention = false;
+    SimStats stats;
+    MemorySystem ms(cfg, stats, nullptr, nullptr);
+    ms.load(0, 0x10000, 0);
+    ms.load(0, 0x10000, 1); // fake-hits on the tag allocated at miss
+    ms.load(1, 0x20000, 1);
+    EXPECT_EQ(stats.l1MshrMerges, 0u);
+    EXPECT_EQ(stats.l2MshrMerges, 0u);
+    EXPECT_EQ(stats.mshrStallCycles, 0u);
+    EXPECT_EQ(stats.l2BankConflicts, 0u);
+    EXPECT_EQ(stats.l1Hits, 1u);
+    EXPECT_EQ(stats.l1Misses, 2u);
+}
+
+// --- contention model at the application level --------------------------
+
+TEST(MemContentionModel, MergesOccurOnIrregularApps)
+{
+    for (const char *bench : {"bfs_citation", "amr_combustion"}) {
+        auto app = makeBenchmark(bench);
+        const BenchResult r = runBenchmark(*app, Mode::Dtbl);
+        EXPECT_TRUE(r.verified) << bench;
+        EXPECT_GT(r.stats.l1MshrMerges + r.stats.l2MshrMerges, 0u)
+            << bench;
+    }
+}
+
+namespace {
+
+struct SeedGolden
+{
+    const char *bench;
+    Mode mode;
+    std::uint64_t cycles;
+    std::uint64_t traceHash;
+};
+
+/**
+ * Cycles and trace hashes of the pre-MSHR (flat-latency) model for the
+ * eight Table 4 families, captured at the commit that introduced
+ * modelMemContention. The flag's off position must reproduce these bit
+ * for bit; any drift means the flat path was perturbed.
+ */
+const SeedGolden kSeedGoldens[] = {
+    {"amr_combustion", Mode::Flat, 97119, 0x8eeb232db4654af6},
+    {"amr_combustion", Mode::CdpIdeal, 15272, 0xe8af8cf1d8e7769c},
+    {"amr_combustion", Mode::DtblIdeal, 3988, 0xbf201e8a2350d368},
+    {"amr_combustion", Mode::Cdp, 267801, 0x3a21314aadb97435},
+    {"amr_combustion", Mode::Dtbl, 38999, 0xf71a0063c97e25ee},
+    {"bht", Mode::Flat, 2079138, 0x7a60dd974e73c7d3},
+    {"bht", Mode::CdpIdeal, 2629705, 0x401d61812a9d3a00},
+    {"bht", Mode::DtblIdeal, 1227420, 0x18543df16ef55f5f},
+    {"bht", Mode::Cdp, 5084263, 0x3c945bbb54cbfc1f},
+    {"bht", Mode::Dtbl, 1924180, 0xebb9b5a10d1015ce},
+    {"bfs_citation", Mode::Flat, 209754, 0x6232bb7ad7df69f4},
+    {"bfs_citation", Mode::CdpIdeal, 59873, 0xc02fff73671d8438},
+    {"bfs_citation", Mode::DtblIdeal, 54465, 0xef547c4a343e5c2d},
+    {"bfs_citation", Mode::Cdp, 237391, 0xb0076d41916b6de9},
+    {"bfs_citation", Mode::Dtbl, 103834, 0x55c5d22d266c2635},
+    {"clr_citation", Mode::Flat, 3750824, 0xa3318da932e881c0},
+    {"clr_citation", Mode::CdpIdeal, 1375895, 0xbfc43ca3b06a7ebe},
+    {"clr_citation", Mode::DtblIdeal, 1351436, 0xc0a61aa59a26464e},
+    {"clr_citation", Mode::Cdp, 3234870, 0xcb2e2be934fc5fe4},
+    {"clr_citation", Mode::Dtbl, 1771640, 0x6a9b64e16299b94c},
+    {"regx_darpa", Mode::Flat, 196610, 0x545b94e080975c82},
+    {"regx_darpa", Mode::CdpIdeal, 154667, 0x1d4ddad791f856e5},
+    {"regx_darpa", Mode::DtblIdeal, 127835, 0x4995e9c4075e20f2},
+    {"regx_darpa", Mode::Cdp, 211122, 0x56b8f4e06edcdddc},
+    {"regx_darpa", Mode::Dtbl, 135978, 0xa041b85e82aedc27},
+    {"pre_movielens", Mode::Flat, 583419, 0x667f900d5460c76f},
+    {"pre_movielens", Mode::CdpIdeal, 156199, 0x9983a9ffd0b95660},
+    {"pre_movielens", Mode::DtblIdeal, 75750, 0x759933a3d8264873},
+    {"pre_movielens", Mode::Cdp, 270668, 0xeb51f56ff3e9dca2},
+    {"pre_movielens", Mode::Dtbl, 142193, 0x304af1a717156cb4},
+    {"join_uniform", Mode::Flat, 4967, 0x7f09dd041337d4f7},
+    {"join_uniform", Mode::CdpIdeal, 4686, 0x3f0b5c6bf421a03a},
+    {"join_uniform", Mode::DtblIdeal, 4686, 0x3f0b5c6bf421a03a},
+    {"join_uniform", Mode::Cdp, 4969, 0x72f0f1287930d4c5},
+    {"join_uniform", Mode::Dtbl, 4969, 0x72f0f1287930d4c5},
+    {"sssp_citation", Mode::Flat, 537158, 0xde216edf43476437},
+    {"sssp_citation", Mode::CdpIdeal, 171464, 0x90ea850f59a2be67},
+    {"sssp_citation", Mode::DtblIdeal, 160476, 0xd40cf1bb63ba2746},
+    {"sssp_citation", Mode::Cdp, 538671, 0xf44a2199e52141cb},
+    {"sssp_citation", Mode::Dtbl, 252186, 0xedef31ce486db519},
+};
+
+} // namespace
+
+class FlatPathGoldens : public ::testing::TestWithParam<const char *>
+{
+};
+
+TEST_P(FlatPathGoldens, ContentionOffReproducesSeedBitForBit)
+{
+    GpuConfig cfg = GpuConfig::k20c();
+    cfg.modelMemContention = false;
+    for (const SeedGolden &g : kSeedGoldens) {
+        if (std::string(g.bench) != GetParam())
+            continue;
+        auto app = makeBenchmark(g.bench);
+        const BenchResult r = runBenchmark(*app, g.mode, cfg);
+        EXPECT_TRUE(r.verified) << g.bench << " " << modeName(g.mode);
+        EXPECT_EQ(r.report.cycles, g.cycles)
+            << g.bench << " " << modeName(g.mode);
+        EXPECT_EQ(r.trace.hash, g.traceHash)
+            << g.bench << " " << modeName(g.mode);
+        // Contention machinery must be fully inert when switched off.
+        EXPECT_EQ(r.stats.l1MshrMerges + r.stats.l2MshrMerges, 0u);
+        EXPECT_EQ(r.stats.mshrStallCycles, 0u);
+        EXPECT_EQ(r.stats.l2BankConflicts, 0u);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Seed, FlatPathGoldens,
+    ::testing::Values("amr_combustion", "bht", "bfs_citation",
+                      "clr_citation", "regx_darpa", "pre_movielens",
+                      "join_uniform", "sssp_citation"),
+    [](const auto &info) { return std::string(info.param); });
