@@ -36,6 +36,11 @@ SweepOptions::parse(int argc, char **argv)
             o.checkLevel = argv[i][7] == '=' ? std::atoi(argv[i] + 8) : 3;
         } else if (std::strcmp(argv[i], "--no-contention") == 0) {
             o.modelMemContention = false;
+        } else if (std::strcmp(argv[i], "--dispatch-policy") == 0 &&
+                   i + 1 < argc) {
+            o.dispatchPolicy = argv[++i];
+        } else if (std::strncmp(argv[i], "--dispatch-policy=", 18) == 0) {
+            o.dispatchPolicy = argv[i] + 18;
         }
     }
     if (profile && o.profileWindow == 0)
@@ -47,6 +52,11 @@ GpuConfig
 SweepOptions::config(GpuConfig base) const
 {
     base.modelMemContention = modelMemContention;
+    if (!dispatchPolicy.empty() &&
+        !parseDispatchPolicy(dispatchPolicy, base.dispatchPolicy)) {
+        DTBL_FATAL("unknown --dispatch-policy '", dispatchPolicy,
+                   "' (expected fcfs-head or concurrent)");
+    }
     return base;
 }
 

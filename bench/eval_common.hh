@@ -59,8 +59,9 @@ std::vector<EvalRow> runSweep(const std::vector<std::string> &ids,
  *   --check[=N]           runtime sanitizer level (default 3 = full)
  *   --profile[=W]         PMU interval profiling at window W
  *   --profile-out <dir>   write per-run profiler timelines + reports
- *   --results-out <path>  write sweep metrics as a schema-v4 CSV
+ *   --results-out <path>  write sweep metrics as a schema-v5 CSV
  *   --no-contention       flat-latency memory model (regression runs)
+ *   --dispatch-policy <p> TB dispatch policy: fcfs-head | concurrent
  * Unknown arguments are ignored so binaries can add their own.
  */
 struct SweepOptions
@@ -72,6 +73,7 @@ struct SweepOptions
     int checkLevel = 0;
     Cycle profileWindow = 0;
     bool modelMemContention = true;
+    std::string dispatchPolicy;
 
     static SweepOptions parse(int argc, char **argv);
 
@@ -90,7 +92,7 @@ std::vector<EvalRow> runSweep(const SweepOptions &opts,
 
 /**
  * Write one MetricsReport::csvRow() per (bench, mode) of @p rows to
- * @p path, preceded by MetricsReport::csvHeader() (schema v4).
+ * @p path, preceded by MetricsReport::csvHeader() (schema v5).
  */
 void writeMetricsCsv(const std::vector<EvalRow> &rows,
                      const std::string &path);

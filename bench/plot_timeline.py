@@ -1,0 +1,132 @@
+#!/usr/bin/env python3
+"""Render (or summarize) a profiler JSON timeline.
+
+Input: the ``<bench>_<mode>.json`` files written by the interval
+profiler (``--profile-out <dir>`` on quickstart and every bench
+binary). Schema v3: ``{"schemaVersion": 3, "window": W, "cycles":
+[...], "series": [{"name", "unit", "values": [...]}, ...]}`` where
+``values[i]`` is the cumulative counter value at ``cycles[i]``.
+
+With matplotlib available (never required), ``--out plot.png`` draws
+the selected series over time. Without it — and in CI, which runs this
+script as a smoke check over freshly produced timelines — the script
+validates the schema and prints a per-series text summary, exiting
+non-zero on malformed input. Only the standard library is needed for
+that path.
+
+Examples:
+    build/examples/quickstart --profile --profile-out /tmp/prof
+    python3 bench/plot_timeline.py /tmp/prof/quickstart_flat.json
+    python3 bench/plot_timeline.py /tmp/prof/*.json --match slot.issued
+    python3 bench/plot_timeline.py t.json --match kernel. --out k.png
+"""
+
+import argparse
+import json
+import sys
+
+SCHEMA_VERSION = 3
+
+
+def load_timeline(path):
+    """Parse and validate one profiler timeline; raise ValueError."""
+    with open(path) as f:
+        data = json.load(f)
+    if data.get("schemaVersion") != SCHEMA_VERSION:
+        raise ValueError(
+            f"{path}: schemaVersion {data.get('schemaVersion')!r}, "
+            f"expected {SCHEMA_VERSION}")
+    cycles = data.get("cycles")
+    series = data.get("series")
+    if not isinstance(cycles, list) or not isinstance(series, list):
+        raise ValueError(f"{path}: missing cycles/series arrays")
+    if cycles != sorted(cycles):
+        raise ValueError(f"{path}: sample cycles are not monotonic")
+    for s in series:
+        if not isinstance(s.get("name"), str):
+            raise ValueError(f"{path}: series without a name")
+        if len(s.get("values", [])) != len(cycles):
+            raise ValueError(
+                f"{path}: series {s['name']!r} has "
+                f"{len(s.get('values', []))} values for "
+                f"{len(cycles)} samples")
+    return data
+
+
+def select_series(data, match):
+    sel = [s for s in data["series"]
+           if not match or any(m in s["name"] for m in match)]
+    if match and not sel:
+        names = ", ".join(s["name"] for s in data["series"][:8])
+        raise ValueError(f"no series match {match} (have: {names}, ...)")
+    return sel
+
+
+def summarize(path, data, match):
+    cycles = data["cycles"]
+    print(f"{path}: window={data['window']} samples={len(cycles)} "
+          f"span=[{cycles[0] if cycles else 0}, "
+          f"{cycles[-1] if cycles else 0}] "
+          f"series={len(data['series'])}")
+    for s in select_series(data, match):
+        v = s["values"]
+        final = v[-1] if v else 0
+        # Cumulative counters: the largest per-window delta shows where
+        # the activity burst was.
+        peak_delta = max(
+            (b - a for a, b in zip(v, v[1:])), default=0)
+        print(f"  {s['name']:<40} unit={s['unit']:<7} "
+              f"final={final:<14} peak_window_delta={peak_delta}")
+
+
+def plot(paths, datas, match, out):
+    import matplotlib
+    matplotlib.use("Agg")
+    import matplotlib.pyplot as plt
+
+    fig, ax = plt.subplots(figsize=(10, 5))
+    for path, data in zip(paths, datas):
+        for s in select_series(data, match):
+            label = s["name"] if len(paths) == 1 else \
+                f"{path}:{s['name']}"
+            ax.plot(data["cycles"], s["values"], label=label)
+    ax.set_xlabel("cycle")
+    ax.set_ylabel("cumulative counter value")
+    ax.legend(fontsize=7)
+    fig.tight_layout()
+    fig.savefig(out, dpi=150)
+    print(f"wrote {out}")
+
+
+def main():
+    ap = argparse.ArgumentParser(
+        description="Summarize or plot profiler JSON timelines.")
+    ap.add_argument("timelines", nargs="+",
+                    help="profiler .json files (--profile-out output)")
+    ap.add_argument("--match", action="append", default=[],
+                    help="only series whose name contains this "
+                         "substring (repeatable)")
+    ap.add_argument("--out", default="",
+                    help="write a PNG plot here (needs matplotlib); "
+                         "default: text summary only")
+    args = ap.parse_args()
+
+    try:
+        datas = [load_timeline(p) for p in args.timelines]
+        if args.out:
+            try:
+                import matplotlib  # noqa: F401
+            except ImportError:
+                sys.exit("--out requires matplotlib, which is not "
+                         "installed; run without --out for the text "
+                         "summary")
+            plot(args.timelines, datas, args.match, args.out)
+        else:
+            for path, data in zip(args.timelines, datas):
+                summarize(path, data, args.match)
+    except (OSError, json.JSONDecodeError, ValueError) as e:
+        sys.exit(f"error: {e}")
+
+
+if __name__ == "__main__":
+    main()

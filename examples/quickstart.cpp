@@ -31,8 +31,10 @@ main(int argc, char **argv)
     // (csv/json) and the nvprof-style text report there.
     // --no-contention: flat-latency memory model (no MSHR merging or L2
     // bank contention), for regression comparison against old runs.
+    // --dispatch-policy <p>: TB dispatch policy (fcfs-head | concurrent).
     std::string traceOut;
     std::string profileOut;
+    std::string dispatchPolicy;
     int checkLevel = 0;
     Cycle profileWindow = 0;
     bool profile = false;
@@ -53,6 +55,11 @@ main(int argc, char **argv)
                                            : int(CheckLevel::Full);
         } else if (std::strcmp(argv[i], "--no-contention") == 0) {
             contention = false;
+        } else if (std::strcmp(argv[i], "--dispatch-policy") == 0 &&
+                   i + 1 < argc) {
+            dispatchPolicy = argv[++i];
+        } else if (std::strncmp(argv[i], "--dispatch-policy=", 18) == 0) {
+            dispatchPolicy = argv[i] + 18;
         }
     }
 
@@ -89,6 +96,14 @@ main(int argc, char **argv)
     // --- 2. Create the device and upload data -------------------------
     GpuConfig cfg = GpuConfig::k20c();
     cfg.modelMemContention = contention;
+    if (!dispatchPolicy.empty() &&
+        !parseDispatchPolicy(dispatchPolicy, cfg.dispatchPolicy)) {
+        std::fprintf(stderr,
+                     "unknown --dispatch-policy '%s' (expected "
+                     "fcfs-head or concurrent)\n",
+                     dispatchPolicy.c_str());
+        return 2;
+    }
     Gpu gpu(cfg, prog);
     if (!traceOut.empty() && gpu.trace().openJson(traceOut))
         std::printf("writing Chrome trace to %s\n", traceOut.c_str());

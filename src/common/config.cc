@@ -14,6 +14,30 @@ Dim3::str() const
     return os.str();
 }
 
+const char *
+dispatchPolicyName(DispatchPolicyKind k)
+{
+    switch (k) {
+      case DispatchPolicyKind::FcfsHead: return "fcfs-head";
+      case DispatchPolicyKind::Concurrent: return "concurrent";
+    }
+    return "?";
+}
+
+bool
+parseDispatchPolicy(const std::string &name, DispatchPolicyKind &out)
+{
+    if (name == "fcfs-head") {
+        out = DispatchPolicyKind::FcfsHead;
+        return true;
+    }
+    if (name == "concurrent") {
+        out = DispatchPolicyKind::Concurrent;
+        return true;
+    }
+    return false;
+}
+
 void
 GpuConfig::validate() const
 {
@@ -71,7 +95,9 @@ GpuConfig::summary() const
        << "Launch latency modeled                   "
        << (modelLaunchLatency ? "yes" : "no (ideal)") << "\n"
        << "Memory contention modeled                "
-       << (modelMemContention ? "yes" : "no (flat latency)") << "\n";
+       << (modelMemContention ? "yes" : "no (flat latency)") << "\n"
+       << "TB dispatch policy                       "
+       << dispatchPolicyName(dispatchPolicy) << "\n";
     return os.str();
 }
 

@@ -65,6 +65,34 @@ struct DramConfig
     Cycle accessLatency = 40;
 };
 
+/**
+ * Thread-block dispatch policy of the SMX scheduler (implemented in
+ * gpu/dispatch/). The enum lives here so it is a plain config knob;
+ * the policy objects themselves are constructed by the scheduler.
+ */
+enum class DispatchPolicyKind : std::uint8_t
+{
+    /**
+     * One TB per SMX per cycle, FCFS over marked kernels — the
+     * original distribution loop, kept bit-identical for regression
+     * comparison (pinned by the seed goldens in test_dispatch).
+     */
+    FcfsHead,
+    /**
+     * Greedy concurrent-kernel dispatch: keep filling each SMX from
+     * the FCFS-ordered kernels until no marked kernel fits in the
+     * leftover resources (paper Section 4.3 permits concurrent
+     * kernels from the Kernel Distributor).
+     */
+    Concurrent,
+};
+
+/** Stable lowercase name ("fcfs-head", "concurrent"). */
+const char *dispatchPolicyName(DispatchPolicyKind k);
+
+/** Parse @p name into @p out; false (out untouched) when unknown. */
+bool parseDispatchPolicy(const std::string &name, DispatchPolicyKind &out);
+
 /** Cache geometry + latency. */
 struct CacheConfig
 {
@@ -132,6 +160,14 @@ struct GpuConfig
      * the full L2 pipeline (l2.hitLatency) after the DRAM round trip.
      */
     Cycle l2FillForwardCycles = 30;
+
+    // --- TB dispatch ------------------------------------------------
+    /**
+     * How the SMX scheduler distributes ready TBs to SMXs each cycle.
+     * FcfsHead reproduces the seed behaviour bit for bit; Concurrent
+     * packs leftover SMX resources with TBs from later marked kernels.
+     */
+    DispatchPolicyKind dispatchPolicy = DispatchPolicyKind::FcfsHead;
 
     // --- Execution latencies ----------------------------------------
     Cycle aluLatency = 1;      //!< issue-to-issue for simple ALU ops

@@ -1,0 +1,101 @@
+#include "gpu/dispatch/dispatch_policy.hh"
+
+#include "common/log.hh"
+
+namespace dtbl {
+namespace {
+
+/**
+ * The seed distribution loop: round-robin over SMXs, at most one TB
+ * per SMX per cycle, FCFS over marked kernels. A later kernel may
+ * fill SMXs the head kernel cannot use (concurrent kernel execution,
+ * Section 2.3), but each SMX takes a single TB and then waits a
+ * cycle, so grids trickle in at numSmx TBs per cycle fleet-wide.
+ */
+class FcfsHeadPolicy final : public DispatchPolicy
+{
+  public:
+    DispatchPolicyKind kind() const override
+    {
+        return DispatchPolicyKind::FcfsHead;
+    }
+
+    bool
+    distribute(DispatchEngine &eng, Cycle now) override
+    {
+        bool progress = false;
+        const unsigned n = eng.numSmx();
+        for (unsigned i = 0; i < n; ++i) {
+            const unsigned s = (eng.rrStart() + i) % n;
+            for (std::int32_t kdeIdx : eng.schedulable()) {
+                if (eng.tryDispatch(kdeIdx, s, now)) {
+                    progress = true;
+                    break; // one TB per SMX per cycle
+                }
+            }
+        }
+        eng.advanceRr();
+        return progress;
+    }
+};
+
+/**
+ * Greedy concurrent-kernel dispatch (Section 4.3): repeat the
+ * one-TB-per-SMX round-robin sweep — still FCFS-ordered across marked
+ * kernels — until a whole round places nothing, i.e. no marked kernel
+ * has a TB that fits in any SMX's leftover resources. Each round
+ * spreads TBs across all SMXs exactly like the seed pass, so the load
+ * balance is preserved; the extra rounds fill ramp-up and completion
+ * tails in one cycle instead of numSmx TBs per cycle, which is what
+ * shrinks idle_no_warp and launch_pending. Bounded by the per-SMX
+ * TB-slot count, so the loop terminates.
+ */
+class ConcurrentPolicy final : public DispatchPolicy
+{
+  public:
+    DispatchPolicyKind kind() const override
+    {
+        return DispatchPolicyKind::Concurrent;
+    }
+
+    bool
+    distribute(DispatchEngine &eng, Cycle now) override
+    {
+        bool progress = false;
+        const unsigned n = eng.numSmx();
+        bool placed = true;
+        while (placed) {
+            placed = false;
+            for (unsigned i = 0; i < n; ++i) {
+                const unsigned s = (eng.rrStart() + i) % n;
+                // tryDispatch may unmark an exhausted kernel, which
+                // mutates the queue: the range-for is re-entered fresh
+                // for every (round, SMX) pair.
+                for (std::int32_t kdeIdx : eng.schedulable()) {
+                    if (eng.tryDispatch(kdeIdx, s, now)) {
+                        progress = placed = true;
+                        break; // one TB per SMX per round
+                    }
+                }
+            }
+        }
+        eng.advanceRr();
+        return progress;
+    }
+};
+
+} // namespace
+
+std::unique_ptr<DispatchPolicy>
+makeDispatchPolicy(DispatchPolicyKind k)
+{
+    switch (k) {
+      case DispatchPolicyKind::FcfsHead:
+        return std::make_unique<FcfsHeadPolicy>();
+      case DispatchPolicyKind::Concurrent:
+        return std::make_unique<ConcurrentPolicy>();
+    }
+    DTBL_PANIC("unknown dispatch policy kind");
+}
+
+} // namespace dtbl

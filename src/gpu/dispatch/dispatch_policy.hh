@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Pluggable TB dispatch policies for the SMX scheduler.
+ *
+ * Each cycle the scheduler hands the policy a DispatchEngine — the
+ * narrow slice of scheduler state a policy may use: the FCFS order of
+ * marked kernels, the round-robin cursor, the resource ledger, and a
+ * tryDispatch() primitive that performs one peek -> canAccept ->
+ * commit -> startTb dispatch. Policies decide *which* kernel's TB
+ * goes to *which* SMX and how many per cycle; all bookkeeping
+ * (NAGEI/LAGEI group ordering, KD entry state, wait statistics,
+ * tracing) stays in the scheduler, so every policy honours the
+ * aggregated-group ordering and KD entry limits by construction.
+ */
+
+#ifndef DTBL_GPU_DISPATCH_DISPATCH_POLICY_HH
+#define DTBL_GPU_DISPATCH_DISPATCH_POLICY_HH
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+
+#include "common/config.hh"
+#include "common/types.hh"
+
+namespace dtbl {
+
+class ResourceLedger;
+
+/** Scheduler state a dispatch policy is allowed to drive. */
+class DispatchEngine
+{
+  public:
+    virtual ~DispatchEngine() = default;
+
+    virtual unsigned numSmx() const = 0;
+    /** Round-robin start SMX for this cycle's distribution pass. */
+    virtual unsigned rrStart() const = 0;
+    /** Rotate the round-robin cursor (once per distribution pass). */
+    virtual void advanceRr() = 0;
+    /** Marked kernels in FCFS order (KDE indices). */
+    virtual const std::deque<std::int32_t> &schedulable() const = 0;
+    /**
+     * Dispatch the next TB of kernel @p kde_idx to SMX @p smx: peek
+     * the assignment (native grid first, then the NAGEI chain),
+     * check SMX resources, commit cursors and start the TB. Returns
+     * false when the kernel has no TB available right now or the TB
+     * does not fit. On success the FCFS queue may have mutated
+     * (exhausted kernels are unmarked) — restart iteration.
+     */
+    virtual bool tryDispatch(std::int32_t kde_idx, unsigned smx,
+                             Cycle now) = 0;
+    virtual const ResourceLedger &ledger() const = 0;
+};
+
+class DispatchPolicy
+{
+  public:
+    virtual ~DispatchPolicy() = default;
+
+    virtual DispatchPolicyKind kind() const = 0;
+    const char *name() const { return dispatchPolicyName(kind()); }
+
+    /**
+     * One distribution pass over all SMXs at cycle @p now. Called only
+     * when at least one kernel is marked schedulable.
+     * @return true when any TB was dispatched.
+     */
+    virtual bool distribute(DispatchEngine &eng, Cycle now) = 0;
+};
+
+std::unique_ptr<DispatchPolicy> makeDispatchPolicy(DispatchPolicyKind k);
+
+} // namespace dtbl
+
+#endif // DTBL_GPU_DISPATCH_DISPATCH_POLICY_HH

@@ -1,0 +1,171 @@
+#include "gpu/dispatch/resource_ledger.hh"
+
+#include <algorithm>
+
+#include "common/log.hh"
+
+namespace dtbl {
+namespace {
+
+/** TB resource footprint, identical to the Smx::canAccept arithmetic. */
+struct Footprint
+{
+    unsigned numWarps;
+    unsigned hwThreads;
+    unsigned regs;
+    std::uint32_t smem;
+};
+
+Footprint
+footprintOf(const KernelFunction &fn, std::uint32_t dyn_smem_bytes)
+{
+    Footprint f{};
+    const unsigned threads = unsigned(fn.tbDim.count());
+    f.numWarps = (threads + warpSize - 1) / warpSize;
+    f.hwThreads = f.numWarps * warpSize;
+    f.regs = f.hwThreads * fn.numRegs;
+    f.smem = fn.sharedMemBytes + dyn_smem_bytes;
+    return f;
+}
+
+} // namespace
+
+ResourceLedger::ResourceLedger(const GpuConfig &cfg, std::size_t num_kdes)
+    : cfg_(cfg), smx_(cfg.numSmx), kdes_(num_kdes)
+{
+    for (SmxLedger &s : smx_) {
+        s.tbSlots = cfg.maxResidentTbPerSmx;
+        s.threads = cfg.maxResidentThreadsPerSmx;
+        s.regs = cfg.regsPerSmx;
+        s.smem = cfg.sharedMemPerSmx;
+        s.warpSlots = cfg.maxResidentWarpsPerSmx;
+        s.minTbSlots = s.tbSlots;
+        s.minThreads = s.threads;
+        s.minRegs = s.regs;
+        s.minSmem = s.smem;
+        s.minWarpSlots = s.warpSlots;
+        s.slotFunc.assign(cfg.maxResidentWarpsPerSmx, invalidKernelFunc);
+        s.slotLastFunc.assign(cfg.maxResidentWarpsPerSmx,
+                              invalidKernelFunc);
+    }
+}
+
+bool
+ResourceLedger::canAccept(unsigned smx, const KernelFunction &fn,
+                          std::uint32_t dyn_smem_bytes) const
+{
+    const SmxLedger &s = smx_[smx];
+    const Footprint f = footprintOf(fn, dyn_smem_bytes);
+    return s.tbSlots > 0 && s.threads >= std::int64_t(f.hwThreads) &&
+           s.regs >= std::int64_t(f.regs) &&
+           s.smem >= std::int64_t(f.smem) &&
+           s.warpSlots >= std::int64_t(f.numWarps);
+}
+
+void
+ResourceLedger::acquire(unsigned smx, std::int32_t kde,
+                        const KernelFunction &fn,
+                        std::uint32_t dyn_smem_bytes)
+{
+    SmxLedger &s = smx_[smx];
+    const Footprint f = footprintOf(fn, dyn_smem_bytes);
+    s.tbSlots -= 1;
+    s.threads -= f.hwThreads;
+    s.regs -= f.regs;
+    s.smem -= f.smem;
+    s.minTbSlots = std::min(s.minTbSlots, s.tbSlots);
+    s.minThreads = std::min(s.minThreads, s.threads);
+    s.minRegs = std::min(s.minRegs, s.regs);
+    s.minSmem = std::min(s.minSmem, s.smem);
+    DTBL_ASSERT(s.tbSlots >= 0 && s.threads >= 0 && s.regs >= 0 &&
+                    s.smem >= 0,
+                "resource ledger over-subscribed on SMX ", smx);
+    DTBL_ASSERT(kde >= 0 && std::size_t(kde) < kdes_.size(),
+                "ledger acquire for invalid KDE ", kde);
+    ++kdes_[std::size_t(kde)].acquired;
+    ++acquiredTotal_;
+}
+
+void
+ResourceLedger::release(unsigned smx, std::int32_t kde,
+                        const KernelFunction &fn,
+                        std::uint32_t dyn_smem_bytes)
+{
+    SmxLedger &s = smx_[smx];
+    const Footprint f = footprintOf(fn, dyn_smem_bytes);
+    s.tbSlots += 1;
+    s.threads += f.hwThreads;
+    s.regs += f.regs;
+    s.smem += f.smem;
+    DTBL_ASSERT(s.tbSlots <= std::int64_t(cfg_.maxResidentTbPerSmx),
+                "resource ledger double release on SMX ", smx);
+    DTBL_ASSERT(kde >= 0 && std::size_t(kde) < kdes_.size() &&
+                    kdes_[std::size_t(kde)].released <
+                        kdes_[std::size_t(kde)].acquired,
+                "ledger release without acquire for KDE ", kde);
+    ++kdes_[std::size_t(kde)].released;
+    ++releasedTotal_;
+}
+
+void
+ResourceLedger::bindWarpSlot(unsigned smx, unsigned slot, KernelFuncId func)
+{
+    SmxLedger &s = smx_[smx];
+    DTBL_ASSERT(s.slotFunc[slot] == invalidKernelFunc,
+                "warp slot ", slot, " double-bound on SMX ", smx);
+    s.slotFunc[slot] = func;
+    s.slotLastFunc[slot] = func;
+    --s.warpSlots;
+    s.minWarpSlots = std::min(s.minWarpSlots, s.warpSlots);
+    DTBL_ASSERT(s.warpSlots >= 0, "warp slots over-subscribed on SMX ",
+                smx);
+}
+
+void
+ResourceLedger::unbindWarpSlot(unsigned smx, unsigned slot)
+{
+    SmxLedger &s = smx_[smx];
+    DTBL_ASSERT(s.slotFunc[slot] != invalidKernelFunc,
+                "unbinding free warp slot ", slot, " on SMX ", smx);
+    s.slotFunc[slot] = invalidKernelFunc;
+    ++s.warpSlots;
+}
+
+KernelFuncId
+ResourceLedger::slotFunc(unsigned smx, unsigned slot) const
+{
+    return smx_[smx].slotFunc[slot];
+}
+
+KernelFuncId
+ResourceLedger::slotLastFunc(unsigned smx, unsigned slot) const
+{
+    return smx_[smx].slotLastFunc[slot];
+}
+
+bool
+ResourceLedger::drained() const
+{
+    if (acquiredTotal_ != releasedTotal_)
+        return false;
+    for (const KdeUsage &k : kdes_) {
+        if (k.acquired != k.released)
+            return false;
+    }
+    for (const SmxLedger &s : smx_) {
+        if (s.tbSlots != std::int64_t(cfg_.maxResidentTbPerSmx) ||
+            s.threads != std::int64_t(cfg_.maxResidentThreadsPerSmx) ||
+            s.regs != std::int64_t(cfg_.regsPerSmx) ||
+            s.smem != std::int64_t(cfg_.sharedMemPerSmx) ||
+            s.warpSlots != std::int64_t(cfg_.maxResidentWarpsPerSmx)) {
+            return false;
+        }
+        for (KernelFuncId f : s.slotFunc) {
+            if (f != invalidKernelFunc)
+                return false;
+        }
+    }
+    return true;
+}
+
+} // namespace dtbl

@@ -1,0 +1,142 @@
+/**
+ * @file
+ * Per-SMX execution-resource ledger for the kernel-dispatch subsystem.
+ *
+ * The ledger mirrors the resource arithmetic of Smx::canAccept /
+ * Smx::startTb / Smx::finishTb outside the SMXs so that dispatch
+ * policies (gpu/dispatch/dispatch_policy.hh) can reason about free
+ * capacity, per-KDE usage can be audited (conservation: everything
+ * acquired is released by drain), and the warp-slot -> kernel binding
+ * needed for per-kernel stall attribution is available at stall
+ * classification time.
+ *
+ * TB-granular resources (TB slots, threads, registers, shared memory)
+ * are acquired when a TB is dispatched and released when it completes.
+ * Warp slots are bound per warp when the TB starts and unbound as each
+ * warp retires — warps of one TB can free their slots at different
+ * cycles, exactly as in the SMX. The last function bound to a slot is
+ * retained after unbind ("sticky") so an issue that retired its warp
+ * mid-tick is still attributed to the right kernel.
+ *
+ * The ledger is pure bookkeeping: it never changes simulated timing,
+ * trace hashes or stats. Divergence from the SMX-internal counters is
+ * a simulator bug (asserted at dispatch time).
+ */
+
+#ifndef DTBL_GPU_DISPATCH_RESOURCE_LEDGER_HH
+#define DTBL_GPU_DISPATCH_RESOURCE_LEDGER_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/config.hh"
+#include "isa/kernel_function.hh"
+
+namespace dtbl {
+
+class ResourceLedger
+{
+  public:
+    ResourceLedger(const GpuConfig &cfg, std::size_t num_kdes);
+
+    // --- dispatch-time accounting (SmxScheduler) -----------------------
+    /** Mirror of Smx::canAccept for SMX @p smx. */
+    bool canAccept(unsigned smx, const KernelFunction &fn,
+                   std::uint32_t dyn_smem_bytes) const;
+
+    /** A TB of @p kde was dispatched to @p smx. */
+    void acquire(unsigned smx, std::int32_t kde, const KernelFunction &fn,
+                 std::uint32_t dyn_smem_bytes);
+
+    /** A TB of @p kde completed on @p smx. */
+    void release(unsigned smx, std::int32_t kde, const KernelFunction &fn,
+                 std::uint32_t dyn_smem_bytes);
+
+    // --- warp-slot occupancy (Smx) -------------------------------------
+    void bindWarpSlot(unsigned smx, unsigned slot, KernelFuncId func);
+    void unbindWarpSlot(unsigned smx, unsigned slot);
+
+    /** Kernel currently in the slot; invalidKernelFunc when free. */
+    KernelFuncId slotFunc(unsigned smx, unsigned slot) const;
+    /**
+     * Kernel currently or most recently in the slot (sticky across
+     * unbind); invalidKernelFunc when the slot was never bound.
+     */
+    KernelFuncId slotLastFunc(unsigned smx, unsigned slot) const;
+
+    // --- introspection (policies, tests) --------------------------------
+    unsigned numSmx() const { return unsigned(smx_.size()); }
+    std::int64_t freeTbSlots(unsigned s) const { return smx_[s].tbSlots; }
+    std::int64_t freeThreads(unsigned s) const { return smx_[s].threads; }
+    std::int64_t freeRegs(unsigned s) const { return smx_[s].regs; }
+    std::int64_t freeSmem(unsigned s) const { return smx_[s].smem; }
+    std::int64_t freeWarpSlots(unsigned s) const
+    {
+        return smx_[s].warpSlots;
+    }
+
+    /** Low-water marks over the run (capacity minus peak usage). */
+    std::int64_t minFreeTbSlots(unsigned s) const
+    {
+        return smx_[s].minTbSlots;
+    }
+    std::int64_t minFreeThreads(unsigned s) const
+    {
+        return smx_[s].minThreads;
+    }
+    std::int64_t minFreeRegs(unsigned s) const { return smx_[s].minRegs; }
+    std::int64_t minFreeSmem(unsigned s) const { return smx_[s].minSmem; }
+    std::int64_t minFreeWarpSlots(unsigned s) const
+    {
+        return smx_[s].minWarpSlots;
+    }
+
+    // --- per-KDE conservation -------------------------------------------
+    std::uint64_t acquiredTbs(std::int32_t kde) const
+    {
+        return kdes_[std::size_t(kde)].acquired;
+    }
+    std::uint64_t releasedTbs(std::int32_t kde) const
+    {
+        return kdes_[std::size_t(kde)].released;
+    }
+    std::uint64_t acquiredTbsTotal() const { return acquiredTotal_; }
+    std::uint64_t releasedTbsTotal() const { return releasedTotal_; }
+    std::size_t numKdes() const { return kdes_.size(); }
+
+    /**
+     * True when every acquired resource has been returned: all KDE
+     * usage balanced, all free counters back at capacity, no warp slot
+     * bound. Holds after Gpu::synchronize() drains the machine.
+     */
+    bool drained() const;
+
+  private:
+    struct SmxLedger
+    {
+        std::int64_t tbSlots = 0, threads = 0, regs = 0, smem = 0;
+        std::int64_t warpSlots = 0;
+        std::int64_t minTbSlots = 0, minThreads = 0, minRegs = 0,
+                     minSmem = 0, minWarpSlots = 0;
+        /** Current kernel per warp slot; invalidKernelFunc when free. */
+        std::vector<KernelFuncId> slotFunc;
+        /** Sticky: last kernel ever bound to the slot. */
+        std::vector<KernelFuncId> slotLastFunc;
+    };
+
+    struct KdeUsage
+    {
+        std::uint64_t acquired = 0;
+        std::uint64_t released = 0;
+    };
+
+    const GpuConfig &cfg_;
+    std::vector<SmxLedger> smx_;
+    std::vector<KdeUsage> kdes_;
+    std::uint64_t acquiredTotal_ = 0;
+    std::uint64_t releasedTotal_ = 0;
+};
+
+} // namespace dtbl
+
+#endif // DTBL_GPU_DISPATCH_RESOURCE_LEDGER_HH

@@ -12,7 +12,7 @@ Gpu::Gpu(const GpuConfig &cfg, const Program &prog)
       memSys_(cfg_, stats_, &trace_, &pmu_), runtime_(cfg_, mem_, stats_),
       streams_(cfg.numHwqs), kmu_(cfg_, &trace_), kd_(cfg_, &trace_),
       agt_(cfg.agtSize, &trace_, &pmu_),
-      dtblSched_(agt_, cfg_, stats_, &trace_)
+      dtblSched_(agt_, cfg_, stats_, &trace_), ledger_(cfg_, kd_.size())
 {
     cfg_.validate();
     trace_.nameLane(traceLaneKmu, "KMU");
@@ -26,7 +26,8 @@ Gpu::Gpu(const GpuConfig &cfg, const Program &prog)
     }
     sched_ = std::make_unique<SmxScheduler>(cfg_, prog_, kd_, kmu_, agt_,
                                             dtblSched_, streams_, stats_,
-                                            smxs_, &trace_, &pmu_);
+                                            smxs_, ledger_, &trace_,
+                                            &pmu_);
 }
 
 void
@@ -89,6 +90,31 @@ Gpu::registerPmuProbes()
         kernelInstrs_.push_back(
             pmu_.counter(base + ".instrs", PmuUnit::Kernel,
                          std::int32_t(i)));
+        for (std::size_t r = 0; r < kNumStallReasons; ++r) {
+            pmu_.probe(base + ".slot." + stallReasonName(StallReason(r)),
+                       PmuUnit::Kernel,
+                       [this, i, r] {
+                           std::uint64_t v = 0;
+                           for (const auto &s : smxs_)
+                               v += s->kernelStallSlotCycles(i)[r];
+                           return v;
+                       },
+                       std::int32_t(i));
+        }
+    }
+    // The idle bucket: slot-cycles no kernel occupies (row prog.size()).
+    const std::size_t idleRow = prog_.size();
+    for (std::size_t r = 0; r < kNumStallReasons; ++r) {
+        pmu_.probe("kernel.(idle).slot." +
+                       std::string(stallReasonName(StallReason(r))),
+                   PmuUnit::Kernel,
+                   [this, idleRow, r] {
+                       std::uint64_t v = 0;
+                       for (const auto &s : smxs_)
+                           v += s->kernelStallSlotCycles(idleRow)[r];
+                       return v;
+                   },
+                   std::int32_t(idleRow));
     }
 }
 
@@ -319,6 +345,27 @@ Gpu::report(const std::string &bench, const std::string &mode)
                                           cfg_.maxResidentWarpsPerSmx);
     r.traceHash = trace_.hash();
     r.traceEvents = trace_.total();
+    r.dispatchPolicy = dispatchPolicyName(cfg_.dispatchPolicy);
+    if (r.stallSlotCyclesTotal > 0) {
+        for (std::size_t k = 0; k <= prog_.size(); ++k) {
+            std::array<std::uint64_t, kNumStallReasons> row{};
+            std::uint64_t sum = 0;
+            for (const auto &s : smxs_) {
+                const auto &sc = s->kernelStallSlotCycles(k);
+                for (std::size_t i = 0; i < kNumStallReasons; ++i) {
+                    row[i] += sc[i];
+                    sum += sc[i];
+                }
+            }
+            if (sum == 0)
+                continue;
+            const std::string name =
+                k < prog_.size()
+                    ? prog_.function(KernelFuncId(k)).name
+                    : std::string("(idle)");
+            r.kernelStallSlotCycles.emplace_back(name, row);
+        }
+    }
     if (profiler_) {
         profiler_->finalize(now_);
         r.profileSamples = profiler_->numSamples();

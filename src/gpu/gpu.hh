@@ -17,6 +17,7 @@
 #include "core/agt.hh"
 #include "core/dtbl_scheduler.hh"
 #include "gpu/device_runtime.hh"
+#include "gpu/dispatch/resource_ledger.hh"
 #include "gpu/kernel_distributor.hh"
 #include "gpu/kmu.hh"
 #include "gpu/launch.hh"
@@ -127,6 +128,10 @@ class Gpu
     /** An SMX finished a TB. */
     void notifyTbComplete(const TbAssignment &asg, Cycle now);
 
+    /** Per-SMX execution-resource ledger (gpu/dispatch). */
+    ResourceLedger &ledger() { return ledger_; }
+    const ResourceLedger &ledger() const { return ledger_; }
+
     // --- introspection (tests) ------------------------------------------
     const KernelDistributor &kernelDistributor() const { return kd_; }
     const Kmu &kmu() const { return kmu_; }
@@ -155,6 +160,8 @@ class Gpu
     KernelDistributor kd_;
     Agt agt_;
     DtblScheduler dtblSched_;
+    /** Declared before smxs_/sched_, which hold references into it. */
+    ResourceLedger ledger_;
     std::vector<std::unique_ptr<Smx>> smxs_;
     std::unique_ptr<SmxScheduler> sched_;
     std::unique_ptr<Sanitizer> san_;

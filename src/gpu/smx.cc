@@ -113,7 +113,8 @@ Smx::Smx(unsigned id, Gpu &gpu)
       freeThreads_(gpu.config().maxResidentThreadsPerSmx),
       freeRegs_(gpu.config().regsPerSmx),
       freeSmem_(gpu.config().sharedMemPerSmx),
-      issuedThisTick_(warps_.size(), 0)
+      issuedThisTick_(warps_.size(), 0),
+      kernelStall_(gpu.program().size() + 1)
 {
     Pmu &pmu = gpu.pmu();
     const std::string prefix = "smx" + std::to_string(id);
@@ -186,6 +187,7 @@ Smx::startTb(const TbAssignment &asg, Cycle now)
         warps_[slot] = std::make_unique<Warp>(tbp, &fn, w, slot,
                                               nextAgeStamp_++);
         warps_[slot]->readyCycle = now + 1;
+        gpu_.ledger().bindWarpSlot(id_, slot, asg.func);
         tbp->warpSlots.push_back(slot);
         ++residentWarps_;
     }
@@ -225,6 +227,8 @@ Smx::tick(Cycle now)
     const bool prof = gpu_.pmu().collecting();
     if (prof && residentWarps_ == 0) {
         stallSlotCycles_[std::size_t(StallReason::IdleNoWarp)] +=
+            warps_.size();
+        kernelStall_.back()[std::size_t(StallReason::IdleNoWarp)] +=
             warps_.size();
         return 0;
     }
@@ -271,6 +275,20 @@ Smx::accountStallSlots(Cycle now, std::uint64_t n, bool ticked)
         else
             r = StallReason::NoInstruction; // ready but not selected
         stallSlotCycles_[std::size_t(r)] += n;
+
+        // Attribute the slot-cycles to the kernel holding the slot. An
+        // Issued slot whose warp retired mid-tick is charged to the
+        // kernel that last held it (sticky ledger binding); slots no
+        // kernel occupies land in the idle bucket (last row).
+        std::size_t k = kernelStall_.size() - 1;
+        if (r != StallReason::IdleNoWarp) {
+            const KernelFuncId f =
+                w ? w->tb()->asg.func
+                  : gpu_.ledger().slotLastFunc(id_, unsigned(slot));
+            if (f != invalidKernelFunc)
+                k = f;
+        }
+        kernelStall_[k][std::size_t(r)] += n;
     }
 }
 
@@ -732,6 +750,7 @@ Smx::finishWarp(Warp &w, Cycle now)
     ++tb.warpsFinished;
     --residentWarps_;
     warps_[slot].reset(); // destroys w; do not touch it afterwards
+    gpu_.ledger().unbindWarpSlot(id_, slot);
 
     if (tb.finished()) {
         finishTb(tb, now);

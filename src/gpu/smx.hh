@@ -71,6 +71,18 @@ class Smx
         return stallSlotCycles_;
     }
 
+    /**
+     * Per-kernel split of stallSlotCycles(): row k covers slot-cycles
+     * while kernel function k occupied (or, for Issued, had just
+     * vacated) the slot; the last row is the idle bucket for slots no
+     * kernel occupies. Rows sum reason-wise to stallSlotCycles().
+     */
+    const std::array<std::uint64_t, kNumStallReasons> &
+    kernelStallSlotCycles(std::size_t k) const
+    {
+        return kernelStall_[k];
+    }
+
   private:
     /**
      * Classify every warp slot for the cycle(s) at @p now. @p ticked is
@@ -125,6 +137,8 @@ class Smx
     /** Slots that issued in the current tick (survives warp teardown). */
     std::vector<std::uint8_t> issuedThisTick_;
     std::array<std::uint64_t, kNumStallReasons> stallSlotCycles_{};
+    /** Per-kernel rows of stallSlotCycles_ (last row: idle bucket). */
+    std::vector<std::array<std::uint64_t, kNumStallReasons>> kernelStall_;
 };
 
 } // namespace dtbl

@@ -11,9 +11,11 @@ SmxScheduler::SmxScheduler(const GpuConfig &cfg, const Program &prog,
                            DtblScheduler &dtbl, StreamTable &streams,
                            SimStats &stats,
                            std::vector<std::unique_ptr<Smx>> &smxs,
-                           TraceSink *trace, Pmu *pmu)
+                           ResourceLedger &ledger, TraceSink *trace,
+                           Pmu *pmu)
     : cfg_(cfg), prog_(prog), kd_(kd), kmu_(kmu), agt_(agt), dtbl_(dtbl),
-      streams_(streams), stats_(stats), smxs_(smxs), trace_(trace)
+      streams_(streams), stats_(stats), smxs_(smxs), ledger_(ledger),
+      policy_(makeDispatchPolicy(cfg.dispatchPolicy)), trace_(trace)
 {
     if (pmu) {
         pmu->probe("sched.fcfs_depth", PmuUnit::Sched,
@@ -243,34 +245,44 @@ SmxScheduler::commitAssignment(std::int32_t kde_idx, const TbAssignment &asg,
 bool
 SmxScheduler::distribute(Cycle now)
 {
+    // No marked kernel: nothing to distribute and — load-bearing for
+    // bit-identity with the seed — the round-robin cursor must NOT
+    // advance. The policy advances it exactly once per real pass.
     if (fcfs_.empty())
         return false;
-    bool progress = false;
-    // Round-robin over SMXs; each SMX receives at most one TB per cycle.
-    for (unsigned i = 0; i < smxs_.size(); ++i) {
-        const unsigned s = (rrSmx_ + i) % smxs_.size();
-        Smx &smx = *smxs_[s];
-        // FCFS over marked kernels; a later kernel may fill SMXs the
-        // head kernel cannot use (concurrent kernel execution, 2.3).
-        for (std::int32_t kdeIdx : fcfs_) {
-            TbAssignment asg;
-            if (!peekAssignment(kdeIdx, now, asg))
-                continue;
-            const auto &fn = prog_.function(asg.func);
-            if (!smx.canAccept(fn, asg.sharedMemBytes))
-                continue;
-            commitAssignment(kdeIdx, asg, now);
-            TraceSink::emit(trace_, now, TraceEvent::TbDispatch,
-                            traceLaneSmxBase + s,
-                            std::uint64_t(std::int64_t(asg.agei)),
-                            asg.blkFlat);
-            smx.startTb(asg, now);
-            progress = true;
-            break;
-        }
-    }
-    rrSmx_ = (rrSmx_ + 1) % smxs_.size();
-    return progress;
+    return policy_->distribute(*this, now);
+}
+
+bool
+SmxScheduler::tryDispatch(std::int32_t kde_idx, unsigned smx, Cycle now)
+{
+    Smx &target = *smxs_[smx];
+    TbAssignment asg;
+    if (!peekAssignment(kde_idx, now, asg))
+        return false;
+    const auto &fn = prog_.function(asg.func);
+    const bool fits = target.canAccept(fn, asg.sharedMemBytes);
+    DTBL_ASSERT(fits == ledger_.canAccept(smx, fn, asg.sharedMemBytes),
+                "resource ledger diverged from SMX ", smx);
+    if (!fits)
+        return false;
+    asg.smx = std::int32_t(smx);
+    ledger_.acquire(smx, kde_idx, fn, asg.sharedMemBytes);
+    commitAssignment(kde_idx, asg, now);
+    TraceSink::emit(trace_, now, TraceEvent::TbDispatch,
+                    traceLaneSmxBase + smx,
+                    std::uint64_t(std::int64_t(asg.agei)), asg.blkFlat);
+    target.startTb(asg, now);
+    return true;
+}
+
+std::size_t
+SmxScheduler::residentKernelCount() const
+{
+    std::size_t n = 0;
+    for (std::size_t i = 0; i < kd_.size(); ++i)
+        n += kd_.entry(std::int32_t(i)).valid ? 1 : 0;
+    return n;
 }
 
 void
@@ -303,6 +315,9 @@ SmxScheduler::notifyTbComplete(const TbAssignment &asg, Cycle now)
     DTBL_ASSERT(e.valid && e.exeBl > 0, "TB completion for idle KDE");
     --e.exeBl;
     ++stats_.tbsCompleted;
+    DTBL_ASSERT(asg.smx >= 0, "TB completion without a dispatch SMX");
+    ledger_.release(unsigned(asg.smx), asg.kdeIdx,
+                    prog_.function(asg.func), asg.sharedMemBytes);
 
     if (asg.agei >= 0) {
         AggGroup &g = agt_.group(asg.agei);

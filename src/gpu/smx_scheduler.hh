@@ -16,6 +16,8 @@
 #include "common/config.hh"
 #include "core/agt.hh"
 #include "core/dtbl_scheduler.hh"
+#include "gpu/dispatch/dispatch_policy.hh"
+#include "gpu/dispatch/resource_ledger.hh"
 #include "gpu/kernel_distributor.hh"
 #include "gpu/kmu.hh"
 #include "gpu/smx.hh"
@@ -26,14 +28,15 @@ namespace dtbl {
 
 constexpr Cycle infiniteCycle = ~Cycle(0);
 
-class SmxScheduler
+class SmxScheduler : public DispatchEngine
 {
   public:
     SmxScheduler(const GpuConfig &cfg, const Program &prog,
                  KernelDistributor &kd, Kmu &kmu, Agt &agt,
                  DtblScheduler &dtbl, StreamTable &streams, SimStats &stats,
                  std::vector<std::unique_ptr<Smx>> &smxs,
-                 TraceSink *trace = nullptr, Pmu *pmu = nullptr);
+                 ResourceLedger &ledger, TraceSink *trace = nullptr,
+                 Pmu *pmu = nullptr);
 
     /**
      * One scheduler cycle: dispatch kernels KMU->KD, process arrived
@@ -55,6 +58,33 @@ class SmxScheduler
 
     /** FCFS queue length (tests). */
     std::size_t fcfsDepth() const { return fcfs_.size(); }
+
+    /** Kernels currently marked schedulable (the FCFS queue length). */
+    std::size_t schedulableCount() const { return fcfs_.size(); }
+    /** Valid Kernel Distributor entries (resident kernels). */
+    std::size_t residentKernelCount() const;
+
+    /** The active dispatch policy. */
+    DispatchPolicyKind policyKind() const { return policy_->kind(); }
+
+    // --- DispatchEngine (driven by the dispatch policy) ----------------
+    unsigned numSmx() const override
+    {
+        return unsigned(smxs_.size());
+    }
+    unsigned rrStart() const override { return rrSmx_; }
+    void
+    advanceRr() override
+    {
+        rrSmx_ = (rrSmx_ + 1) % smxs_.size();
+    }
+    const std::deque<std::int32_t> &schedulable() const override
+    {
+        return fcfs_;
+    }
+    bool tryDispatch(std::int32_t kde_idx, unsigned smx,
+                     Cycle now) override;
+    const ResourceLedger &ledger() const override { return ledger_; }
 
   private:
     bool dispatchFromKmu(Cycle now);
@@ -93,6 +123,8 @@ class SmxScheduler
     StreamTable &streams_;
     SimStats &stats_;
     std::vector<std::unique_ptr<Smx>> &smxs_;
+    ResourceLedger &ledger_;
+    std::unique_ptr<DispatchPolicy> policy_;
     TraceSink *trace_ = nullptr;
     /** TB waiting time (launch command -> first TB dispatch), Figure 9. */
     PmuHistogram *tbWaitHist_ = nullptr;

@@ -32,6 +32,8 @@ struct TbAssignment
     Addr paramAddr = 0;
     std::uint32_t sharedMemBytes = 0;
     bool isAggregated = false;
+    /** SMX the TB was dispatched to; -1 before dispatch. */
+    std::int32_t smx = -1;
 };
 
 /** A thread block resident on an SMX. */

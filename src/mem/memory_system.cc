@@ -31,6 +31,8 @@ MemorySystem::MemorySystem(const GpuConfig &cfg, SimStats &stats,
                    [this] { return stats_.mshrStallCycles; });
         pmu->probe("l2.bank_conflicts", PmuUnit::Mem,
                    [this] { return stats_.l2BankConflicts; });
+        pmu->probe("dram.write_bypass", PmuUnit::Mem,
+                   [this] { return stats_.dramWriteBypass; });
         for (unsigned b = 0; b < cfg.l2Banks; ++b) {
             pmu->probe("l2.b" + std::to_string(b) + ".conflicts",
                        PmuUnit::Mem,
@@ -52,8 +54,12 @@ Cycle
 MemorySystem::accessL2(Addr addr, bool is_write, Cycle now)
 {
     const auto res = l2_.access(addr, is_write);
-    if (res.writeback)
+    if (res.writeback) {
+        // Writeback is fire-and-forget: it never re-arbitrates for an
+        // L2 bank port, so count it as a DRAM write bypass.
+        ++stats_.dramWriteBypass;
         dram_.access(res.writebackAddr, true, now);
+    }
     if (res.hit) {
         ++stats_.l2Hits;
         return now + cfg_.l2.hitLatency;
@@ -109,8 +115,10 @@ MemorySystem::accessL2Contended(Addr addr, bool is_write, Cycle now)
         }
     }
     const auto res = l2_.access(addr, is_write);
-    if (res.writeback)
+    if (res.writeback) {
+        ++stats_.dramWriteBypass;
         dram_.access(res.writebackAddr, true, start);
+    }
     if (res.hit) {
         ++stats_.l2Hits;
         return start + cfg_.l2.hitLatency;

@@ -121,6 +121,11 @@ MetricsReport::str() const
            << " mshrStallCycles=" << mshrStallCycles
            << " bankConflicts=" << l2BankConflicts;
     }
+    // Printed only for a non-default policy so every fcfs-head line
+    // (goldens, contention-off diffs) stays byte-identical to pre-v5
+    // output.
+    if (dispatchPolicy != "fcfs-head")
+        os << " dispatchPolicy=" << dispatchPolicy;
     if (stallSlotCyclesTotal > 0) {
         char buf[64];
         std::snprintf(buf, sizeof buf, " issueUtil=%.2f%%",
@@ -213,7 +218,19 @@ MetricsReport::json() const
     os << "  \"l1MshrMerges\": " << l1MshrMerges << ",\n";
     os << "  \"l2MshrMerges\": " << l2MshrMerges << ",\n";
     os << "  \"mshrStallCycles\": " << mshrStallCycles << ",\n";
-    os << "  \"l2BankConflicts\": " << l2BankConflicts << "\n";
+    os << "  \"l2BankConflicts\": " << l2BankConflicts << ",\n";
+    os << "  \"dispatchPolicy\": " << jsonStr(dispatchPolicy) << ",\n";
+    os << "  \"kernelStallSlotCycles\": {";
+    for (std::size_t k = 0; k < kernelStallSlotCycles.size(); ++k) {
+        const auto &[name, row] = kernelStallSlotCycles[k];
+        os << (k == 0 ? "" : ", ") << jsonStr(name) << ": {";
+        for (std::size_t i = 0; i < kNumStallReasons; ++i) {
+            os << (i == 0 ? "" : ", ") << "\""
+               << stallReasonName(StallReason(i)) << "\": " << row[i];
+        }
+        os << "}";
+    }
+    os << "}\n";
     os << "}\n";
     return os.str();
 }
@@ -235,7 +252,7 @@ MetricsReport::csvHeader()
     h += ",profile_samples,sampled_peak_resident_warps,"
          "sampled_peak_agt_live,sampled_peak_pending_launch_bytes,"
          "l1_mshr_merges,l2_mshr_merges,mshr_stall_cycles,"
-         "l2_bank_conflicts";
+         "l2_bank_conflicts,dispatch_policy";
     return h;
 }
 
@@ -257,7 +274,8 @@ MetricsReport::csvRow() const
     os << ',' << profileSamples << ',' << sampledPeakResidentWarps << ','
        << sampledPeakAgtLive << ',' << sampledPeakPendingLaunchBytes
        << ',' << l1MshrMerges << ',' << l2MshrMerges << ','
-       << mshrStallCycles << ',' << l2BankConflicts;
+       << mshrStallCycles << ',' << l2BankConflicts << ','
+       << dispatchPolicy;
     return os.str();
 }
 

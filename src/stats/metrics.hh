@@ -10,6 +10,8 @@
 #include <array>
 #include <cstdint>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "common/types.hh"
 #include "stats/pmu.hh"
@@ -31,6 +33,12 @@ struct SimStats
     // --- DRAM (Figure 7) ----------------------------------------------
     std::uint64_t dramReads = 0;
     std::uint64_t dramWrites = 0;
+    /**
+     * DRAM writes issued fire-and-forget past the L2 bank port: L2
+     * writebacks go straight to DRAM without re-arbitrating for a bank,
+     * so they never appear in l2BankConflicts (see DESIGN.md).
+     */
+    std::uint64_t dramWriteBypass = 0;
     /** Union of cycles with a pending DRAM request (all partitions). */
     std::uint64_t dramActivityCycles = 0;
 
@@ -104,10 +112,11 @@ struct MetricsReport
     /**
      * Version of the report's serialized layouts (json()/csvHeader()).
      * v3 added the stall-attribution and profiler fields; v4 the MSHR /
-     * L2-bank contention fields; readers should reject versions they do
+     * L2-bank contention fields; v5 the dispatch policy and the
+     * per-kernel stall split; readers should reject versions they do
      * not know.
      */
-    static constexpr int schemaVersion = 4;
+    static constexpr int schemaVersion = 5;
 
     std::string benchmark;
     std::string mode;
@@ -157,6 +166,20 @@ struct MetricsReport
     std::uint64_t l2MshrMerges = 0;
     std::uint64_t mshrStallCycles = 0;
     std::uint64_t l2BankConflicts = 0;
+
+    // --- dispatch subsystem, v5 ------------------------------------------
+    /** Active TB dispatch policy (GpuConfig::dispatchPolicy). */
+    std::string dispatchPolicy = "fcfs-head";
+    /**
+     * Per-kernel split of the warp-slot stall taxonomy: (kernel name,
+     * slot-cycles by StallReason). All-zero rows are omitted; the
+     * "(idle)" row covers slots no kernel occupies. Empty unless
+     * profiling; when present the rows sum reason-wise to
+     * SimStats::stallSlotCycles.
+     */
+    std::vector<std::pair<std::string,
+                          std::array<std::uint64_t, kNumStallReasons>>>
+        kernelStallSlotCycles;
 
     /** Build the derived report from raw counters. */
     static MetricsReport from(const SimStats &s, const std::string &bench,

@@ -190,10 +190,13 @@ IntervalProfiler::textReport(const std::string &bench,
     }
 
     // --- per-kernel counters --------------------------------------------
+    // The ".slot." stall probes get their own table below.
     bool anyKernel = false;
     for (std::size_t c = 0; c < pmu_.numCounters(); ++c) {
-        if (pmu_.desc(c).unit != PmuUnit::Kernel)
+        if (pmu_.desc(c).unit != PmuUnit::Kernel ||
+            pmu_.desc(c).name.find(".slot.") != std::string::npos) {
             continue;
+        }
         if (!anyKernel) {
             os << "per-kernel counters\n";
             anyKernel = true;
@@ -204,6 +207,52 @@ IntervalProfiler::textReport(const std::string &bench,
         os << buf;
     }
     if (anyKernel)
+        os << '\n';
+
+    // --- per-kernel stall attribution -----------------------------------
+    // kernel.<name>.slot.<reason> probes (idle bucket included); rows sum
+    // reason-wise to the per-SMX taxonomy above.
+    bool anyKernelStall = false;
+    for (std::size_t c = 0; c < pmu_.numCounters(); ++c) {
+        const PmuCounterDesc &d = pmu_.desc(c);
+        const std::string suffix = ".slot.issued";
+        if (d.unit != PmuUnit::Kernel || d.name.size() <= suffix.size() ||
+            d.name.compare(d.name.size() - suffix.size(), suffix.size(),
+                           suffix) != 0) {
+            continue;
+        }
+        const std::string base =
+            d.name.substr(0, d.name.size() - std::string("issued").size());
+        if (!anyKernelStall) {
+            os << "per-kernel issue-slot attribution (slot-cycles)\n";
+            os << "  kernel    ";
+            for (std::size_t r = 0; r < kNumStallReasons; ++r) {
+                char buf[20];
+                std::snprintf(buf, sizeof buf, " %14s",
+                              stallReasonName(StallReason(r)));
+                os << buf;
+            }
+            os << '\n';
+            anyKernelStall = true;
+        }
+        // base = "kernel.<name>.slot."; print the kernel name.
+        const std::string kname =
+            base.substr(std::string("kernel.").size(),
+                        base.size() - std::string("kernel.").size() -
+                            std::string(".slot.").size());
+        char head[64];
+        std::snprintf(head, sizeof head, "  %-10s", kname.c_str());
+        os << head;
+        for (std::size_t r = 0; r < kNumStallReasons; ++r) {
+            char buf[24];
+            std::snprintf(buf, sizeof buf, " %14" PRIu64,
+                          pmu_.valueByName(
+                              base + stallReasonName(StallReason(r))));
+            os << buf;
+        }
+        os << '\n';
+    }
+    if (anyKernelStall)
         os << '\n';
 
     // --- windowed DRAM busy% (Figure 7 over time) -----------------------

@@ -1,0 +1,406 @@
+/**
+ * @file
+ * Kernel-dispatch subsystem tests: policy parsing, the per-SMX
+ * resource ledger (conservation + capacity invariants), bit-for-bit
+ * seed goldens for the default fcfs-head policy, the concurrent
+ * policy's resource-limit and result-invariance guarantees, and the
+ * per-kernel stall attribution's exactness against the per-SMX
+ * 9-reason taxonomy.
+ */
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "apps/registry.hh"
+#include "gpu/dispatch/resource_ledger.hh"
+#include "gpu/gpu.hh"
+#include "harness/runner.hh"
+#include "isa/kernel_builder.hh"
+
+using namespace dtbl;
+
+// --- policy knob --------------------------------------------------------
+
+TEST(DispatchPolicyConfig, ParseRoundTrip)
+{
+    DispatchPolicyKind k = DispatchPolicyKind::Concurrent;
+    EXPECT_TRUE(parseDispatchPolicy("fcfs-head", k));
+    EXPECT_EQ(k, DispatchPolicyKind::FcfsHead);
+    EXPECT_TRUE(parseDispatchPolicy("concurrent", k));
+    EXPECT_EQ(k, DispatchPolicyKind::Concurrent);
+    EXPECT_FALSE(parseDispatchPolicy("round-robin", k));
+    EXPECT_EQ(k, DispatchPolicyKind::Concurrent); // untouched on failure
+
+    EXPECT_STREQ(dispatchPolicyName(DispatchPolicyKind::FcfsHead),
+                 "fcfs-head");
+    EXPECT_STREQ(dispatchPolicyName(DispatchPolicyKind::Concurrent),
+                 "concurrent");
+    EXPECT_EQ(GpuConfig::k20c().dispatchPolicy,
+              DispatchPolicyKind::FcfsHead);
+}
+
+// --- resource ledger unit ----------------------------------------------
+
+namespace {
+
+KernelFunction
+ledgerTestFn(unsigned threads, unsigned regs, std::uint32_t smem)
+{
+    KernelFunction fn;
+    fn.name = "ledger_fn";
+    fn.tbDim = Dim3{threads};
+    fn.numRegs = regs;
+    fn.sharedMemBytes = smem;
+    return fn;
+}
+
+} // namespace
+
+TEST(ResourceLedgerUnit, AcquireReleaseAndWatermarks)
+{
+    const GpuConfig cfg = GpuConfig::k20c();
+    ResourceLedger led(cfg, 4);
+    const KernelFunction fn = ledgerTestFn(128, 19, 256);
+
+    EXPECT_TRUE(led.drained());
+    EXPECT_TRUE(led.canAccept(0, fn, 128));
+    led.acquire(0, 1, fn, 128);
+    EXPECT_FALSE(led.drained());
+    led.bindWarpSlot(0, 3, KernelFuncId(7));
+    EXPECT_EQ(led.slotFunc(0, 3), KernelFuncId(7));
+
+    // 128 threads -> 4 warps of 32 hw threads; regs/smem accordingly.
+    EXPECT_EQ(led.freeTbSlots(0), cfg.maxResidentTbPerSmx - 1);
+    EXPECT_EQ(led.freeThreads(0), cfg.maxResidentThreadsPerSmx - 128);
+    EXPECT_EQ(led.freeRegs(0), std::int64_t(cfg.regsPerSmx) - 128 * 19);
+    EXPECT_EQ(led.freeSmem(0),
+              std::int64_t(cfg.sharedMemPerSmx) - 256 - 128);
+    EXPECT_EQ(led.freeWarpSlots(0),
+              std::int64_t(cfg.maxResidentWarpsPerSmx) - 1);
+    EXPECT_EQ(led.acquiredTbs(1), 1u);
+    EXPECT_EQ(led.acquiredTbsTotal(), 1u);
+
+    led.unbindWarpSlot(0, 3);
+    EXPECT_EQ(led.slotFunc(0, 3), invalidKernelFunc);
+    EXPECT_EQ(led.slotLastFunc(0, 3), KernelFuncId(7)); // sticky
+    led.release(0, 1, fn, 128);
+    EXPECT_TRUE(led.drained());
+    EXPECT_EQ(led.releasedTbs(1), 1u);
+
+    // Watermarks remember the peak even after everything drained.
+    EXPECT_EQ(led.minFreeTbSlots(0), cfg.maxResidentTbPerSmx - 1);
+    EXPECT_EQ(led.minFreeWarpSlots(0),
+              std::int64_t(cfg.maxResidentWarpsPerSmx) - 1);
+
+    // Releasing what was never acquired is a simulator bug.
+    EXPECT_THROW(led.release(0, 2, fn, 128), std::logic_error);
+}
+
+// --- fcfs-head seed goldens ---------------------------------------------
+
+namespace {
+
+struct SeedGolden
+{
+    const char *bench;
+    Mode mode;
+    std::uint64_t cycles;
+    std::uint64_t traceHash;
+};
+
+/**
+ * Cycles and trace hashes of the default configuration (contention
+ * model on), captured at the commit that introduced the dispatch
+ * subsystem. The default fcfs-head policy must reproduce these bit for
+ * bit; any drift means the policy refactor perturbed dispatch order.
+ */
+const SeedGolden kSeedGoldens[] = {
+    {"amr_combustion", Mode::Flat, 123768, 4658139560361093950ull},
+    {"amr_combustion", Mode::Cdp, 270021, 15946984336878566418ull},
+    {"amr_combustion", Mode::CdpIdeal, 16606, 16054546510854076346ull},
+    {"amr_combustion", Mode::Dtbl, 39456, 13447222795925438511ull},
+    {"amr_combustion", Mode::DtblIdeal, 8023, 2800653401835976424ull},
+    {"bht", Mode::Flat, 3346204, 547536353691500331ull},
+    {"bht", Mode::Cdp, 5325122, 16543751133928708041ull},
+    {"bht", Mode::CdpIdeal, 4215052, 17338397850612638913ull},
+    {"bht", Mode::Dtbl, 3153576, 315968335084890432ull},
+    {"bht", Mode::DtblIdeal, 2873888, 12393728666318176751ull},
+    {"bfs_citation", Mode::Flat, 267042, 12136001445467752835ull},
+    {"bfs_citation", Mode::Cdp, 290645, 13949273510222020371ull},
+    {"bfs_citation", Mode::CdpIdeal, 125719, 3511420549375220044ull},
+    {"bfs_citation", Mode::Dtbl, 163346, 1756477701816872723ull},
+    {"bfs_citation", Mode::DtblIdeal, 126412, 10430647450631718179ull},
+    {"clr_citation", Mode::Flat, 5950588, 4857505098821920054ull},
+    {"clr_citation", Mode::Cdp, 5069729, 17032841148146479108ull},
+    {"clr_citation", Mode::CdpIdeal, 3357019, 16132149543914379875ull},
+    {"clr_citation", Mode::Dtbl, 3694540, 4452129398687880027ull},
+    {"clr_citation", Mode::DtblIdeal, 3351995, 10546271056976061534ull},
+    {"regx_darpa", Mode::Flat, 195092, 12450702417961295712ull},
+    {"regx_darpa", Mode::Cdp, 211606, 14609719395276599785ull},
+    {"regx_darpa", Mode::CdpIdeal, 154151, 2132520290047245880ull},
+    {"regx_darpa", Mode::Dtbl, 138024, 4702141898170549314ull},
+    {"regx_darpa", Mode::DtblIdeal, 129308, 12454931707004830703ull},
+    {"pre_movielens", Mode::Flat, 1876208, 6151995108298518970ull},
+    {"pre_movielens", Mode::Cdp, 750618, 983441940516879346ull},
+    {"pre_movielens", Mode::CdpIdeal, 663370, 11590589054260851295ull},
+    {"pre_movielens", Mode::Dtbl, 708944, 11562943439345268445ull},
+    {"pre_movielens", Mode::DtblIdeal, 685878, 10623120338068168123ull},
+    {"join_uniform", Mode::Flat, 139777, 10206792076272559270ull},
+    {"join_uniform", Mode::Cdp, 134658, 11504563751946621570ull},
+    {"join_uniform", Mode::CdpIdeal, 134375, 2819314529639396750ull},
+    {"join_uniform", Mode::Dtbl, 134658, 11504563751946621570ull},
+    {"join_uniform", Mode::DtblIdeal, 134375, 2819314529639396750ull},
+    {"sssp_citation", Mode::Flat, 754921, 4509356780197872694ull},
+    {"sssp_citation", Mode::Cdp, 704572, 17321675765557674194ull},
+    {"sssp_citation", Mode::CdpIdeal, 362556, 4611607146158609506ull},
+    {"sssp_citation", Mode::Dtbl, 439129, 11303951203014136417ull},
+    {"sssp_citation", Mode::DtblIdeal, 365331, 10232136812223978313ull},
+};
+
+} // namespace
+
+class FcfsHeadGoldens : public ::testing::TestWithParam<const char *>
+{
+};
+
+TEST_P(FcfsHeadGoldens, ReproducesSeedBitForBit)
+{
+    const GpuConfig cfg = GpuConfig::k20c(); // dispatchPolicy: fcfs-head
+    for (const SeedGolden &g : kSeedGoldens) {
+        if (std::string(g.bench) != GetParam())
+            continue;
+        auto app = makeBenchmark(g.bench);
+        const BenchResult r = runBenchmark(*app, g.mode, cfg);
+        EXPECT_TRUE(r.verified) << g.bench << " " << modeName(g.mode);
+        EXPECT_EQ(r.report.cycles, g.cycles)
+            << g.bench << " " << modeName(g.mode);
+        EXPECT_EQ(r.trace.hash, g.traceHash)
+            << g.bench << " " << modeName(g.mode);
+        EXPECT_EQ(r.report.dispatchPolicy, "fcfs-head");
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Seed, FcfsHeadGoldens,
+    ::testing::Values("amr_combustion", "bht", "bfs_citation",
+                      "clr_citation", "regx_darpa", "pre_movielens",
+                      "join_uniform", "sssp_citation"),
+    [](const auto &info) { return std::string(info.param); });
+
+// --- ledger conservation at the application level -----------------------
+
+namespace {
+
+/** Direct-Gpu run mirroring runBenchmark() so the ledger is visible. */
+void
+runDirect(const std::string &bench, Mode mode, DispatchPolicyKind policy,
+          Gpu *&out_gpu, std::unique_ptr<App> &out_app, Program &prog)
+{
+    out_app = makeBenchmark(bench);
+    out_app->build(prog, mode);
+    GpuConfig cfg = configForMode(mode, GpuConfig::k20c());
+    cfg.dispatchPolicy = policy;
+    out_gpu = new Gpu(cfg, prog);
+    out_app->setup(*out_gpu);
+    out_app->execute(*out_gpu, mode);
+}
+
+} // namespace
+
+TEST(ResourceLedgerConservation, EverythingAcquiredIsReleasedAtDrain)
+{
+    for (const DispatchPolicyKind policy :
+         {DispatchPolicyKind::FcfsHead, DispatchPolicyKind::Concurrent}) {
+        Program prog;
+        std::unique_ptr<App> app;
+        Gpu *gpu = nullptr;
+        runDirect("bfs_citation", Mode::Dtbl, policy, gpu, app, prog);
+
+        const ResourceLedger &led = gpu->ledger();
+        EXPECT_TRUE(led.drained()) << dispatchPolicyName(policy);
+        EXPECT_EQ(led.acquiredTbsTotal(), led.releasedTbsTotal());
+        EXPECT_EQ(led.acquiredTbsTotal(), gpu->stats().tbsCompleted);
+        for (std::size_t k = 0; k < led.numKdes(); ++k) {
+            EXPECT_EQ(led.acquiredTbs(std::int32_t(k)),
+                      led.releasedTbs(std::int32_t(k)))
+                << "KDE " << k;
+        }
+        EXPECT_EQ(gpu->scheduler().schedulableCount(), 0u);
+        EXPECT_EQ(gpu->scheduler().residentKernelCount(), 0u);
+        EXPECT_EQ(gpu->scheduler().policyKind(), policy);
+        EXPECT_TRUE(app->verify(*gpu)) << dispatchPolicyName(policy);
+        delete gpu;
+    }
+}
+
+// --- concurrent policy: limits + result invariance ----------------------
+
+TEST(ConcurrentPolicy, NeverExceedsPerSmxResourceLimits)
+{
+    for (const char *bench : {"amr_combustion", "bfs_citation"}) {
+        Program prog;
+        std::unique_ptr<App> app;
+        Gpu *gpu = nullptr;
+        runDirect(bench, Mode::Dtbl, DispatchPolicyKind::Concurrent, gpu,
+                  app, prog);
+
+        const ResourceLedger &led = gpu->ledger();
+        for (unsigned s = 0; s < led.numSmx(); ++s) {
+            EXPECT_GE(led.minFreeTbSlots(s), 0) << bench << " smx " << s;
+            EXPECT_GE(led.minFreeThreads(s), 0) << bench << " smx " << s;
+            EXPECT_GE(led.minFreeRegs(s), 0) << bench << " smx " << s;
+            EXPECT_GE(led.minFreeSmem(s), 0) << bench << " smx " << s;
+            EXPECT_GE(led.minFreeWarpSlots(s), 0)
+                << bench << " smx " << s;
+        }
+        // The computed results must not depend on the dispatch policy.
+        EXPECT_TRUE(app->verify(*gpu)) << bench;
+        delete gpu;
+    }
+}
+
+// --- per-kernel stall attribution ----------------------------------------
+
+TEST(KernelStallAttribution, RowsSumExactlyToPerSmxTaxonomy)
+{
+    if (!Pmu::compiledIn)
+        GTEST_SKIP() << "PMU compiled out";
+    auto app = makeBenchmark("amr_combustion");
+    RunOptions opts;
+    opts.profileWindow = 512;
+    const BenchResult r = runBenchmark(*app, Mode::Dtbl, GpuConfig::k20c(),
+                                       opts);
+    ASSERT_TRUE(r.verified);
+    ASSERT_FALSE(r.report.kernelStallSlotCycles.empty());
+
+    std::array<std::uint64_t, kNumStallReasons> sum{};
+    for (const auto &[name, row] : r.report.kernelStallSlotCycles) {
+        for (std::size_t i = 0; i < kNumStallReasons; ++i)
+            sum[i] += row[i];
+    }
+    for (std::size_t i = 0; i < kNumStallReasons; ++i) {
+        EXPECT_EQ(sum[i], r.stats.stallSlotCycles[i])
+            << stallReasonName(StallReason(i));
+    }
+    // ... and the taxonomy itself accounts every warp-slot cycle.
+    const GpuConfig cfg = GpuConfig::k20c();
+    std::uint64_t total = 0;
+    for (std::uint64_t v : sum)
+        total += v;
+    EXPECT_EQ(total, std::uint64_t(r.report.cycles) * cfg.numSmx *
+                         cfg.maxResidentWarpsPerSmx);
+    // The idle bucket exists and no kernel row is named like it.
+    EXPECT_EQ(r.report.kernelStallSlotCycles.back().first, "(idle)");
+}
+
+// --- concurrent dispatch shrinks idle slots ------------------------------
+
+namespace {
+
+/** The quickstart SAXPY with a data-dependent loop: 32 TBs of 128. */
+KernelFuncId
+buildSaxpyRep(Program &prog)
+{
+    KernelBuilder b("saxpy_rep", Dim3{128});
+    Reg tid = b.globalThreadIdX();
+    Reg nR = b.ldParam(0);
+    Pred oob = b.setp(CmpOp::Ge, DataType::U32, tid, nR);
+    b.exitIf(oob);
+    Reg aVal = b.ldParam(4);
+    Reg xBase = b.ldParam(8);
+    Reg yBase = b.ldParam(12);
+    Reg outBase = b.ldParam(16);
+    Reg repBase = b.ldParam(20);
+    Reg off = b.shl(tid, 2);
+    Reg xR = b.ld(MemSpace::Global, b.add(xBase, off));
+    Reg yR = b.ld(MemSpace::Global, b.add(yBase, off));
+    Reg repR = b.ld(MemSpace::Global, b.add(repBase, off));
+    Reg acc = b.mov(yR);
+    b.forRange(Val(0u), repR, [&](Reg) {
+        Reg ax = b.mul(aVal, xR, DataType::F32);
+        b.binaryTo(acc, Opcode::Add, DataType::F32, acc, ax);
+    });
+    b.st(MemSpace::Global, b.add(outBase, off), acc);
+    return b.build(prog);
+}
+
+struct SaxpyRun
+{
+    Cycle cycles = 0;
+    std::uint64_t idleSlotCycles = 0;
+    std::vector<std::uint32_t> out;
+};
+
+SaxpyRun
+runSaxpy(DispatchPolicyKind policy)
+{
+    Program prog;
+    const KernelFuncId fn = buildSaxpyRep(prog);
+    GpuConfig cfg = GpuConfig::k20c();
+    cfg.dispatchPolicy = policy;
+    Gpu gpu(cfg, prog);
+    gpu.enableProfiling();
+
+    const std::uint32_t n = 4096;
+    std::vector<std::uint32_t> x(n), y(n), rep(n);
+    for (std::uint32_t i = 0; i < n; ++i) {
+        x[i] = std::bit_cast<std::uint32_t>(float(i % 17));
+        y[i] = std::bit_cast<std::uint32_t>(1.0f);
+        rep[i] = i % 7;
+    }
+    const Addr xAddr = gpu.mem().upload(x);
+    const Addr yAddr = gpu.mem().upload(y);
+    const Addr repAddr = gpu.mem().upload(rep);
+    const Addr outAddr = gpu.mem().allocate(n * 4);
+    gpu.launch(fn, Dim3{(n + 127) / 128},
+               {n, std::bit_cast<std::uint32_t>(0.5f),
+                std::uint32_t(xAddr), std::uint32_t(yAddr),
+                std::uint32_t(outAddr), std::uint32_t(repAddr)});
+    gpu.synchronize();
+
+    SaxpyRun res;
+    const MetricsReport r = gpu.report("saxpy", "flat");
+    res.cycles = r.cycles;
+    res.idleSlotCycles =
+        gpu.stats().stallSlotCycles[std::size_t(StallReason::IdleNoWarp)];
+    res.out = gpu.mem().download<std::uint32_t>(outAddr, n);
+    return res;
+}
+
+} // namespace
+
+TEST(ConcurrentPolicy, ReducesIdleSlotCyclesOnQuickstartKernel)
+{
+    if (!Pmu::compiledIn)
+        GTEST_SKIP() << "PMU compiled out";
+    const SaxpyRun fcfs = runSaxpy(DispatchPolicyKind::FcfsHead);
+    const SaxpyRun conc = runSaxpy(DispatchPolicyKind::Concurrent);
+
+    // Same computation, same answers -- only the dispatch order moved.
+    EXPECT_EQ(fcfs.out, conc.out);
+    // Filling the ramp in one cycle instead of numSmx TBs per cycle
+    // must strictly shrink the empty-slot share (and not slow us down).
+    EXPECT_LT(conc.idleSlotCycles, fcfs.idleSlotCycles);
+    EXPECT_LE(conc.cycles, fcfs.cycles);
+}
+
+// --- DRAM write bypass (fire-and-forget writebacks) ----------------------
+
+TEST(DramWriteBypass, WritebacksAreCountedPastTheL2BankPort)
+{
+    // L2 is write-back: benchmarks whose dirty footprint exceeds the
+    // 1.5MB L2 must evict dirty lines straight to DRAM.
+    std::uint64_t bypass = 0, writes = 0;
+    for (const char *bench : {"bfs_citation", "pre_movielens"}) {
+        auto app = makeBenchmark(bench);
+        const BenchResult r = runBenchmark(*app, Mode::Flat);
+        ASSERT_TRUE(r.verified) << bench;
+        bypass += r.stats.dramWriteBypass;
+        writes += r.stats.dramWrites;
+    }
+    EXPECT_GT(bypass, 0u);
+    // Every bypassed writeback is itself a DRAM write.
+    EXPECT_LE(bypass, writes);
+}

@@ -397,9 +397,10 @@ TEST(MetricsReportSchema, JsonAndCsvAreVersioned)
     r.cycles = 123;
 
     const std::string j = r.json();
-    EXPECT_EQ(j.rfind("{\n  \"schemaVersion\": 4,", 0), 0u);
+    EXPECT_EQ(j.rfind("{\n  \"schemaVersion\": 5,", 0), 0u);
     // Last-listed field stays last so appends are backwards-visible.
-    EXPECT_NE(j.find("\"l2BankConflicts\": 0\n}"), std::string::npos);
+    EXPECT_NE(j.find("\"kernelStallSlotCycles\": {}\n}"),
+              std::string::npos);
 
     const std::string header = MetricsReport::csvHeader();
     EXPECT_EQ(header.rfind("schema_version,", 0), 0u);
@@ -411,5 +412,5 @@ TEST(MetricsReportSchema, JsonAndCsvAreVersioned)
         return n;
     };
     EXPECT_EQ(commas(header), commas(row));
-    EXPECT_EQ(row.rfind("4,b,flat,123,", 0), 0u);
+    EXPECT_EQ(row.rfind("5,b,flat,123,", 0), 0u);
 }
