@@ -32,6 +32,8 @@ SweepOptions::parse(int argc, char **argv)
                 o.profileWindow = Cycle(std::atoll(argv[i] + 10));
         } else if (std::strcmp(argv[i], "--bench") == 0 && i + 1 < argc) {
             o.ids.push_back(argv[++i]);
+        } else if (std::strcmp(argv[i], "--no-elide") == 0) {
+            o.elideChecks = false;
         } else if (std::strncmp(argv[i], "--check", 7) == 0) {
             o.checkLevel = argv[i][7] == '=' ? std::atoi(argv[i] + 8) : 3;
         } else if (std::strcmp(argv[i], "--no-contention") == 0) {
@@ -68,10 +70,11 @@ runSweep(const SweepOptions &opts, const std::vector<Mode> &modes,
     const auto rows =
         opts.ids.empty()
             ? runSweep(modes, cfg, opts.traceDir, opts.checkLevel,
-                       opts.profileWindow, opts.profileDir)
+                       opts.profileWindow, opts.profileDir,
+                       opts.elideChecks)
             : runSweep(opts.ids, modes, cfg, opts.traceDir,
                        opts.checkLevel, opts.profileWindow,
-                       opts.profileDir);
+                       opts.profileDir, opts.elideChecks);
     if (!opts.resultsOut.empty())
         writeMetricsCsv(rows, opts.resultsOut);
     return rows;
@@ -81,7 +84,8 @@ std::vector<EvalRow>
 runSweep(const std::vector<std::string> &ids,
          const std::vector<Mode> &modes, const GpuConfig &base,
          const std::string &trace_dir, int check_level,
-         Cycle profile_window, const std::string &profile_dir)
+         Cycle profile_window, const std::string &profile_dir,
+         bool elide_checks)
 {
     if (!trace_dir.empty())
         std::filesystem::create_directories(trace_dir);
@@ -96,6 +100,7 @@ runSweep(const std::vector<std::string> &ids,
             auto app = makeBenchmark(id);
             RunOptions opts;
             opts.checkLevel = check_level;
+            opts.elideChecks = elide_checks;
             opts.profileWindow = profile_window;
             opts.profileOutDir = profile_dir;
             if (!trace_dir.empty()) {
@@ -126,13 +131,14 @@ runSweep(const std::vector<std::string> &ids,
 std::vector<EvalRow>
 runSweep(const std::vector<Mode> &modes, const GpuConfig &base,
          const std::string &trace_dir, int check_level,
-         Cycle profile_window, const std::string &profile_dir)
+         Cycle profile_window, const std::string &profile_dir,
+         bool elide_checks)
 {
     std::vector<std::string> ids;
     for (const auto &s : allBenchmarks())
         ids.push_back(s.id);
     return runSweep(ids, modes, base, trace_dir, check_level,
-                    profile_window, profile_dir);
+                    profile_window, profile_dir, elide_checks);
 }
 
 void

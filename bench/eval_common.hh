@@ -41,7 +41,8 @@ std::vector<EvalRow> runSweep(const std::vector<Mode> &modes,
                               const std::string &trace_dir = {},
                               int check_level = 0,
                               Cycle profile_window = 0,
-                              const std::string &profile_dir = {});
+                              const std::string &profile_dir = {},
+                              bool elide_checks = true);
 
 /** As runSweep but restricted to the given benchmark ids. */
 std::vector<EvalRow> runSweep(const std::vector<std::string> &ids,
@@ -50,13 +51,15 @@ std::vector<EvalRow> runSweep(const std::vector<std::string> &ids,
                               const std::string &trace_dir = {},
                               int check_level = 0,
                               Cycle profile_window = 0,
-                              const std::string &profile_dir = {});
+                              const std::string &profile_dir = {},
+                              bool elide_checks = true);
 
 /**
  * Command-line options shared by every figure binary:
  *   --bench <id>          restrict to one benchmark (repeatable)
  *   --trace-out <dir>     stream per-run Chrome traces
  *   --check[=N]           runtime sanitizer level (default 3 = full)
+ *   --no-elide            disable static-analysis check-elision
  *   --profile[=W]         PMU interval profiling at window W
  *   --profile-out <dir>   write per-run profiler timelines + reports
  *   --results-out <path>  write sweep metrics as a schema-v5 CSV
@@ -71,6 +74,7 @@ struct SweepOptions
     std::string resultsOut;
     std::vector<std::string> ids;
     int checkLevel = 0;
+    bool elideChecks = true;
     Cycle profileWindow = 0;
     bool modelMemContention = true;
     std::string dispatchPolicy;

@@ -26,6 +26,8 @@ main(int argc, char **argv)
     // (open it in chrome://tracing or https://ui.perfetto.dev).
     // --check[=N]: enable the runtime sanitizer at level N (default 3 =
     // full; see analysis/sanitizer.hh for the tiers).
+    // --no-elide: disable static-analysis check-elision (run every
+    // runtime check even where the analyzer proved it redundant).
     // --profile[=W]: enable the PMU interval profiler (window W cycles,
     // default 512). --profile-out <dir>: write the sampled timelines
     // (csv/json) and the nvprof-style text report there.
@@ -36,6 +38,7 @@ main(int argc, char **argv)
     std::string profileOut;
     std::string dispatchPolicy;
     int checkLevel = 0;
+    bool elideChecks = true;
     Cycle profileWindow = 0;
     bool profile = false;
     bool contention = true;
@@ -50,6 +53,8 @@ main(int argc, char **argv)
             profile = true;
             if (argv[i][9] == '=')
                 profileWindow = Cycle(std::atoll(argv[i] + 10));
+        } else if (std::strcmp(argv[i], "--no-elide") == 0) {
+            elideChecks = false;
         } else if (std::strncmp(argv[i], "--check", 7) == 0) {
             checkLevel = argv[i][7] == '=' ? std::atoi(argv[i] + 8)
                                            : int(CheckLevel::Full);
@@ -108,7 +113,7 @@ main(int argc, char **argv)
     if (!traceOut.empty() && gpu.trace().openJson(traceOut))
         std::printf("writing Chrome trace to %s\n", traceOut.c_str());
     if (checkLevel > 0)
-        gpu.enableChecks(CheckLevel(checkLevel));
+        gpu.enableChecks(CheckLevel(checkLevel), elideChecks);
     if (profile)
         gpu.enableProfiling(profileWindow);
     const std::uint32_t n = 4096;

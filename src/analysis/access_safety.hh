@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Per-kernel static safety facts consumed by the runtime sanitizer's
+ * check-elision (--check with elision on, the default).
+ *
+ * The contract: every fact recorded here must make the corresponding
+ * runtime check provably redundant — eliding it can never change the
+ * sanitizer's findings, so a run with elision produces bit-identical
+ * diagnostics, metrics and trace hashes to a run without (and both to
+ * a run with checks off, since checks are pure observers).
+ *
+ * Soundness arguments per fact:
+ *  - uninitAllSafe: the verifier's must-definedness dataflow excludes
+ *    predicated defs, and each lane's sequence of active PCs is a path
+ *    through the per-instruction CFG; a kernel with no UseBeforeDef or
+ *    MaybeUninit diagnostic therefore has every lane-read dominated by
+ *    an unpredicated def on that lane's own path.
+ *  - paramSafe/paramProvenEnd: interval analysis bounds every proven
+ *    load inside [0, paramProvenEnd) <= fn.paramBytes. The backing
+ *    buffer is a runtime value, so the sanitizer still performs ONE
+ *    hoisted per-TB check that [paramAddr, paramAddr+paramProvenEnd)
+ *    is live; global memory is bump-allocated and never freed, so the
+ *    check holds for the TB's lifetime. If it fails, the sanitizer
+ *    falls back to the unelided per-lane loops (identical findings).
+ *  - sharedSafe: offsets proven < fn.sharedMemBytes; the sanitizer
+ *    additionally verifies the TB segment is at least that large
+ *    before skipping (dynamic launches can size the segment).
+ *  - sharedRaceFree: trivial facts only (no shared writes, or a TB
+ *    shape that can never have two warps) — see race.hh.
+ */
+
+#ifndef DTBL_ANALYSIS_ACCESS_SAFETY_HH
+#define DTBL_ANALYSIS_ACCESS_SAFETY_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace dtbl {
+
+struct KernelAccessSafety
+{
+    /** Skip all uninitialized-read tracking for this kernel. */
+    bool uninitAllSafe = false;
+    /** Skip the shared-memory race checker for this kernel. */
+    bool sharedRaceFree = false;
+    /** Bytes covered by the hoisted per-TB param check; 0 = none. */
+    std::uint32_t paramProvenEnd = 0;
+    /** Per-pc: skip the param bounds loop (after the hoisted check). */
+    std::vector<bool> paramSafe;
+    /** Per-pc: skip the shared bounds loop. */
+    std::vector<bool> sharedSafe;
+};
+
+struct AccessSafety
+{
+    std::vector<KernelAccessSafety> kernels; //!< indexed by KernelFuncId
+
+    const KernelAccessSafety *
+    of(KernelFuncId id) const
+    {
+        return id < kernels.size() ? &kernels[id] : nullptr;
+    }
+};
+
+} // namespace dtbl
+
+#endif // DTBL_ANALYSIS_ACCESS_SAFETY_HH

@@ -1,0 +1,312 @@
+#include "analysis/analyzer.hh"
+
+#include <algorithm>
+#include <sstream>
+
+#include "analysis/verifier.hh"
+
+namespace dtbl {
+namespace {
+
+bool
+verifierUninitClean(const KernelFunction &fn, std::size_t num_funcs)
+{
+    for (const Diagnostic &d : verifyKernel(fn, num_funcs)) {
+        if (d.rule == CheckRule::UseBeforeDef ||
+            d.rule == CheckRule::MaybeUninit ||
+            d.severity == Severity::Error)
+            return false;
+    }
+    return true;
+}
+
+KernelAccessSafety
+kernelSafety(const KernelFunction &fn, std::size_t num_funcs)
+{
+    const Cfg cfg(fn);
+    const RangeResult ranges = analyzeRanges(cfg);
+    const RaceResult races = analyzeRaces(cfg);
+    KernelAccessSafety ks;
+    ks.uninitAllSafe = verifierUninitClean(fn, num_funcs);
+    ks.sharedRaceFree = races.trivialRaceFree;
+    ks.paramProvenEnd = ranges.paramProvenEnd;
+    ks.paramSafe = ranges.paramSafe;
+    ks.sharedSafe = ranges.sharedSafe;
+    return ks;
+}
+
+std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (char c : s) {
+        if (c == '"' || c == '\\')
+            out += '\\';
+        if (std::uint8_t(c) < 0x20) {
+            out += "\\u0020"; // control chars never appear in practice
+            continue;
+        }
+        out += c;
+    }
+    return out;
+}
+
+const char *
+boolStr(bool b)
+{
+    return b ? "true" : "false";
+}
+
+} // namespace
+
+ProgramAnalysis
+analyzeProgram(const Program &prog, const GpuConfig &cfg)
+{
+    ProgramAnalysis pa;
+    std::vector<UniformityResult> uniformity;
+    uniformity.reserve(prog.size());
+
+    for (KernelFuncId id = 0; id < prog.size(); ++id) {
+        const KernelFunction &fn = prog.function(id);
+        const Cfg cfg_fn(fn);
+
+        KernelAnalysis ka;
+        ka.id = id;
+        ka.name = fn.name;
+        ka.codeLen = unsigned(fn.code.size());
+        ka.numBlocks = unsigned(cfg_fn.numBlocks());
+        ka.ranges = analyzeRanges(cfg_fn);
+        ka.uniformity = analyzeUniformity(fn);
+        ka.races = analyzeRaces(cfg_fn);
+        uniformity.push_back(ka.uniformity);
+
+        KernelAccessSafety ks;
+        ks.uninitAllSafe = verifierUninitClean(fn, prog.size());
+        ks.sharedRaceFree = ka.races.trivialRaceFree;
+        ks.paramProvenEnd = ka.ranges.paramProvenEnd;
+        ks.paramSafe = ka.ranges.paramSafe;
+        ks.sharedSafe = ka.ranges.sharedSafe;
+        pa.safety.kernels.push_back(std::move(ks));
+        pa.kernels.push_back(std::move(ka));
+    }
+
+    pa.graph = buildLaunchGraph(prog, cfg, uniformity);
+    for (KernelFuncId id = 0; id < prog.size(); ++id) {
+        pa.kernels[id].launchDepth = pa.graph.nodes[id].depth;
+        pa.kernels[id].onLaunchCycle = pa.graph.nodes[id].onCycle;
+    }
+
+    for (const KernelAnalysis &ka : pa.kernels) {
+        for (const Diagnostic &d : ka.ranges.diags)
+            pa.diagnostics.push_back(d);
+        for (const Diagnostic &d : ka.uniformity.diags)
+            pa.diagnostics.push_back(d);
+        for (const Diagnostic &d : ka.races.diags)
+            pa.diagnostics.push_back(d);
+    }
+    for (const Diagnostic &d : pa.graph.diags)
+        pa.diagnostics.push_back(d);
+    std::stable_sort(pa.diagnostics.begin(), pa.diagnostics.end(),
+                     [](const Diagnostic &a, const Diagnostic &b) {
+                         if (a.funcId != b.funcId)
+                             return a.funcId < b.funcId;
+                         return a.pc < b.pc;
+                     });
+    for (const Diagnostic &d : pa.diagnostics) {
+        if (d.severity == Severity::Error)
+            ++pa.errorCount;
+        else
+            ++pa.warningCount;
+    }
+    return pa;
+}
+
+AccessSafety
+computeAccessSafety(const Program &prog)
+{
+    AccessSafety safety;
+    safety.kernels.reserve(prog.size());
+    for (KernelFuncId id = 0; id < prog.size(); ++id)
+        safety.kernels.push_back(
+            kernelSafety(prog.function(id), prog.size()));
+    return safety;
+}
+
+std::string
+ProgramAnalysis::textReport(const std::string &title) const
+{
+    std::ostringstream os;
+    os << "dtbl-analyze: " << title << "\n";
+    os << "  kernels: " << kernels.size()
+       << ", launch depth: ";
+    if (graph.maxDepth < 0)
+        os << "unbounded (recursive)";
+    else
+        os << graph.maxDepth;
+    os << ", launch edges: " << graph.edges.size() << "\n";
+
+    for (const KernelAnalysis &ka : kernels) {
+        os << "  kernel " << ka.id << " '" << ka.name << "': "
+           << ka.codeLen << " insts, " << ka.numBlocks << " blocks\n";
+        os << "    regs: " << ka.uniformity.uniformRegs << " uniform, "
+           << ka.uniformity.affineRegs << " affine, "
+           << ka.uniformity.divergentRegs << " divergent\n";
+        os << "    mem: param " << ka.ranges.paramProven << "/"
+           << ka.ranges.paramSites << " proven (end "
+           << ka.ranges.paramProvenEnd << "), shared "
+           << ka.ranges.sharedProven << "/" << ka.ranges.sharedSites
+           << " proven, global " << ka.ranges.globalSites
+           << " (runtime-checked)\n";
+        os << "    race: "
+           << (ka.races.trivialRaceFree  ? "free (trivial)"
+               : ka.races.provenRaceFree ? "free (affine-disjoint)"
+                                         : "unproven")
+           << ", depth: ";
+        if (ka.launchDepth < 0)
+            os << "unbounded";
+        else
+            os << ka.launchDepth;
+        os << "\n";
+        for (const UniformityResult::LaunchSite &site :
+             ka.uniformity.launches) {
+            os << "    launch pc " << site.pc << " -> "
+               << (site.callee < kernels.size()
+                       ? kernels[site.callee].name
+                       : "?")
+               << (site.aggregated ? " [agg]" : " [cdp]") << " numTbs="
+               << laneShapeName(site.numTbs)
+               << " paramAddr=" << laneShapeName(site.paramAddr)
+               << (site.divergentFanOut() ? " fan-out x32" : "") << "\n";
+        }
+    }
+
+    os << "  budget: worst-case agg launches "
+       << graph.worstCaseAggLaunches << " vs AGT " << graph.aggTableCapacity
+       << (graph.aggBudgetExceeded ? " EXCEEDED" : " ok")
+       << ", cdp pending bytes " << graph.cdpPendingBytes << "\n";
+    os << "  diagnostics: " << errorCount << " error(s), " << warningCount
+       << " warning(s)\n";
+    for (const Diagnostic &d : diagnostics)
+        os << "    " << d.str() << "\n";
+    return os.str();
+}
+
+std::string
+ProgramAnalysis::jsonReport(const std::string &bench,
+                            const std::string &mode, unsigned indent) const
+{
+    const std::string in0(indent, ' ');
+    const std::string in1(indent + 2, ' ');
+    const std::string in2(indent + 4, ' ');
+    const std::string in3(indent + 6, ' ');
+    std::ostringstream os;
+    os << in0 << "{\n";
+    os << in1 << "\"bench\": \"" << jsonEscape(bench) << "\",\n";
+    os << in1 << "\"mode\": \"" << jsonEscape(mode) << "\",\n";
+
+    os << in1 << "\"kernels\": [";
+    for (std::size_t i = 0; i < kernels.size(); ++i) {
+        const KernelAnalysis &ka = kernels[i];
+        const KernelAccessSafety *ks =
+            ka.id < safety.kernels.size() ? &safety.kernels[ka.id]
+                                          : nullptr;
+        os << (i ? "," : "") << "\n" << in2 << "{\n";
+        os << in3 << "\"name\": \"" << jsonEscape(ka.name) << "\",\n";
+        os << in3 << "\"id\": " << ka.id << ",\n";
+        os << in3 << "\"insts\": " << ka.codeLen << ",\n";
+        os << in3 << "\"blocks\": " << ka.numBlocks << ",\n";
+        os << in3 << "\"paramSites\": " << ka.ranges.paramSites << ",\n";
+        os << in3 << "\"paramProven\": " << ka.ranges.paramProven << ",\n";
+        os << in3 << "\"paramProvenEnd\": " << ka.ranges.paramProvenEnd
+           << ",\n";
+        os << in3 << "\"sharedSites\": " << ka.ranges.sharedSites << ",\n";
+        os << in3 << "\"sharedProven\": " << ka.ranges.sharedProven
+           << ",\n";
+        os << in3 << "\"globalSites\": " << ka.ranges.globalSites << ",\n";
+        os << in3 << "\"uniformRegs\": " << ka.uniformity.uniformRegs
+           << ",\n";
+        os << in3 << "\"affineRegs\": " << ka.uniformity.affineRegs
+           << ",\n";
+        os << in3 << "\"divergentRegs\": " << ka.uniformity.divergentRegs
+           << ",\n";
+        os << in3 << "\"uninitAllSafe\": "
+           << boolStr(ks && ks->uninitAllSafe) << ",\n";
+        os << in3 << "\"raceFree\": "
+           << boolStr(ka.races.provenRaceFree) << ",\n";
+        os << in3 << "\"launchDepth\": " << ka.launchDepth << ",\n";
+        os << in3 << "\"onCycle\": " << boolStr(ka.onLaunchCycle) << ",\n";
+        os << in3 << "\"launches\": [";
+        for (std::size_t l = 0; l < ka.uniformity.launches.size(); ++l) {
+            const UniformityResult::LaunchSite &s =
+                ka.uniformity.launches[l];
+            os << (l ? ", " : "") << "{\"pc\": " << s.pc
+               << ", \"callee\": \""
+               << (s.callee < kernels.size()
+                       ? jsonEscape(kernels[s.callee].name)
+                       : "?")
+               << "\", \"aggregated\": " << boolStr(s.aggregated)
+               << ", \"numTbs\": \"" << laneShapeName(s.numTbs)
+               << "\", \"paramAddr\": \"" << laneShapeName(s.paramAddr)
+               << "\", \"divergentFanOut\": "
+               << boolStr(s.divergentFanOut())
+               << ", \"maxFanOutPerWarp\": " << warpSize << "}";
+        }
+        os << "],\n";
+        os << in3 << "\"diagnostics\": [";
+        bool first = true;
+        for (const Diagnostic &d : diagnostics) {
+            if (d.funcId != ka.id)
+                continue;
+            os << (first ? "" : ", ") << "{\"rule\": \""
+               << ruleName(d.rule) << "\", \"severity\": \""
+               << severityName(d.severity) << "\", \"pc\": " << d.pc
+               << "}";
+            first = false;
+        }
+        os << "]\n" << in2 << "}";
+    }
+    os << (kernels.empty() ? "" : "\n" + in1) << "],\n";
+
+    os << in1 << "\"launchGraph\": {\n";
+    os << in2 << "\"maxDepth\": " << graph.maxDepth << ",\n";
+    os << in2 << "\"hasCycle\": " << boolStr(graph.hasCycle) << ",\n";
+    os << in2 << "\"edges\": [";
+    for (std::size_t e = 0; e < graph.edges.size(); ++e) {
+        const LaunchEdge &le = graph.edges[e];
+        os << (e ? ", " : "") << "{\"caller\": \""
+           << jsonEscape(graph.nodes[le.caller].name) << "\", \"callee\": \""
+           << jsonEscape(graph.nodes[le.callee].name)
+           << "\", \"pc\": " << le.pc
+           << ", \"aggregated\": " << boolStr(le.aggregated)
+           << ", \"divergentFanOut\": " << boolStr(le.divergentFanOut)
+           << "}";
+    }
+    os << "],\n";
+    os << in2 << "\"worstCaseAggLaunches\": " << graph.worstCaseAggLaunches
+       << ",\n";
+    os << in2 << "\"worstCaseCdpLaunches\": " << graph.worstCaseCdpLaunches
+       << ",\n";
+    os << in2 << "\"agtSize\": " << graph.aggTableCapacity << ",\n";
+    os << in2 << "\"aggBudgetExceeded\": "
+       << boolStr(graph.aggBudgetExceeded) << ",\n";
+    os << in2 << "\"aggSpillBytes\": " << graph.aggSpillBytes << ",\n";
+    os << in2 << "\"cdpPendingBytes\": " << graph.cdpPendingBytes << "\n";
+    os << in1 << "},\n";
+    os << in1 << "\"programDiagnostics\": [";
+    bool firstProg = true;
+    for (const Diagnostic &d : diagnostics) {
+        if (d.funcId != invalidKernelFunc)
+            continue;
+        os << (firstProg ? "" : ", ") << "{\"rule\": \"" << ruleName(d.rule)
+           << "\", \"severity\": \"" << severityName(d.severity) << "\"}";
+        firstProg = false;
+    }
+    os << "],\n";
+    os << in1 << "\"errors\": " << errorCount << ",\n";
+    os << in1 << "\"warnings\": " << warningCount << "\n";
+    os << in0 << "}";
+    return os.str();
+}
+
+} // namespace dtbl

@@ -1,0 +1,85 @@
+/**
+ * @file
+ * dtbl-analyze driver: runs every static analysis over a Program and
+ * aggregates the results into one report.
+ *
+ * Three consumers:
+ *  - the dtbl-analyze CLI (tools/dtbl_analyze.cc) renders the text and
+ *    JSON reports;
+ *  - tests golden-match the diagnostics (rule + pc per kernel);
+ *  - the runtime sanitizer consumes the AccessSafety side-table via
+ *    computeAccessSafety(), a fast path that skips the analyses whose
+ *    results elision cannot use (uniformity, launch graph).
+ */
+
+#ifndef DTBL_ANALYSIS_ANALYZER_HH
+#define DTBL_ANALYSIS_ANALYZER_HH
+
+#include <string>
+#include <vector>
+
+#include "analysis/access_safety.hh"
+#include "analysis/diagnostics.hh"
+#include "analysis/launch_graph.hh"
+#include "analysis/race.hh"
+#include "analysis/ranges.hh"
+#include "analysis/uniformity.hh"
+#include "common/config.hh"
+#include "isa/kernel_function.hh"
+
+namespace dtbl {
+
+struct KernelAnalysis
+{
+    KernelFuncId id = invalidKernelFunc;
+    std::string name;
+    unsigned codeLen = 0;
+    unsigned numBlocks = 0;
+
+    RangeResult ranges;
+    UniformityResult uniformity;
+    RaceResult races;
+
+    /** Launch depth below this kernel; -1 = unbounded (recursion). */
+    int launchDepth = 0;
+    bool onLaunchCycle = false;
+};
+
+struct ProgramAnalysis
+{
+    std::vector<KernelAnalysis> kernels;
+    LaunchGraph graph;
+    AccessSafety safety;
+
+    /** All diagnostics from every pass, in kernel/pc order. */
+    std::vector<Diagnostic> diagnostics;
+    std::uint64_t errorCount = 0;
+    std::uint64_t warningCount = 0;
+
+    /** Human-readable report; @p title heads the output. */
+    std::string textReport(const std::string &title) const;
+
+    /**
+     * Machine-readable JSON object for this program (no trailing
+     * newline). Deterministic: fixed key order, integers only, so CI
+     * can diff it against a pinned golden byte-for-byte.
+     */
+    std::string jsonReport(const std::string &bench,
+                           const std::string &mode,
+                           unsigned indent = 2) const;
+};
+
+/** Run every analysis over @p prog. */
+ProgramAnalysis analyzeProgram(const Program &prog,
+                               const GpuConfig &cfg = GpuConfig::k20c());
+
+/**
+ * Elision fast path: only the facts the sanitizer can consume, namely
+ * verifier cleanliness (uninit), interval bounds proofs and trivial
+ * race freedom.
+ */
+AccessSafety computeAccessSafety(const Program &prog);
+
+} // namespace dtbl
+
+#endif // DTBL_ANALYSIS_ANALYZER_HH

@@ -1,0 +1,167 @@
+#include "analysis/cfg.hh"
+
+#include <algorithm>
+
+namespace dtbl {
+
+void
+instSuccessors(const Instruction &inst, std::int32_t pc, std::int32_t n,
+               std::vector<std::int32_t> &out)
+{
+    out.clear();
+    switch (inst.op) {
+      case Opcode::Bra:
+        if (inst.target >= 0 && inst.target < n)
+            out.push_back(inst.target);
+        if (inst.pred >= 0)
+            out.push_back(pc + 1);
+        break;
+      case Opcode::Exit:
+        // An unpredicated exit retires every live lane; lanes in other
+        // stack entries resume at their own reconvergence PCs, which the
+        // branch edges already model.
+        if (inst.pred >= 0)
+            out.push_back(pc + 1);
+        break;
+      default:
+        out.push_back(pc + 1);
+        break;
+    }
+}
+
+Cfg::Cfg(const KernelFunction &fn) : fn_(&fn)
+{
+    if (fn.code.empty())
+        return;
+    buildBlocks();
+    computeOrderAndDominators();
+}
+
+void
+Cfg::buildBlocks()
+{
+    const std::int32_t n = std::int32_t(fn_->code.size());
+
+    // Leaders: entry, branch targets, and the instruction after any
+    // control transfer (so a block never straddles a branch).
+    std::vector<bool> leader(std::size_t(n), false);
+    leader[0] = true;
+    std::vector<std::int32_t> succ;
+    for (std::int32_t pc = 0; pc < n; ++pc) {
+        const Instruction &inst = fn_->code[std::size_t(pc)];
+        const bool transfers =
+            inst.op == Opcode::Bra || inst.op == Opcode::Exit;
+        if (transfers && pc + 1 < n)
+            leader[std::size_t(pc + 1)] = true;
+        if (inst.op == Opcode::Bra && inst.target >= 0 && inst.target < n)
+            leader[std::size_t(inst.target)] = true;
+    }
+
+    blockOf_.assign(std::size_t(n), 0);
+    for (std::int32_t pc = 0; pc < n; ++pc) {
+        if (leader[std::size_t(pc)]) {
+            BasicBlock b;
+            b.first = pc;
+            blocks_.push_back(b);
+        }
+        blockOf_[std::size_t(pc)] = std::uint32_t(blocks_.size() - 1);
+        blocks_.back().last = pc;
+    }
+
+    for (std::uint32_t bi = 0; bi < blocks_.size(); ++bi) {
+        BasicBlock &b = blocks_[bi];
+        instSuccessors(fn_->code[std::size_t(b.last)], b.last, n, succ);
+        for (std::int32_t s : succ) {
+            if (s >= n) {
+                fallsOffEnd_ = true;
+                continue;
+            }
+            const std::uint32_t sb = blockOf_[std::size_t(s)];
+            if (std::find(b.succs.begin(), b.succs.end(), sb) ==
+                b.succs.end())
+                b.succs.push_back(sb);
+        }
+    }
+    for (std::uint32_t bi = 0; bi < blocks_.size(); ++bi)
+        for (std::uint32_t s : blocks_[bi].succs)
+            blocks_[s].preds.push_back(bi);
+}
+
+void
+Cfg::computeOrderAndDominators()
+{
+    // Iterative DFS post-order from the entry block.
+    std::vector<std::uint32_t> post;
+    std::vector<std::uint8_t> state(blocks_.size(), 0); // 0 new 1 open 2 done
+    std::vector<std::uint32_t> stack{0};
+    while (!stack.empty()) {
+        const std::uint32_t b = stack.back();
+        if (state[b] == 0) {
+            state[b] = 1;
+            blocks_[b].reachable = true;
+            for (std::uint32_t s : blocks_[b].succs)
+                if (state[s] == 0)
+                    stack.push_back(s);
+        } else {
+            stack.pop_back();
+            if (state[b] == 1) {
+                state[b] = 2;
+                post.push_back(b);
+            }
+        }
+    }
+    rpo_.assign(post.rbegin(), post.rend());
+    rpoIndex_.assign(blocks_.size(), noBlock);
+    for (std::uint32_t i = 0; i < rpo_.size(); ++i)
+        rpoIndex_[rpo_[i]] = i;
+
+    // Cooper-Harvey-Kennedy iterative dominators over RPO.
+    idom_.assign(blocks_.size(), noBlock);
+    if (rpo_.empty())
+        return;
+    idom_[rpo_[0]] = rpo_[0];
+    const auto intersect = [&](std::uint32_t a, std::uint32_t b) {
+        while (a != b) {
+            while (rpoIndex_[a] > rpoIndex_[b])
+                a = idom_[a];
+            while (rpoIndex_[b] > rpoIndex_[a])
+                b = idom_[b];
+        }
+        return a;
+    };
+    bool changed = true;
+    while (changed) {
+        changed = false;
+        for (std::uint32_t i = 1; i < rpo_.size(); ++i) {
+            const std::uint32_t b = rpo_[i];
+            std::uint32_t newIdom = noBlock;
+            for (std::uint32_t p : blocks_[b].preds) {
+                if (idom_[p] == noBlock)
+                    continue; // unprocessed or unreachable
+                newIdom = newIdom == noBlock ? p : intersect(p, newIdom);
+            }
+            if (newIdom != noBlock && idom_[b] != newIdom) {
+                idom_[b] = newIdom;
+                changed = true;
+            }
+        }
+    }
+    idom_[rpo_[0]] = noBlock; // entry has no idom
+}
+
+bool
+Cfg::dominates(std::uint32_t a, std::uint32_t b) const
+{
+    if (a >= blocks_.size() || b >= blocks_.size())
+        return false;
+    if (!blocks_[a].reachable || !blocks_[b].reachable)
+        return false;
+    while (b != noBlock) {
+        if (a == b)
+            return true;
+        b = idom_[b];
+    }
+    return false;
+}
+
+} // namespace dtbl

@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Control-flow graph over kernel IR: basic blocks, reachability,
+ * reverse post-order and dominators.
+ *
+ * The verifier's original per-instruction successor walk is factored
+ * out here (instSuccessors) so the verifier, the dataflow solver and
+ * every dtbl-analyze pass agree on one CFG semantics:
+ *
+ *  - Bra: edge to target; predicated branches also fall through.
+ *  - Exit: no successors; predicated exits fall through.
+ *  - Everything else: falls through to pc+1. A fallthrough to
+ *    code.size() means control can run off the end (the verifier's
+ *    NoTerminator error); the Cfg records it but adds no edge.
+ *
+ * Blocks are maximal single-entry single-exit instruction runs; the
+ * dominator tree is computed with the Cooper-Harvey-Kennedy iterative
+ * algorithm over reverse post-order, which is plenty for kernels of a
+ * few hundred instructions.
+ */
+
+#ifndef DTBL_ANALYSIS_CFG_HH
+#define DTBL_ANALYSIS_CFG_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "isa/kernel_function.hh"
+
+namespace dtbl {
+
+/** Successor PCs of @p inst at @p pc; may include n (= falls off end). */
+void instSuccessors(const Instruction &inst, std::int32_t pc,
+                    std::int32_t n, std::vector<std::int32_t> &out);
+
+struct BasicBlock
+{
+    std::int32_t first = 0; //!< pc of the first instruction
+    std::int32_t last = 0;  //!< pc of the last instruction (inclusive)
+    std::vector<std::uint32_t> succs;
+    std::vector<std::uint32_t> preds;
+    bool reachable = false;
+
+    std::int32_t
+    size() const
+    {
+        return last - first + 1;
+    }
+};
+
+class Cfg
+{
+  public:
+    static constexpr std::uint32_t noBlock = 0xffffffffu;
+
+    explicit Cfg(const KernelFunction &fn);
+
+    const KernelFunction &fn() const { return *fn_; }
+
+    std::size_t numBlocks() const { return blocks_.size(); }
+    const BasicBlock &block(std::uint32_t b) const { return blocks_[b]; }
+
+    /** Block containing @p pc (every pc belongs to exactly one block). */
+    std::uint32_t blockOf(std::int32_t pc) const { return blockOf_[pc]; }
+
+    /** Reachable blocks in reverse post-order (entry first). */
+    const std::vector<std::uint32_t> &rpo() const { return rpo_; }
+
+    /** Immediate dominator of @p b; noBlock for entry / unreachable. */
+    std::uint32_t idom(std::uint32_t b) const { return idom_[b]; }
+
+    /** Does block @p a dominate block @p b? (reflexive) */
+    bool dominates(std::uint32_t a, std::uint32_t b) const;
+
+    /** Some reachable instruction's fallthrough leaves the code. */
+    bool fallsOffEnd() const { return fallsOffEnd_; }
+
+  private:
+    void buildBlocks();
+    void computeOrderAndDominators();
+
+    const KernelFunction *fn_;
+    std::vector<BasicBlock> blocks_;
+    std::vector<std::uint32_t> blockOf_;
+    std::vector<std::uint32_t> rpo_;
+    std::vector<std::uint32_t> rpoIndex_; //!< per block; ~0u if unreachable
+    std::vector<std::uint32_t> idom_;
+    bool fallsOffEnd_ = false;
+};
+
+} // namespace dtbl
+
+#endif // DTBL_ANALYSIS_CFG_HH

@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Generic forward worklist dataflow solver over a Cfg.
+ *
+ * A Domain supplies the abstract state and its lattice operations:
+ *
+ *   struct Domain {
+ *       using State = ...;
+ *       State boundary() const;  // state at the function entry
+ *       State initial() const;   // optimistic initial state elsewhere
+ *       // Join @p from into @p into; @p widen is set once the solver
+ *       // has merged into this block more than its widening threshold
+ *       // (domains with infinite ascending chains must then widen).
+ *       bool merge(State &into, const State &from, bool widen) const;
+ *       // Apply the whole block's transfer function in place.
+ *       void transfer(const Cfg &cfg, std::uint32_t block, State &s) const;
+ *   };
+ *
+ * The solver owns one in-state per block and iterates to a fixpoint in
+ * reverse post-order, which converges in O(depth) passes for reducible
+ * flow graphs (all KernelBuilder output is reducible).
+ */
+
+#ifndef DTBL_ANALYSIS_DATAFLOW_HH
+#define DTBL_ANALYSIS_DATAFLOW_HH
+
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "analysis/cfg.hh"
+
+namespace dtbl {
+
+template <typename Domain>
+class ForwardSolver
+{
+  public:
+    using State = typename Domain::State;
+
+    ForwardSolver(const Cfg &cfg, Domain domain, unsigned widen_after = 8)
+        : cfg_(cfg), domain_(std::move(domain)), widenAfter_(widen_after)
+    {
+    }
+
+    void
+    solve()
+    {
+        const std::size_t n = cfg_.numBlocks();
+        in_.clear();
+        in_.reserve(n);
+        for (std::size_t b = 0; b < n; ++b)
+            in_.push_back(b == 0 ? domain_.boundary() : domain_.initial());
+        merges_.assign(n, 0);
+
+        std::vector<bool> queued(n, false);
+        std::deque<std::uint32_t> wl;
+        for (std::uint32_t b : cfg_.rpo()) {
+            wl.push_back(b);
+            queued[b] = true;
+        }
+        while (!wl.empty()) {
+            const std::uint32_t b = wl.front();
+            wl.pop_front();
+            queued[b] = false;
+            State out = in_[b];
+            domain_.transfer(cfg_, b, out);
+            for (std::uint32_t s : cfg_.block(b).succs) {
+                ++merges_[s];
+                const bool widen = merges_[s] > widenAfter_;
+                if (domain_.merge(in_[s], out, widen) && !queued[s]) {
+                    wl.push_back(s);
+                    queued[s] = true;
+                }
+            }
+        }
+    }
+
+    /** State on entry to block @p b (valid after solve()). */
+    const State &inState(std::uint32_t b) const { return in_[b]; }
+
+    /** State on exit of block @p b (recomputed on demand). */
+    State
+    outState(std::uint32_t b) const
+    {
+        State s = in_[b];
+        domain_.transfer(cfg_, b, s);
+        return s;
+    }
+
+    const Domain &domain() const { return domain_; }
+
+  private:
+    const Cfg &cfg_;
+    Domain domain_;
+    unsigned widenAfter_;
+    std::vector<State> in_;
+    std::vector<std::uint32_t> merges_;
+};
+
+} // namespace dtbl
+
+#endif // DTBL_ANALYSIS_DATAFLOW_HH

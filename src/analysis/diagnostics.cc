@@ -22,6 +22,11 @@ ruleName(CheckRule rule)
       case CheckRule::MaybeUninit: return "maybe-uninit";
       case CheckRule::BarrierDivergence: return "barrier-divergence";
       case CheckRule::NoTerminator: return "no-terminator";
+      case CheckRule::StaticOob: return "static-oob";
+      case CheckRule::StaticRace: return "static-race";
+      case CheckRule::DivergentLaunch: return "divergent-launch";
+      case CheckRule::LaunchRecursion: return "launch-recursion";
+      case CheckRule::LaunchBudget: return "launch-budget";
       case CheckRule::OobGlobal: return "oob-global";
       case CheckRule::OobShared: return "oob-shared";
       case CheckRule::OobParam: return "oob-param";

@@ -44,6 +44,12 @@ enum class CheckRule : std::uint8_t
     MaybeUninit,       //!< read defined on some but not all paths
     BarrierDivergence, //!< Bar predicated or inside a divergent region
     NoTerminator,      //!< control flow can run off the end of code
+    // --- static analyzer (dtbl-analyze) -----------------------------------
+    StaticOob,         //!< access proven out of bounds on every path
+    StaticRace,        //!< shared conflict with no proof of separation
+    DivergentLaunch,   //!< launch operands divergent: per-lane fan-out
+    LaunchRecursion,   //!< launch graph cycle: unbounded launch depth
+    LaunchBudget,      //!< worst-case fan-out exceeds AGT/KDE capacity
     // --- runtime sanitizer ----------------------------------------------
     OobGlobal,         //!< global access outside any live allocation
     OobShared,         //!< shared access outside the TB segment

@@ -1,0 +1,167 @@
+#include "analysis/launch_graph.hh"
+
+#include <algorithm>
+#include <sstream>
+
+namespace dtbl {
+namespace {
+
+/** Tarjan-free cycle + longest-path pass via iterative DFS colors. */
+class DepthPass
+{
+  public:
+    explicit DepthPass(LaunchGraph &g) : g_(g) {}
+
+    void
+    run()
+    {
+        color_.assign(g_.nodes.size(), 0);
+        depth_.assign(g_.nodes.size(), 0);
+        for (std::uint32_t n = 0; n < g_.nodes.size(); ++n)
+            visit(n);
+        for (std::uint32_t n = 0; n < g_.nodes.size(); ++n) {
+            g_.nodes[n].depth = g_.nodes[n].onCycle ? -1 : depth_[n];
+            if (g_.nodes[n].onCycle)
+                g_.hasCycle = true;
+        }
+        g_.maxDepth = 0;
+        for (const LaunchGraph::Node &n : g_.nodes) {
+            if (n.depth < 0) {
+                g_.maxDepth = -1;
+                break;
+            }
+            g_.maxDepth = std::max(g_.maxDepth, n.depth);
+        }
+    }
+
+  private:
+    int
+    visit(std::uint32_t n)
+    {
+        if (color_[n] == 2)
+            return g_.nodes[n].onCycle ? -1 : depth_[n];
+        if (color_[n] == 1) { // back edge: cycle
+            g_.nodes[n].onCycle = true;
+            return -1;
+        }
+        color_[n] = 1;
+        int best = 0;
+        bool unbounded = false;
+        for (std::uint32_t e : g_.nodes[n].outEdges) {
+            const std::uint32_t callee = g_.edges[e].callee;
+            const int d = visit(callee);
+            if (d < 0 || g_.nodes[callee].onCycle)
+                unbounded = true;
+            else
+                best = std::max(best, d + 1);
+        }
+        color_[n] = 2;
+        if (unbounded)
+            g_.nodes[n].onCycle = true;
+        depth_[n] = best;
+        return unbounded ? -1 : best;
+    }
+
+    LaunchGraph &g_;
+    std::vector<std::uint8_t> color_;
+    std::vector<int> depth_;
+};
+
+} // namespace
+
+LaunchGraph
+buildLaunchGraph(const Program &prog, const GpuConfig &cfg,
+                 const std::vector<UniformityResult> &uniformity)
+{
+    LaunchGraph g;
+    g.nodes.resize(prog.size());
+    for (KernelFuncId id = 0; id < prog.size(); ++id) {
+        const KernelFunction &fn = prog.function(id);
+        g.nodes[id].id = id;
+        g.nodes[id].name = fn.name;
+    }
+
+    for (KernelFuncId id = 0; id < prog.size(); ++id) {
+        if (id >= uniformity.size())
+            break;
+        for (const UniformityResult::LaunchSite &site :
+             uniformity[id].launches) {
+            if (site.callee == invalidKernelFunc ||
+                site.callee >= g.nodes.size())
+                continue;
+            LaunchEdge e;
+            e.caller = id;
+            e.callee = site.callee;
+            e.pc = site.pc;
+            e.aggregated = site.aggregated;
+            e.divergentFanOut = site.divergentFanOut();
+            e.maxFanOutPerWarp = warpSize; // launches execute per lane
+            g.nodes[id].outEdges.push_back(std::uint32_t(g.edges.size()));
+            g.nodes[site.callee].isRoot = false;
+            g.edges.push_back(e);
+        }
+    }
+
+    DepthPass(g).run();
+
+    // Worst-case concurrent launches: every resident warp sitting at
+    // one launch site, all lanes active (Section 4.2 sizing argument).
+    const std::uint64_t residentWarps =
+        std::uint64_t(cfg.numSmx) * cfg.maxResidentWarpsPerSmx;
+    std::uint64_t aggSites = 0, cdpSites = 0;
+    for (const LaunchEdge &e : g.edges)
+        (e.aggregated ? aggSites : cdpSites) += 1;
+    g.worstCaseAggLaunches =
+        aggSites ? residentWarps * warpSize : 0;
+    g.worstCaseCdpLaunches =
+        cdpSites ? residentWarps * warpSize : 0;
+    g.aggTableCapacity = cfg.agtSize;
+    g.cdpPendingBytes = g.worstCaseCdpLaunches * cfg.cdpKernelRecordBytes;
+    if (g.worstCaseAggLaunches > g.aggTableCapacity) {
+        g.aggBudgetExceeded = true;
+        g.aggSpillBytes = (g.worstCaseAggLaunches - g.aggTableCapacity) *
+                          cfg.aggGroupRecordBytes;
+    }
+
+    for (const LaunchGraph::Node &n : g.nodes) {
+        if (!n.onCycle)
+            continue;
+        // Report on the first cycle-forming edge out of this node.
+        for (std::uint32_t ei : n.outEdges) {
+            const LaunchEdge &e = g.edges[ei];
+            if (!g.nodes[e.callee].onCycle)
+                continue;
+            std::ostringstream os;
+            os << n.name << " launches " << g.nodes[e.callee].name
+               << " on a launch-graph cycle; launch depth is unbounded "
+                  "and resource use is data-dependent";
+            Diagnostic d;
+            d.funcId = n.id;
+            d.pc = e.pc;
+            d.severity = Severity::Warning;
+            d.rule = CheckRule::LaunchRecursion;
+            d.message = os.str();
+            g.diags.push_back(std::move(d));
+            break;
+        }
+    }
+
+    if (g.aggBudgetExceeded) {
+        std::ostringstream os;
+        os << "worst-case concurrent aggregated launches ("
+           << g.worstCaseAggLaunches << " = " << residentWarps
+           << " resident warps x " << warpSize
+           << " lanes) exceed the aggregation table ("
+           << g.aggTableCapacity
+           << " entries); overflow falls back to non-coalesced dispatch ("
+           << g.aggSpillBytes << " spill bytes worst case)";
+        Diagnostic d;
+        d.severity = Severity::Warning;
+        d.rule = CheckRule::LaunchBudget;
+        d.message = os.str();
+        g.diags.push_back(std::move(d));
+    }
+    return g;
+}
+
+} // namespace dtbl

@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Interprocedural launch graph over all registered kernels.
+ *
+ * Nodes are kernel functions; one edge per LaunchDevice/LaunchAgg site.
+ * On top of the graph:
+ *
+ *  - launch depth: longest chain of device-side launches below each
+ *    kernel (0 = leaf). Cycles (self-launching AMR-style kernels or
+ *    mutual recursion) make the depth unbounded and raise the
+ *    LaunchRecursion warning — the hardware has no depth limit, but
+ *    resource exhaustion becomes data-dependent;
+ *  - worst-case resource budgets per the paper's Section 4: every
+ *    launch opcode executes per lane, so one warp instruction can
+ *    produce up to warpSize launches. With every resident warp at a
+ *    launch site simultaneously, aggregated launches demand
+ *    residentWarps x warpSize AGT groups (vs the fixed-size
+ *    aggregation table, Section 4.2, agtSize entries of
+ *    aggGroupRecordBytes) and CDP launches the same number of pending
+ *    kernel records of cdpKernelRecordBytes each (the Figure 10
+ *    footprint). Exceeding agtSize is legal — the simulator falls back
+ *    to non-coalesced dispatch — but it is the regime where DTBL loses
+ *    its benefit, so LaunchBudget flags it.
+ */
+
+#ifndef DTBL_ANALYSIS_LAUNCH_GRAPH_HH
+#define DTBL_ANALYSIS_LAUNCH_GRAPH_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "analysis/diagnostics.hh"
+#include "analysis/uniformity.hh"
+#include "common/config.hh"
+#include "isa/kernel_function.hh"
+
+namespace dtbl {
+
+struct LaunchEdge
+{
+    KernelFuncId caller = invalidKernelFunc;
+    KernelFuncId callee = invalidKernelFunc;
+    std::int32_t pc = -1;
+    bool aggregated = false;
+    /** Lanes can issue differing launches (see uniformity.hh). */
+    bool divergentFanOut = false;
+    /** Worst-case launches from one warp executing this site once. */
+    std::uint32_t maxFanOutPerWarp = warpSize;
+};
+
+struct LaunchGraph
+{
+    struct Node
+    {
+        KernelFuncId id = invalidKernelFunc;
+        std::string name;
+        std::vector<std::uint32_t> outEdges; //!< indices into edges
+        /** Longest launch chain below this kernel; -1 = unbounded. */
+        int depth = 0;
+        /** Kernel sits on a launch cycle (directly or mutually). */
+        bool onCycle = false;
+        /** Host-reachable root (no in-edges). */
+        bool isRoot = true;
+    };
+
+    std::vector<Node> nodes;
+    std::vector<LaunchEdge> edges;
+
+    /** Longest chain anywhere; -1 when any cycle exists. */
+    int maxDepth = 0;
+    bool hasCycle = false;
+
+    // Worst-case concurrent-launch budgets (machine-wide).
+    std::uint64_t worstCaseAggLaunches = 0;
+    std::uint64_t worstCaseCdpLaunches = 0;
+    std::uint64_t aggTableCapacity = 0;    //!< cfg.agtSize
+    std::uint64_t aggSpillBytes = 0;       //!< overflow x record size
+    std::uint64_t cdpPendingBytes = 0;     //!< records x record size
+    bool aggBudgetExceeded = false;
+
+    std::vector<Diagnostic> diags; //!< LaunchRecursion + LaunchBudget
+};
+
+/**
+ * Build the launch graph. @p uniformity holds one entry per kernel id
+ * (the per-kernel uniformity results supply the launch-site facts).
+ */
+LaunchGraph buildLaunchGraph(const Program &prog, const GpuConfig &cfg,
+                             const std::vector<UniformityResult> &uniformity);
+
+} // namespace dtbl
+
+#endif // DTBL_ANALYSIS_LAUNCH_GRAPH_HH

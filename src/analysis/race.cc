@@ -1,0 +1,383 @@
+#include "analysis/race.hh"
+
+#include <algorithm>
+#include <cstdlib>
+#include <map>
+#include <set>
+#include <sstream>
+#include <tuple>
+
+namespace dtbl {
+namespace {
+
+/**
+ * Thread-affine address fact: value = scale * linearThreadId + base,
+ * where base is a TB-uniform symbolic value tracked by value number
+ * (vn 0 = the constant zero) plus a constant offset.
+ */
+struct AffineAddr
+{
+    enum class State : std::uint8_t { Unknown, Affine, Invalid };
+
+    State state = State::Unknown;
+    std::int64_t scale = 0;
+    std::uint32_t baseVn = 0;
+    std::int64_t baseOff = 0;
+
+    static AffineAddr invalid() { return {State::Invalid, 0, 0, 0}; }
+
+    static AffineAddr
+    constant(std::int64_t c)
+    {
+        return {State::Affine, 0, 0, c};
+    }
+
+    bool operator==(const AffineAddr &) const = default;
+};
+
+AffineAddr
+joinAffine(const AffineAddr &a, const AffineAddr &b)
+{
+    if (a.state == AffineAddr::State::Unknown)
+        return b;
+    if (b.state == AffineAddr::State::Unknown)
+        return a;
+    return a == b ? a : AffineAddr::invalid();
+}
+
+class AffinePass
+{
+  public:
+    explicit AffinePass(const KernelFunction &fn)
+        : fn_(fn), regs_(fn.numRegs)
+    {
+    }
+
+    void
+    run()
+    {
+        bool changed = true;
+        while (changed) {
+            changed = false;
+            for (const Instruction &inst : fn_.code)
+                changed |= step(inst);
+        }
+    }
+
+    AffineAddr
+    operandFact(const Operand &op) const
+    {
+        switch (op.kind) {
+          case Operand::Kind::Imm:
+            return AffineAddr::constant(std::int64_t(op.value));
+          case Operand::Kind::Special:
+            return sregFact(SReg(op.value));
+          case Operand::Kind::Reg:
+            return op.value < regs_.size() ? regs_[op.value]
+                                           : AffineAddr::invalid();
+          default:
+            return AffineAddr::invalid();
+        }
+    }
+
+  private:
+    AffineAddr
+    sregFact(SReg s) const
+    {
+        const Dim3 &tb = fn_.tbDim;
+        const bool linearX = tb.y == 1 && tb.z == 1;
+        switch (s) {
+          case SReg::TidX:
+            if (linearX)
+                return {AffineAddr::State::Affine, 1, 0, 0};
+            return AffineAddr::invalid();
+          case SReg::TidY:
+            return tb.y == 1 ? AffineAddr::constant(0)
+                             : AffineAddr::invalid();
+          case SReg::TidZ:
+            return tb.z == 1 ? AffineAddr::constant(0)
+                             : AffineAddr::invalid();
+          case SReg::NTidX: return AffineAddr::constant(tb.x);
+          case SReg::NTidY: return AffineAddr::constant(tb.y);
+          case SReg::NTidZ: return AffineAddr::constant(tb.z);
+          case SReg::CtaIdX:
+          case SReg::CtaIdY:
+          case SReg::CtaIdZ:
+          case SReg::NCtaIdX:
+          case SReg::NCtaIdY:
+          case SReg::NCtaIdZ:
+          case SReg::IsAggregated:
+            // TB-uniform symbolic values.
+            return {AffineAddr::State::Affine, 0,
+                    vnFor({1, std::uint32_t(s), 0}), 0};
+          default: // LaneId is linearTid mod warpSize: not affine
+            return AffineAddr::invalid();
+        }
+    }
+
+    /** Deterministic value-number for a symbolic expression key. */
+    std::uint32_t
+    vnFor(const std::tuple<std::uint32_t, std::uint32_t, std::int64_t> &k)
+        const
+    {
+        auto it = vns_.find(k);
+        if (it != vns_.end())
+            return it->second;
+        const std::uint32_t id = std::uint32_t(vns_.size()) + 1;
+        vns_.emplace(k, id);
+        return id;
+    }
+
+    std::uint32_t
+    combineVn(std::uint32_t a, std::uint32_t b, std::uint32_t op) const
+    {
+        if (a == 0)
+            return b;
+        if (b == 0)
+            return a;
+        return vnFor({op, a ^ (b << 8) ^ (b >> 24), std::int64_t(b)});
+    }
+
+    bool
+    step(const Instruction &inst)
+    {
+        std::int16_t dst = -1;
+        AffineAddr v = AffineAddr::invalid();
+        switch (inst.op) {
+          case Opcode::Mov:
+            dst = inst.dst;
+            v = operandFact(inst.src[0]);
+            break;
+          case Opcode::Add:
+          case Opcode::Sub: {
+            dst = inst.dst;
+            const AffineAddr a = operandFact(inst.src[0]);
+            const AffineAddr b = operandFact(inst.src[1]);
+            if (a.state == AffineAddr::State::Affine &&
+                b.state == AffineAddr::State::Affine) {
+                const std::int64_t sgn = inst.op == Opcode::Add ? 1 : -1;
+                if (inst.op == Opcode::Add || b.baseVn == 0 ||
+                    a.baseVn != b.baseVn) {
+                    v.state = AffineAddr::State::Affine;
+                    v.scale = a.scale + sgn * b.scale;
+                    v.baseOff = a.baseOff + sgn * b.baseOff;
+                    v.baseVn =
+                        sgn > 0 ? combineVn(a.baseVn, b.baseVn, 2)
+                        : b.baseVn == 0
+                            ? a.baseVn
+                            : combineVn(a.baseVn, b.baseVn, 3);
+                } else { // x - x style cancellation of the same base
+                    v = AffineAddr::constant(a.baseOff - b.baseOff);
+                    v.scale = a.scale - b.scale;
+                }
+            }
+            break;
+          }
+          case Opcode::Mul:
+          case Opcode::Shl: {
+            dst = inst.dst;
+            const AffineAddr a = operandFact(inst.src[0]);
+            const Operand &bo = inst.src[1];
+            std::int64_t c = 0;
+            bool haveC = false;
+            if (bo.kind == Operand::Kind::Imm) {
+                c = std::int64_t(std::int32_t(bo.value));
+                if (inst.op == Opcode::Shl) {
+                    if (bo.value < 32)
+                        c = std::int64_t(1) << bo.value;
+                    else
+                        break;
+                }
+                haveC = true;
+            }
+            if (haveC && a.state == AffineAddr::State::Affine) {
+                v.state = AffineAddr::State::Affine;
+                v.scale = a.scale * c;
+                v.baseOff = a.baseOff * c;
+                v.baseVn = a.baseVn == 0
+                               ? 0
+                               : vnFor({4, a.baseVn, c});
+            }
+            break;
+          }
+          case Opcode::Ld:
+            dst = inst.dst;
+            // A parameter load at a constant offset is TB-uniform (one
+            // bound buffer per TB); model it as a symbolic base.
+            if (inst.space == MemSpace::Param &&
+                inst.src[0].kind == Operand::Kind::Imm) {
+                v = {AffineAddr::State::Affine, 0,
+                     vnFor({5, inst.src[0].value,
+                            std::int64_t(inst.memOffset)}),
+                     0};
+            }
+            break;
+          case Opcode::Atom:
+          case Opcode::GetPBuf:
+          case Opcode::Selp:
+          case Opcode::Mad:
+          default:
+            dst = inst.op == Opcode::St || inst.op == Opcode::Bra ||
+                          inst.op == Opcode::Bar ||
+                          inst.op == Opcode::Exit ||
+                          inst.op == Opcode::Nop ||
+                          inst.op == Opcode::Setp ||
+                          inst.op == Opcode::StreamCreate ||
+                          inst.op == Opcode::LaunchDevice ||
+                          inst.op == Opcode::LaunchAgg
+                      ? -1
+                      : inst.dst;
+            break;
+        }
+        if (dst < 0 || std::uint32_t(dst) >= fn_.numRegs)
+            return false;
+        if (inst.pred >= 0) // guarded def: lanes may keep old values
+            v = v == regs_[std::size_t(dst)] ? v : AffineAddr::invalid();
+        const AffineAddr j = joinAffine(regs_[std::size_t(dst)], v);
+        if (j == regs_[std::size_t(dst)])
+            return false;
+        regs_[std::size_t(dst)] = j;
+        return true;
+    }
+
+    const KernelFunction &fn_;
+    std::vector<AffineAddr> regs_;
+    mutable std::map<std::tuple<std::uint32_t, std::uint32_t, std::int64_t>,
+                     std::uint32_t>
+        vns_;
+};
+
+struct SharedSite
+{
+    std::int32_t pc = -1;
+    bool isWrite = false;
+    unsigned width = 4;
+    AffineAddr addr; //!< src0 fact; memOffset folded into baseOff
+};
+
+/** Can @p from reach @p to along a path crossing no Bar? */
+bool
+reachesWithoutBarrier(const KernelFunction &fn, std::int32_t from,
+                      std::int32_t to)
+{
+    const std::int32_t n = std::int32_t(fn.code.size());
+    std::vector<bool> seen(std::size_t(n), false);
+    std::vector<std::int32_t> stack, succ;
+    instSuccessors(fn.code[std::size_t(from)], from, n, stack);
+    while (!stack.empty()) {
+        const std::int32_t pc = stack.back();
+        stack.pop_back();
+        if (pc >= n || seen[std::size_t(pc)])
+            continue;
+        seen[std::size_t(pc)] = true;
+        if (pc == to)
+            return true;
+        if (fn.code[std::size_t(pc)].op == Opcode::Bar)
+            continue; // the barrier orders the epochs
+        instSuccessors(fn.code[std::size_t(pc)], pc, n, succ);
+        for (std::int32_t s : succ)
+            stack.push_back(s);
+    }
+    return false;
+}
+
+/** Different threads can never touch the same byte via these sites. */
+bool
+affineDisjoint(const SharedSite &a, const SharedSite &b)
+{
+    if (a.addr.state != AffineAddr::State::Affine ||
+        b.addr.state != AffineAddr::State::Affine)
+        return false;
+    if (a.addr.scale != b.addr.scale || a.addr.baseVn != b.addr.baseVn)
+        return false;
+    const std::int64_t s = std::llabs(a.addr.scale);
+    const std::int64_t w = std::int64_t(std::max(a.width, b.width));
+    if (s < w)
+        return false;
+    const std::int64_t delta = std::llabs(a.addr.baseOff - b.addr.baseOff);
+    // addr_a(t1) - addr_b(t2) = scale*(t1-t2) + delta; with t1 != t2
+    // the magnitude is at least |scale| - |delta| >= width.
+    return delta <= s - w;
+}
+
+} // namespace
+
+RaceResult
+analyzeRaces(const Cfg &cfg)
+{
+    const KernelFunction &fn = cfg.fn();
+    RaceResult res;
+    res.singleWarp = fn.tbDim.count() <= warpSize;
+
+    std::vector<SharedSite> sites;
+    AffinePass pass(fn);
+    bool factsComputed = false;
+
+    for (std::size_t pc = 0; pc < fn.code.size(); ++pc) {
+        const Instruction &inst = fn.code[pc];
+        if (!inst.isMemory() || inst.space != MemSpace::Shared)
+            continue;
+        res.usesShared = true;
+        if (inst.op != Opcode::Ld)
+            res.hasSharedWrites = true;
+        if (!factsComputed) {
+            pass.run();
+            factsComputed = true;
+        }
+        SharedSite site;
+        site.pc = std::int32_t(pc);
+        site.isWrite = inst.op != Opcode::Ld;
+        site.width = inst.width;
+        site.addr = pass.operandFact(inst.src[0]);
+        if (site.addr.state == AffineAddr::State::Affine)
+            site.addr.baseOff += inst.memOffset;
+        sites.push_back(site);
+    }
+
+    res.trivialRaceFree = !res.hasSharedWrites || res.singleWarp;
+    if (res.trivialRaceFree) {
+        res.provenRaceFree = true;
+        return res;
+    }
+
+    std::set<std::int32_t> flagged;
+    for (std::size_t i = 0; i < sites.size(); ++i) {
+        for (std::size_t j = i; j < sites.size(); ++j) {
+            const SharedSite &a = sites[i], &b = sites[j];
+            if (!a.isWrite && !b.isWrite)
+                continue;
+            // Same-pc pairs conflict across warps by construction; for
+            // distinct sites one must reach the other barrier-free.
+            const bool live =
+                a.pc == b.pc || reachesWithoutBarrier(fn, a.pc, b.pc) ||
+                reachesWithoutBarrier(fn, b.pc, a.pc);
+            if (!live)
+                continue;
+            ++res.conflictPairs;
+            if (affineDisjoint(a, b)) {
+                ++res.disjointPairs;
+                continue;
+            }
+            const SharedSite &w = a.isWrite ? a : b;
+            if (!flagged.insert(w.pc).second)
+                continue;
+            std::ostringstream os;
+            os << fn.name << ": shared "
+               << (a.pc == b.pc ? "access races with itself across warps"
+                                : "write/read pair can race across warps")
+               << " (no barrier orders pc " << a.pc << " and pc " << b.pc
+               << ", and no per-thread address separation was proven)";
+            Diagnostic d;
+            d.funcId = fn.id;
+            d.pc = w.pc;
+            d.severity = Severity::Warning;
+            d.rule = CheckRule::StaticRace;
+            d.message = os.str();
+            res.diags.push_back(std::move(d));
+        }
+    }
+    res.provenRaceFree = res.conflictPairs == res.disjointPairs;
+    return res;
+}
+
+} // namespace dtbl

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Static shared-memory race check.
+ *
+ * The runtime race checker (sanitizer Full tier) reports same-byte
+ * cross-warp shared accesses with no barrier in between. This pass
+ * discharges that obligation at compile time where provable, using a
+ * barrier-interval happens-before argument:
+ *
+ *  1. Trivial proofs (these alone feed the sanitizer's check-elision,
+ *     because they are unconditionally sound):
+ *       - the kernel performs no shared-memory writes, or
+ *       - tbDim.count() <= warpSize, so a TB never has two warps and
+ *         the dynamic checker's cross-warp predicate can never fire.
+ *  2. Conflict-pair filtering: two shared sites (at least one write)
+ *     can only race if one can reach the other along a CFG path that
+ *     crosses no Bar (same-pc self-conflicts are always live: two
+ *     warps execute the same site concurrently).
+ *  3. Thread-affine disjointness: addresses decomposed as
+ *     scale * linearTid + base. Two sites with the same scale s, the
+ *     same symbolic base and |offsetDelta| <= |s| - width can never
+ *     touch the same byte from different threads, so the remaining
+ *     pairs are reported as StaticRace warnings only if this proof
+ *     also fails.
+ *
+ * Affine proofs suppress warnings and improve the report but are NOT
+ * used for elision — elision must keep runtime findings bit-identical,
+ * so it only trusts tier-1 trivial facts.
+ */
+
+#ifndef DTBL_ANALYSIS_RACE_HH
+#define DTBL_ANALYSIS_RACE_HH
+
+#include <vector>
+
+#include "analysis/cfg.hh"
+#include "analysis/diagnostics.hh"
+
+namespace dtbl {
+
+struct RaceResult
+{
+    bool usesShared = false;
+    bool hasSharedWrites = false;
+    bool singleWarp = false;
+
+    /** Sound for sanitizer elision (trivial facts only). */
+    bool trivialRaceFree = false;
+    /** All conflict pairs discharged (trivial or affine-disjoint). */
+    bool provenRaceFree = false;
+
+    unsigned conflictPairs = 0;
+    unsigned disjointPairs = 0;
+
+    std::vector<Diagnostic> diags; //!< StaticRace warnings
+};
+
+RaceResult analyzeRaces(const Cfg &cfg);
+
+} // namespace dtbl
+
+#endif // DTBL_ANALYSIS_RACE_HH

@@ -1,0 +1,407 @@
+#include "analysis/ranges.hh"
+
+#include <algorithm>
+#include <bit>
+#include <sstream>
+
+#include "analysis/dataflow.hh"
+
+namespace dtbl {
+namespace {
+
+constexpr std::uint64_t kU32Max = 0xffffffffull;
+
+Interval
+fromU64(std::uint64_t lo, std::uint64_t hi)
+{
+    if (hi > kU32Max)
+        return Interval::top();
+    return Interval::range(std::uint32_t(lo), std::uint32_t(hi));
+}
+
+/** Smallest all-ones mask covering @p v (0 -> 0). */
+std::uint32_t
+maskUpTo(std::uint32_t v)
+{
+    const unsigned w = unsigned(std::bit_width(v));
+    return w >= 32 ? 0xffffffffu : (1u << w) - 1;
+}
+
+Interval
+sregInterval(SReg s, const Dim3 &tb)
+{
+    switch (s) {
+      case SReg::TidX: return Interval::range(0, tb.x ? tb.x - 1 : 0);
+      case SReg::TidY: return Interval::range(0, tb.y ? tb.y - 1 : 0);
+      case SReg::TidZ: return Interval::range(0, tb.z ? tb.z - 1 : 0);
+      case SReg::NTidX: return Interval::constant(tb.x);
+      case SReg::NTidY: return Interval::constant(tb.y);
+      case SReg::NTidZ: return Interval::constant(tb.z);
+      case SReg::LaneId: return Interval::range(0, warpSize - 1);
+      case SReg::IsAggregated: return Interval::range(0, 1);
+      default: // grid shape and block index are launch-time values
+        return Interval::top();
+    }
+}
+
+class IntervalDomain
+{
+  public:
+    using State = std::vector<Interval>;
+
+    explicit IntervalDomain(const KernelFunction &fn) : fn_(&fn) {}
+
+    State
+    boundary() const
+    {
+        // Registers hold unspecified bits at entry; the verifier's
+        // def-before-use pass keeps reads of them out of clean kernels.
+        return State(fn_->numRegs, Interval::top());
+    }
+
+    State initial() const { return State(fn_->numRegs, Interval::bottom()); }
+
+    bool
+    merge(State &into, const State &from, bool widen_now) const
+    {
+        bool changed = false;
+        for (std::size_t r = 0; r < into.size(); ++r) {
+            Interval j = join(into[r], from[r]);
+            if (widen_now)
+                j = widen(into[r], j);
+            if (!(j == into[r])) {
+                into[r] = j;
+                changed = true;
+            }
+        }
+        return changed;
+    }
+
+    void
+    transfer(const Cfg &cfg, std::uint32_t block, State &s) const
+    {
+        const BasicBlock &b = cfg.block(block);
+        for (std::int32_t pc = b.first; pc <= b.last; ++pc)
+            step(cfg.fn().code[std::size_t(pc)], s);
+    }
+
+    /** Apply one instruction's effect to @p s. */
+    void
+    step(const Instruction &inst, State &s) const
+    {
+        const std::int16_t dst = destOf(inst);
+        if (dst < 0 || std::uint32_t(dst) >= fn_->numRegs)
+            return;
+        Interval v = value(inst, s);
+        if (inst.pred >= 0) // guarded def: lanes may keep the old value
+            v = join(s[std::size_t(dst)], v);
+        s[std::size_t(dst)] = v;
+    }
+
+    Interval
+    operand(const Operand &op, const State &s) const
+    {
+        switch (op.kind) {
+          case Operand::Kind::Imm:
+            return Interval::constant(op.value);
+          case Operand::Kind::Special:
+            return sregInterval(SReg(op.value), fn_->tbDim);
+          case Operand::Kind::Reg:
+            return op.value < s.size() ? s[op.value] : Interval::top();
+          default:
+            return Interval::top();
+        }
+    }
+
+  private:
+    static std::int16_t
+    destOf(const Instruction &inst)
+    {
+        switch (inst.op) {
+          case Opcode::Setp:
+          case Opcode::St:
+          case Opcode::Bra:
+          case Opcode::Bar:
+          case Opcode::Exit:
+          case Opcode::Nop:
+          case Opcode::StreamCreate:
+          case Opcode::LaunchDevice:
+          case Opcode::LaunchAgg:
+            return -1;
+          default:
+            return inst.dst;
+        }
+    }
+
+    Interval
+    value(const Instruction &inst, const State &s) const
+    {
+        const auto a = [&] { return operand(inst.src[0], s); };
+        const auto b = [&] { return operand(inst.src[1], s); };
+
+        switch (inst.op) {
+          case Opcode::Mov:
+          case Opcode::Selp:
+            break; // handled below (bit copies, type-agnostic)
+          case Opcode::Ld:
+          case Opcode::Atom:
+          case Opcode::GetPBuf:
+          case Opcode::CvtF2I:
+          case Opcode::CvtI2F:
+            return Interval::top();
+          default:
+            if (inst.type == DataType::F32)
+                return Interval::top();
+            break;
+        }
+
+        switch (inst.op) {
+          case Opcode::Mov:
+            return a();
+          case Opcode::Selp:
+            return join(a(), b());
+          case Opcode::Add:
+            return binOp(a(), b(), [](std::uint64_t x, std::uint64_t y) {
+                return x + y;
+            });
+          case Opcode::Mad: {
+            const Interval p = mul(a(), b());
+            return binOp(p, operand(inst.src[2], s),
+                         [](std::uint64_t x, std::uint64_t y) {
+                             return x + y;
+                         });
+          }
+          case Opcode::Sub: {
+            const Interval x = a(), y = b();
+            if (x.bot || y.bot)
+                return Interval::bottom();
+            if (x.lo < y.hi)
+                return Interval::top(); // may wrap below zero
+            return Interval::range(x.lo - y.hi, x.hi - y.lo);
+          }
+          case Opcode::Mul:
+            return mul(a(), b());
+          case Opcode::Div: {
+            if (inst.type != DataType::U32)
+                return Interval::top();
+            const Interval x = a(), y = b();
+            if (x.bot || y.bot)
+                return Interval::bottom();
+            if (y.lo == 0)
+                return Interval::top();
+            return Interval::range(x.lo / y.hi, x.hi / y.lo);
+          }
+          case Opcode::Rem: {
+            if (inst.type != DataType::U32)
+                return Interval::top();
+            const Interval x = a(), y = b();
+            if (x.bot || y.bot)
+                return Interval::bottom();
+            if (y.lo == 0)
+                return Interval::top();
+            return Interval::range(0, std::min(x.hi, y.hi - 1));
+          }
+          case Opcode::Min: {
+            if (inst.type != DataType::U32)
+                return Interval::top();
+            const Interval x = a(), y = b();
+            if (x.bot || y.bot)
+                return Interval::bottom();
+            return Interval::range(std::min(x.lo, y.lo),
+                                   std::min(x.hi, y.hi));
+          }
+          case Opcode::Max: {
+            if (inst.type != DataType::U32)
+                return Interval::top();
+            const Interval x = a(), y = b();
+            if (x.bot || y.bot)
+                return Interval::bottom();
+            return Interval::range(std::max(x.lo, y.lo),
+                                   std::max(x.hi, y.hi));
+          }
+          case Opcode::And: {
+            const Interval x = a(), y = b();
+            if (x.bot || y.bot)
+                return Interval::bottom();
+            return Interval::range(0, std::min(x.hi, y.hi));
+          }
+          case Opcode::Or: {
+            const Interval x = a(), y = b();
+            if (x.bot || y.bot)
+                return Interval::bottom();
+            return Interval::range(std::max(x.lo, y.lo),
+                                   maskUpTo(x.hi | y.hi));
+          }
+          case Opcode::Xor: {
+            const Interval x = a(), y = b();
+            if (x.bot || y.bot)
+                return Interval::bottom();
+            return Interval::range(0, maskUpTo(x.hi | y.hi));
+          }
+          case Opcode::Not: {
+            const Interval x = a();
+            if (x.bot)
+                return Interval::bottom();
+            return Interval::range(~x.hi, ~x.lo);
+          }
+          case Opcode::Shl: {
+            const Interval x = a(), y = b();
+            if (x.bot || y.bot)
+                return Interval::bottom();
+            if (y.hi >= 32)
+                return Interval::top();
+            return fromU64(std::uint64_t(x.lo) << y.lo,
+                           std::uint64_t(x.hi) << y.hi);
+          }
+          case Opcode::Shr: {
+            if (inst.type != DataType::U32)
+                return Interval::top(); // S32 shr is arithmetic
+            const Interval x = a(), y = b();
+            if (x.bot || y.bot)
+                return Interval::bottom();
+            if (y.hi >= 32)
+                return Interval::top();
+            return Interval::range(x.lo >> y.hi, x.hi >> y.lo);
+          }
+          default:
+            return Interval::top();
+        }
+    }
+
+    template <typename F>
+    static Interval
+    binOp(const Interval &x, const Interval &y, F f)
+    {
+        if (x.bot || y.bot)
+            return Interval::bottom();
+        return fromU64(f(x.lo, y.lo), f(x.hi, y.hi));
+    }
+
+    static Interval
+    mul(const Interval &x, const Interval &y)
+    {
+        if (x.bot || y.bot)
+            return Interval::bottom();
+        // All-unsigned product is monotone in both operands.
+        return fromU64(std::uint64_t(x.lo) * y.lo,
+                       std::uint64_t(x.hi) * y.hi);
+    }
+
+    const KernelFunction *fn_;
+};
+
+} // namespace
+
+Interval
+join(const Interval &a, const Interval &b)
+{
+    if (a.bot)
+        return b;
+    if (b.bot)
+        return a;
+    return Interval::range(std::min(a.lo, b.lo), std::max(a.hi, b.hi));
+}
+
+Interval
+widen(const Interval &prev, const Interval &next)
+{
+    if (prev.bot)
+        return next;
+    if (next.bot)
+        return prev;
+    Interval w = next;
+    if (next.lo < prev.lo)
+        w.lo = 0;
+    if (next.hi > prev.hi)
+        w.hi = 0xffffffffu;
+    return w;
+}
+
+RangeResult
+analyzeRanges(const Cfg &cfg)
+{
+    const KernelFunction &fn = cfg.fn();
+    RangeResult res;
+    res.paramSafe.assign(fn.code.size(), false);
+    res.sharedSafe.assign(fn.code.size(), false);
+    if (fn.code.empty())
+        return res;
+
+    IntervalDomain domain(fn);
+    ForwardSolver<IntervalDomain> solver(cfg, domain);
+    solver.solve();
+
+    const auto oob = [&](std::int32_t pc, const char *space,
+                         std::int64_t lo_end, std::uint32_t limit) {
+        std::ostringstream os;
+        os << fn.name << ": " << space << " access spans bytes up to "
+           << lo_end << " on every path, beyond the " << limit
+           << "-byte segment";
+        Diagnostic d;
+        d.funcId = fn.id;
+        d.pc = pc;
+        d.severity = Severity::Warning; // the site may be dynamically dead
+        d.rule = CheckRule::StaticOob;
+        d.message = os.str();
+        res.diags.push_back(std::move(d));
+    };
+
+    for (std::uint32_t bi = 0; bi < cfg.numBlocks(); ++bi) {
+        const BasicBlock &b = cfg.block(bi);
+        if (!b.reachable)
+            continue;
+        IntervalDomain::State s = solver.inState(bi);
+        for (std::int32_t pc = b.first; pc <= b.last; ++pc) {
+            const Instruction &inst = fn.code[std::size_t(pc)];
+            if (inst.isMemory()) {
+                const Interval addr = domain.operand(inst.src[0], s);
+                // Effective byte range [addr.lo+off, addr.hi+off+width).
+                const std::int64_t loEnd = std::int64_t(addr.lo) +
+                                           inst.memOffset + inst.width;
+                const std::int64_t hiEnd = std::int64_t(addr.hi) +
+                                           inst.memOffset + inst.width;
+                const std::int64_t loBegin =
+                    std::int64_t(addr.lo) + inst.memOffset;
+                switch (inst.space) {
+                  case MemSpace::Param:
+                    ++res.paramSites;
+                    if (!addr.bot && loBegin >= 0 &&
+                        hiEnd <= std::int64_t(fn.paramBytes)) {
+                        res.paramSafe[std::size_t(pc)] = true;
+                        ++res.paramProven;
+                        res.paramProvenEnd =
+                            std::max<std::uint32_t>(res.paramProvenEnd,
+                                                    std::uint32_t(hiEnd));
+                    } else if (!addr.bot &&
+                               inst.src[0].kind == Operand::Kind::Reg &&
+                               loEnd > std::int64_t(fn.paramBytes)) {
+                        // Imm-addressed OOB is the verifier's
+                        // ParamBounds error; only reg sites are new.
+                        oob(pc, "param", loEnd, fn.paramBytes);
+                    }
+                    break;
+                  case MemSpace::Shared:
+                    ++res.sharedSites;
+                    if (!addr.bot && loBegin >= 0 &&
+                        hiEnd <= std::int64_t(fn.sharedMemBytes)) {
+                        res.sharedSafe[std::size_t(pc)] = true;
+                        ++res.sharedProven;
+                    } else if (!addr.bot &&
+                               loEnd > std::int64_t(fn.sharedMemBytes)) {
+                        oob(pc, "shared", loEnd, fn.sharedMemBytes);
+                    }
+                    break;
+                  case MemSpace::Global:
+                    // Allocation addresses are runtime values; global
+                    // safety stays with the sanitizer (span-batched).
+                    ++res.globalSites;
+                    break;
+                }
+            }
+            domain.step(inst, s);
+        }
+    }
+    return res;
+}
+
+} // namespace dtbl

@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Interval value-range analysis (constant propagation generalised to
+ * [lo, hi] ranges over 32-bit register bit patterns).
+ *
+ * The domain is per-register unsigned intervals with widening at loop
+ * heads; thread-index specials seed the ranges (tid.x in
+ * [0, tbDim.x-1], ntid.x = tbDim.x, ...), which is what lets the
+ * analysis prove tid-indexed shared/param accesses in bounds without
+ * any path sensitivity. Transfer functions are bit-pattern-accurate:
+ * ops whose low 32 result bits are sign-agnostic (add/sub/mul/shl and
+ * the bitwise ops) are modelled for both U32 and S32 as long as the
+ * mathematical result cannot wrap; sign-sensitive ops (div/rem/min/
+ * max/shr) are modelled for U32 only; float-typed results are top.
+ *
+ * Outputs:
+ *  - per-pc proof bits that a Param load / Shared access stays inside
+ *    fn.paramBytes / fn.sharedMemBytes on every path (consumed by the
+ *    sanitizer's check-elision, see access_safety.hh);
+ *  - paramProvenEnd, the largest proven param byte end, backing the
+ *    sanitizer's single hoisted per-TB parameter-buffer check;
+ *  - StaticOob warnings for accesses proven out of bounds whenever
+ *    they execute.
+ */
+
+#ifndef DTBL_ANALYSIS_RANGES_HH
+#define DTBL_ANALYSIS_RANGES_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "analysis/cfg.hh"
+#include "analysis/diagnostics.hh"
+
+namespace dtbl {
+
+/** Unsigned 32-bit bit-pattern interval [lo, hi]; bot = no value. */
+struct Interval
+{
+    std::uint32_t lo = 0;
+    std::uint32_t hi = 0xffffffffu;
+    bool bot = false;
+
+    static Interval top() { return {}; }
+
+    static Interval
+    bottom()
+    {
+        Interval i;
+        i.bot = true;
+        return i;
+    }
+
+    static Interval
+    constant(std::uint32_t c)
+    {
+        return {c, c, false};
+    }
+
+    static Interval
+    range(std::uint32_t l, std::uint32_t h)
+    {
+        return {l, h, false};
+    }
+
+    bool isTop() const { return !bot && lo == 0 && hi == 0xffffffffu; }
+    bool isConst() const { return !bot && lo == hi; }
+
+    bool operator==(const Interval &) const = default;
+};
+
+Interval join(const Interval &a, const Interval &b);
+
+/** One-step widening: bounds that grew jump to the type extreme. */
+Interval widen(const Interval &prev, const Interval &next);
+
+struct RangeResult
+{
+    /** Per-pc: Param load proven inside fn.paramBytes on every path. */
+    std::vector<bool> paramSafe;
+    /** Per-pc: Shared access proven inside fn.sharedMemBytes. */
+    std::vector<bool> sharedSafe;
+    /**
+     * Largest proven param byte end over all proven sites; one runtime
+     * check that [paramAddr, paramAddr+paramProvenEnd) is live covers
+     * every proven site for the TB's lifetime (allocations are never
+     * freed).
+     */
+    std::uint32_t paramProvenEnd = 0;
+
+    // Site counts for the dtbl-analyze report.
+    unsigned paramSites = 0;
+    unsigned paramProven = 0;
+    unsigned sharedSites = 0;
+    unsigned sharedProven = 0;
+    unsigned globalSites = 0;
+
+    /** StaticOob warnings (definitely-OOB register-addressed sites). */
+    std::vector<Diagnostic> diags;
+};
+
+RangeResult analyzeRanges(const Cfg &cfg);
+
+} // namespace dtbl
+
+#endif // DTBL_ANALYSIS_RANGES_HH

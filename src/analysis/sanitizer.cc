@@ -1,5 +1,6 @@
 #include "analysis/sanitizer.hh"
 
+#include <algorithm>
 #include <bit>
 #include <sstream>
 
@@ -31,8 +32,9 @@ checkLevelName(CheckLevel lvl)
     return "?";
 }
 
-Sanitizer::Sanitizer(CheckLevel level, const GlobalMemory &mem)
-    : level_(level), mem_(mem)
+Sanitizer::Sanitizer(CheckLevel level, const GlobalMemory &mem,
+                     const AccessSafety *safety)
+    : level_(level), mem_(mem), safety_(safety)
 {
 }
 
@@ -85,6 +87,15 @@ Sanitizer::onIssue(const Warp &w, const Instruction &inst, std::int32_t pc,
 {
     if (level_ < CheckLevel::Full)
         return;
+    if (safety_ != nullptr) {
+        const KernelAccessSafety *ks = safety_->of(w.fn()->id);
+        if (ks != nullptr && ks->uninitAllSafe) {
+            // The verifier's must-dataflow proved every read dominated
+            // by an unconditional write; shadow tracking cannot fire.
+            ++elided_;
+            return;
+        }
+    }
     WarpShadow &s = shadowOf(w);
     const InstAccess a = instAccess(inst);
 
@@ -133,9 +144,32 @@ Sanitizer::onMemory(const Warp &w, const Instruction &inst, std::int32_t pc,
     if (level_ < CheckLevel::Memory)
         return;
     const ThreadBlock &tb = *w.tb();
+    const KernelAccessSafety *ks =
+        safety_ != nullptr ? safety_->of(w.fn()->id) : nullptr;
 
     switch (inst.space) {
       case MemSpace::Global:
+        if (safety_ != nullptr) {
+            // Span-batch: one live-allocation probe over [min, max+w)
+            // replaces up to 32 per-lane probes. Allocations are
+            // contiguous, so span coverage implies per-lane coverage.
+            // On failure fall back to the per-lane loop so the first
+            // offending lane is reported exactly as without elision.
+            Addr lo = ~Addr(0);
+            Addr hi = 0;
+            for (unsigned lane = 0; lane < warpSize; ++lane) {
+                if (!(exec & (1u << lane)))
+                    continue;
+                lo = std::min(lo, addrs[lane]);
+                hi = std::max(hi, addrs[lane]);
+            }
+            if (exec != 0 &&
+                mem_.inLiveAllocation(lo, std::size_t(hi - lo) +
+                                              inst.width)) {
+                ++batched_;
+                break;
+            }
+        }
         for (unsigned lane = 0; lane < warpSize; ++lane) {
             if (!(exec & (1u << lane)))
                 continue;
@@ -152,6 +186,15 @@ Sanitizer::onMemory(const Warp &w, const Instruction &inst, std::int32_t pc,
         }
         break;
       case MemSpace::Shared:
+        if (ks != nullptr && pc >= 0 &&
+            std::size_t(pc) < ks->sharedSafe.size() &&
+            ks->sharedSafe[std::size_t(pc)] &&
+            tb.sharedMem.size() >= w.fn()->sharedMemBytes) {
+            // Interval analysis proved the access inside the declared
+            // segment; the runtime guard covers the declared-vs-actual
+            // segment size the proof is relative to.
+            ++elided_;
+        } else
         for (unsigned lane = 0; lane < warpSize; ++lane) {
             if (!(exec & (1u << lane)))
                 continue;
@@ -166,10 +209,23 @@ Sanitizer::onMemory(const Warp &w, const Instruction &inst, std::int32_t pc,
                 break;
             }
         }
-        if (level_ >= CheckLevel::Full)
-            checkShared(w, inst, pc, addrs, exec);
+        if (level_ >= CheckLevel::Full) {
+            if (ks != nullptr && ks->sharedRaceFree)
+                ++elided_; // no shared writes / single warp: no races
+            else
+                checkShared(w, inst, pc, addrs, exec);
+        }
         break;
       case MemSpace::Param:
+        if (ks != nullptr && pc >= 0 &&
+            std::size_t(pc) < ks->paramSafe.size() &&
+            ks->paramSafe[std::size_t(pc)] &&
+            tbParamCovered(tb, ks->paramProvenEnd)) {
+            // Offsets proven within [0, paramProvenEnd); the memoized
+            // per-TB probe confirms that whole window is live.
+            ++elided_;
+            break;
+        }
         for (unsigned lane = 0; lane < warpSize; ++lane) {
             if (!(exec & (1u << lane)))
                 continue;
@@ -245,6 +301,17 @@ Sanitizer::checkShared(const Warp &w, const Instruction &inst,
     }
 }
 
+bool
+Sanitizer::tbParamCovered(const ThreadBlock &tb, std::uint32_t bytes)
+{
+    if (bytes == 0)
+        return false;
+    auto [it, fresh] = paramOk_.try_emplace(&tb, false);
+    if (fresh)
+        it->second = mem_.inLiveAllocation(tb.asg.paramAddr, bytes);
+    return it->second;
+}
+
 void
 Sanitizer::onBarrierRelease(const ThreadBlock &tb)
 {
@@ -265,6 +332,7 @@ void
 Sanitizer::onTbFinish(const ThreadBlock &tb)
 {
     tbShadows_.erase(&tb);
+    paramOk_.erase(&tb);
 }
 
 std::string

@@ -40,6 +40,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "analysis/access_safety.hh"
 #include "analysis/diagnostics.hh"
 #include "gpu/thread_block.hh"
 #include "gpu/warp.hh"
@@ -67,9 +68,22 @@ class Sanitizer
     /** True when the build carries the hook call sites. */
     static constexpr bool compiledIn = DTBL_CHECK_ENABLED != 0;
 
-    Sanitizer(CheckLevel level, const GlobalMemory &mem);
+    /**
+     * @p safety, when non-null, enables check-elision: runtime checks
+     * the static analyzer proved redundant are skipped (and coalesced
+     * global bounds checks are span-batched). Elision never changes
+     * findings — see access_safety.hh for the soundness contract. The
+     * pointer must outlive the sanitizer.
+     */
+    Sanitizer(CheckLevel level, const GlobalMemory &mem,
+              const AccessSafety *safety = nullptr);
 
     CheckLevel level() const { return level_; }
+
+    /** Per-hook checks skipped thanks to static proofs. */
+    std::uint64_t elidedChecks() const { return elided_; }
+    /** Global bounds loops collapsed into one span check. */
+    std::uint64_t batchedChecks() const { return batched_; }
 
     // --- Smx hook points (observers; never mutate machine state) -------
     /** Before an instruction executes; @p exec is the post-guard mask. */
@@ -121,9 +135,19 @@ class Sanitizer
     void checkShared(const Warp &w, const Instruction &inst,
                      std::int32_t pc, const std::array<Addr, warpSize> &addrs,
                      ActiveMask exec);
+    /**
+     * The hoisted per-TB parameter check backing param-site elision:
+     * is [paramAddr, paramAddr + bytes) inside one live allocation?
+     * Memoized per TB (allocations are never freed).
+     */
+    bool tbParamCovered(const ThreadBlock &tb, std::uint32_t bytes);
 
     CheckLevel level_;
     const GlobalMemory &mem_;
+    const AccessSafety *safety_;
+    std::uint64_t elided_ = 0;
+    std::uint64_t batched_ = 0;
+    std::unordered_map<const ThreadBlock *, bool> paramOk_;
 
     std::vector<Diagnostic> findings_;
     std::uint64_t errors_ = 0;

@@ -1,0 +1,367 @@
+#include "analysis/uniformity.hh"
+
+#include <sstream>
+
+namespace dtbl {
+namespace {
+
+/** Lane mapping of the tid specials for this TB shape. */
+LaneFact
+sregFact(SReg s, const Dim3 &tb)
+{
+    const bool linearX = tb.y == 1 && tb.z == 1;
+    switch (s) {
+      case SReg::TidX:
+        // With y == z == 1 the linear thread id is tid.x, so lanes are
+        // tid.x-consecutive in every warp; the same holds when x is a
+        // multiple of the warp size.
+        if (linearX || tb.x % warpSize == 0)
+            return LaneFact::affine(1);
+        return LaneFact::divergent();
+      case SReg::TidY:
+        if (tb.y == 1)
+            return LaneFact::uniform();
+        return tb.x % warpSize == 0 ? LaneFact::uniform()
+                                    : LaneFact::divergent();
+      case SReg::TidZ:
+        if (tb.z == 1)
+            return LaneFact::uniform();
+        return (tb.x * tb.y) % warpSize == 0 ? LaneFact::uniform()
+                                             : LaneFact::divergent();
+      case SReg::LaneId:
+        return LaneFact::affine(1);
+      case SReg::NTidX:
+      case SReg::NTidY:
+      case SReg::NTidZ:
+      case SReg::CtaIdX:
+      case SReg::CtaIdY:
+      case SReg::CtaIdZ:
+      case SReg::NCtaIdX:
+      case SReg::NCtaIdY:
+      case SReg::NCtaIdZ:
+      case SReg::IsAggregated:
+        return LaneFact::uniform();
+    }
+    return LaneFact::divergent();
+}
+
+class UniformityPass
+{
+  public:
+    explicit UniformityPass(const KernelFunction &fn)
+        : fn_(fn),
+          regs_(fn.numRegs, LaneFact::unknown()),
+          preds_(fn.numPreds, LaneFact::unknown())
+    {
+    }
+
+    UniformityResult
+    run()
+    {
+        // Each fact can only rise twice (Unknown -> Affine ->
+        // Divergent), so the fixpoint is reached quickly.
+        bool changed = true;
+        while (changed) {
+            changed = false;
+            computeDivergentRegions();
+            for (std::size_t pc = 0; pc < fn_.code.size(); ++pc)
+                changed |= step(std::int32_t(pc), fn_.code[pc]);
+        }
+        return finish();
+    }
+
+  private:
+    LaneFact
+    operandFact(const Operand &op) const
+    {
+        switch (op.kind) {
+          case Operand::Kind::Imm:
+            return LaneFact::uniform();
+          case Operand::Kind::Special:
+            return sregFact(SReg(op.value), fn_.tbDim);
+          case Operand::Kind::Reg:
+            return op.value < regs_.size() ? regs_[op.value]
+                                           : LaneFact::divergent();
+          default:
+            return LaneFact::uniform(); // absent operand: no influence
+        }
+    }
+
+    /** Taint pcs inside (branch, reconv) of divergent-guard branches. */
+    void
+    computeDivergentRegions()
+    {
+        divergentAt_.assign(fn_.code.size(), false);
+        for (std::size_t b = 0; b < fn_.code.size(); ++b) {
+            const Instruction &br = fn_.code[b];
+            if (br.op != Opcode::Bra || br.pred < 0 || br.reconv < 0)
+                continue;
+            const LaneFact guard = preds_[std::size_t(br.pred)];
+            if (guard.isUniform() || guard.shape == LaneShape::Unknown)
+                continue;
+            const std::size_t end =
+                std::min(fn_.code.size(), std::size_t(br.reconv));
+            for (std::size_t pc = b + 1; pc < end; ++pc)
+                divergentAt_[pc] = true;
+        }
+    }
+
+    bool
+    raise(std::vector<LaneFact> &facts, std::size_t idx, LaneFact f)
+    {
+        const LaneFact j = joinFacts(facts[idx], f);
+        if (j == facts[idx])
+            return false;
+        facts[idx] = j;
+        return true;
+    }
+
+    bool
+    step(std::int32_t pc, const Instruction &inst)
+    {
+        LaneFact v = computed(inst);
+        if (inst.pred >= 0 && !preds_[std::size_t(inst.pred)].isUniform())
+            v = LaneFact::divergent(); // partial writes split the warp
+        if (divergentAt_[std::size_t(pc)])
+            v = LaneFact::divergent();
+
+        bool changed = false;
+        if (inst.op == Opcode::Setp) {
+            if (inst.pdst >= 0)
+                changed |= raise(preds_, std::size_t(inst.pdst), v);
+            return changed;
+        }
+        const std::int16_t dst = regDest(inst);
+        if (dst >= 0 && std::uint32_t(dst) < fn_.numRegs)
+            changed |= raise(regs_, std::size_t(dst), v);
+        return changed;
+    }
+
+    static std::int16_t
+    regDest(const Instruction &inst)
+    {
+        switch (inst.op) {
+          case Opcode::St:
+          case Opcode::Bra:
+          case Opcode::Bar:
+          case Opcode::Exit:
+          case Opcode::Nop:
+          case Opcode::Setp:
+          case Opcode::StreamCreate:
+          case Opcode::LaunchDevice:
+          case Opcode::LaunchAgg:
+            return -1;
+          default:
+            return inst.dst;
+        }
+    }
+
+    LaneFact
+    computed(const Instruction &inst) const
+    {
+        const LaneFact a = operandFact(inst.src[0]);
+        const LaneFact b = operandFact(inst.src[1]);
+
+        switch (inst.op) {
+          case Opcode::Mov:
+            return a;
+          case Opcode::Add:
+          case Opcode::Sub: {
+            if (a.isDivergent() || b.isDivergent())
+                return LaneFact::divergent();
+            if (a.shape == LaneShape::Unknown ||
+                b.shape == LaneShape::Unknown)
+                return LaneFact::unknown();
+            const std::int64_t s = inst.op == Opcode::Add
+                                       ? a.stride + b.stride
+                                       : a.stride - b.stride;
+            return LaneFact::affine(s);
+          }
+          case Opcode::Mul:
+            return mulFact(a, b, inst.src[1], inst.src[0]);
+          case Opcode::Mad: {
+            const LaneFact p = mulFact(a, b, inst.src[1], inst.src[0]);
+            const LaneFact c = operandFact(inst.src[2]);
+            if (p.isDivergent() || c.isDivergent())
+                return LaneFact::divergent();
+            if (p.shape == LaneShape::Unknown ||
+                c.shape == LaneShape::Unknown)
+                return LaneFact::unknown();
+            return LaneFact::affine(p.stride + c.stride);
+          }
+          case Opcode::Shl:
+            if (a.isDivergent() || b.isDivergent())
+                return LaneFact::divergent();
+            if (a.shape == LaneShape::Unknown ||
+                b.shape == LaneShape::Unknown)
+                return LaneFact::unknown();
+            if (inst.src[1].kind == Operand::Kind::Imm &&
+                inst.src[1].value < 32)
+                return LaneFact::affine(a.stride
+                                        << std::int64_t(inst.src[1].value));
+            return a.stride == 0 && b.stride == 0 ? LaneFact::uniform()
+                                                  : LaneFact::divergent();
+          case Opcode::Selp: {
+            const LaneFact sel =
+                inst.src[2].kind == Operand::Kind::Imm &&
+                        inst.src[2].value < preds_.size()
+                    ? preds_[inst.src[2].value]
+                    : LaneFact::divergent();
+            if (!sel.isUniform() && sel.shape != LaneShape::Unknown)
+                return LaneFact::divergent();
+            return joinFacts(a, b);
+          }
+          case Opcode::Ld:
+            // A load from a warp-uniform address yields one value for
+            // the whole warp (the usual divergence-analysis reading;
+            // concurrent writers are the race checker's concern).
+            return a.isUniform() ? LaneFact::uniform()
+                                 : LaneFact::divergent();
+          case Opcode::Atom:
+          case Opcode::GetPBuf:
+            // Atomics return per-lane old values; GetPBuf hands every
+            // lane its own buffer.
+            return LaneFact::divergent();
+          case Opcode::Setp:
+          default: {
+            // Remaining ALU ops (and setp): uniform in, uniform out;
+            // a non-zero-stride affine input makes the result lane-
+            // dependent in a way these ops don't preserve linearly.
+            bool anyUnknown = false, anyNonUniform = false;
+            for (const Operand &src : inst.src) {
+                if (src.isNone())
+                    continue;
+                const LaneFact f = operandFact(src);
+                if (f.isDivergent())
+                    return LaneFact::divergent();
+                if (f.shape == LaneShape::Unknown)
+                    anyUnknown = true;
+                else if (!f.isUniform())
+                    anyNonUniform = true;
+            }
+            if (anyNonUniform)
+                return LaneFact::divergent();
+            return anyUnknown ? LaneFact::unknown() : LaneFact::uniform();
+          }
+        }
+    }
+
+    /** src0 * src1 with stride scaling when one side is an immediate. */
+    LaneFact
+    mulFact(const LaneFact &a, const LaneFact &b, const Operand &bOp,
+            const Operand &aOp) const
+    {
+        if (a.isDivergent() || b.isDivergent())
+            return LaneFact::divergent();
+        if (a.shape == LaneShape::Unknown || b.shape == LaneShape::Unknown)
+            return LaneFact::unknown();
+        if (a.stride == 0 && b.stride == 0)
+            return LaneFact::uniform();
+        if (b.stride == 0 && bOp.kind == Operand::Kind::Imm)
+            return LaneFact::affine(a.stride *
+                                    std::int64_t(std::int32_t(bOp.value)));
+        if (a.stride == 0 && aOp.kind == Operand::Kind::Imm)
+            return LaneFact::affine(b.stride *
+                                    std::int64_t(std::int32_t(aOp.value)));
+        // Affine times a non-constant uniform: stride unknown.
+        return LaneFact::divergent();
+    }
+
+    UniformityResult
+    finish()
+    {
+        UniformityResult res;
+        res.regs = regs_;
+        res.preds = preds_;
+        for (const LaneFact &f : regs_) {
+            if (f.isDivergent())
+                ++res.divergentRegs;
+            else if (f.isUniform() || f.shape == LaneShape::Unknown)
+                ++res.uniformRegs; // never-defined regs count as uniform
+            else
+                ++res.affineRegs;
+        }
+        for (std::size_t pc = 0; pc < fn_.code.size(); ++pc) {
+            const Instruction &inst = fn_.code[pc];
+            if (!inst.isLaunch())
+                continue;
+            UniformityResult::LaunchSite site;
+            site.pc = std::int32_t(pc);
+            site.callee = inst.launch.func;
+            site.aggregated = inst.op == Opcode::LaunchAgg;
+            site.numTbs = norm(operandFact(inst.launch.numTbs));
+            site.paramAddr = norm(operandFact(inst.launch.paramAddr));
+            site.inDivergentRegion = divergentAt_[pc];
+            site.divergentGuard =
+                inst.pred >= 0 &&
+                !preds_[std::size_t(inst.pred)].isUniform() &&
+                preds_[std::size_t(inst.pred)].shape != LaneShape::Unknown;
+            if (site.divergentFanOut()) {
+                std::ostringstream os;
+                os << fn_.name << ": "
+                   << (site.aggregated ? "aggregated" : "device")
+                   << " launch has divergent "
+                   << (!site.numTbs.isUniform()       ? "TB count"
+                       : !site.paramAddr.isUniform()  ? "parameter address"
+                                                      : "guard/region")
+                   << "; each active lane issues an independent launch "
+                      "(fan-out up to "
+                   << warpSize << " per warp)";
+                Diagnostic d;
+                d.funcId = fn_.id;
+                d.pc = site.pc;
+                d.severity = Severity::Warning;
+                d.rule = CheckRule::DivergentLaunch;
+                d.message = os.str();
+                res.diags.push_back(std::move(d));
+            }
+            res.launches.push_back(site);
+        }
+        return res;
+    }
+
+    /** Collapse Unknown (never-defined) to uniform for reporting. */
+    static LaneFact
+    norm(LaneFact f)
+    {
+        return f.shape == LaneShape::Unknown ? LaneFact::uniform() : f;
+    }
+
+    const KernelFunction &fn_;
+    std::vector<LaneFact> regs_;
+    std::vector<LaneFact> preds_;
+    std::vector<bool> divergentAt_;
+};
+
+} // namespace
+
+LaneFact
+joinFacts(const LaneFact &a, const LaneFact &b)
+{
+    if (a.shape == LaneShape::Unknown)
+        return b;
+    if (b.shape == LaneShape::Unknown)
+        return a;
+    if (a.isDivergent() || b.isDivergent())
+        return LaneFact::divergent();
+    return a.stride == b.stride ? a : LaneFact::divergent();
+}
+
+const char *
+laneShapeName(const LaneFact &f)
+{
+    switch (f.shape) {
+      case LaneShape::Unknown: return "uniform";
+      case LaneShape::Affine: return f.stride == 0 ? "uniform" : "affine";
+      case LaneShape::Divergent: return "divergent";
+    }
+    return "?";
+}
+
+UniformityResult
+analyzeUniformity(const KernelFunction &fn)
+{
+    return UniformityPass(fn).run();
+}
+
+} // namespace dtbl

@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Warp-uniformity (divergence) analysis.
+ *
+ * Classifies every register as warp-uniform (all lanes hold the same
+ * value), lane-affine (value = base + stride * laneId for a known
+ * constant stride; uniform is the stride-0 special case) or divergent.
+ * The lattice is Unknown < Affine(stride) < Divergent and the pass is
+ * a flow-insensitive fixpoint: one fact per register joined over every
+ * def, which is sound for the classification and cheap to compute.
+ *
+ * Divergence sources: tid specials whose lane mapping is non-linear,
+ * per-lane parameter buffers (GetPBuf), atomics, loads from divergent
+ * addresses, defs under a divergent guard predicate, and any def
+ * inside the (branch, reconv) region of a branch on a divergent
+ * predicate (KernelBuilder emits structured control flow, so the
+ * region is the contiguous pc interval).
+ *
+ * The launch-site facts drive the DivergentLaunch diagnostic: the
+ * simulator's launch opcodes are per-lane (each active lane issues its
+ * own launch, the paper's Section 3 semantics), so a launch whose
+ * TB-count or parameter-address operand is divergent — or which sits
+ * in a divergent region — fans out into up to warpSize independent
+ * launches with distinct arguments.
+ */
+
+#ifndef DTBL_ANALYSIS_UNIFORMITY_HH
+#define DTBL_ANALYSIS_UNIFORMITY_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "analysis/diagnostics.hh"
+#include "isa/kernel_function.hh"
+
+namespace dtbl {
+
+enum class LaneShape : std::uint8_t { Unknown, Affine, Divergent };
+
+/** Per-register lane-value fact; Affine with stride 0 == uniform. */
+struct LaneFact
+{
+    LaneShape shape = LaneShape::Unknown;
+    std::int64_t stride = 0; //!< valid when shape == Affine
+
+    static LaneFact unknown() { return {}; }
+    static LaneFact uniform() { return {LaneShape::Affine, 0}; }
+    static LaneFact affine(std::int64_t s) { return {LaneShape::Affine, s}; }
+    static LaneFact divergent() { return {LaneShape::Divergent, 0}; }
+
+    bool isUniform() const
+    {
+        return shape == LaneShape::Affine && stride == 0;
+    }
+    bool isDivergent() const { return shape == LaneShape::Divergent; }
+
+    bool operator==(const LaneFact &) const = default;
+};
+
+LaneFact joinFacts(const LaneFact &a, const LaneFact &b);
+
+const char *laneShapeName(const LaneFact &f);
+
+struct UniformityResult
+{
+    std::vector<LaneFact> regs;  //!< final per-register facts
+    std::vector<LaneFact> preds; //!< per-predicate (uniform/divergent)
+
+    struct LaunchSite
+    {
+        std::int32_t pc = -1;
+        KernelFuncId callee = invalidKernelFunc;
+        bool aggregated = false; //!< LaunchAgg (DTBL) vs LaunchDevice
+        LaneFact numTbs;
+        LaneFact paramAddr;
+        bool inDivergentRegion = false;
+        bool divergentGuard = false;
+
+        /** Lanes can issue differing launches. */
+        bool
+        divergentFanOut() const
+        {
+            return !numTbs.isUniform() || !paramAddr.isUniform() ||
+                   inDivergentRegion || divergentGuard;
+        }
+    };
+    std::vector<LaunchSite> launches;
+
+    unsigned uniformRegs = 0;
+    unsigned affineRegs = 0; //!< affine with non-zero stride
+    unsigned divergentRegs = 0;
+
+    /** DivergentLaunch warnings. */
+    std::vector<Diagnostic> diags;
+};
+
+UniformityResult analyzeUniformity(const KernelFunction &fn);
+
+} // namespace dtbl
+
+#endif // DTBL_ANALYSIS_UNIFORMITY_HH

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <sstream>
 
+#include "analysis/cfg.hh"
+
 namespace dtbl {
 namespace {
 
@@ -17,39 +19,6 @@ isBinaryAlu(Opcode op)
         return true;
       default:
         return false;
-    }
-}
-
-bool
-isUnaryAlu(Opcode op)
-{
-    return op == Opcode::Mov || op == Opcode::Not ||
-           op == Opcode::CvtF2I || op == Opcode::CvtI2F;
-}
-
-/** Successor PCs of @p pc; may include code.size() (= falls off end). */
-void
-successors(const Instruction &inst, std::int32_t pc, std::int32_t n,
-           std::vector<std::int32_t> &out)
-{
-    out.clear();
-    switch (inst.op) {
-      case Opcode::Bra:
-        if (inst.target >= 0 && inst.target < n)
-            out.push_back(inst.target);
-        if (inst.pred >= 0)
-            out.push_back(pc + 1);
-        break;
-      case Opcode::Exit:
-        // An unpredicated exit retires every live lane; lanes in other
-        // stack entries resume at their own reconvergence PCs, which the
-        // branch edges already model.
-        if (inst.pred >= 0)
-            out.push_back(pc + 1);
-        break;
-      default:
-        out.push_back(pc + 1);
-        break;
     }
 }
 
@@ -344,7 +313,7 @@ class KernelVerifier
             if (reachable_[pc])
                 continue;
             reachable_[pc] = true;
-            successors(fn_.code[pc], pc, n, succ);
+            instSuccessors(fn_.code[pc], pc, n, succ);
             for (std::int32_t s : succ) {
                 if (s >= n) {
                     report(pc, Severity::Error, CheckRule::NoTerminator,
@@ -374,7 +343,7 @@ class KernelVerifier
         std::vector<std::vector<std::int32_t>> preds(n);
         std::vector<std::int32_t> succ;
         for (std::size_t pc = 0; pc < n; ++pc) {
-            successors(fn_.code[pc], std::int32_t(pc), std::int32_t(n),
+            instSuccessors(fn_.code[pc], std::int32_t(pc), std::int32_t(n),
                        succ);
             for (std::int32_t s : succ) {
                 if (s < std::int32_t(n))

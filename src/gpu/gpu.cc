@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <sstream>
 
+#include "analysis/analyzer.hh"
 #include "common/log.hh"
 
 namespace dtbl {
@@ -179,10 +180,11 @@ Gpu::deviceLaunchKernel(KernelFuncId func, std::uint32_t num_tbs,
 }
 
 void
-Gpu::enableChecks(CheckLevel level)
+Gpu::enableChecks(CheckLevel level, bool elide)
 {
     if (level == CheckLevel::Off) {
         san_.reset();
+        safety_.reset();
         return;
     }
     if (!Sanitizer::compiledIn) {
@@ -190,7 +192,11 @@ Gpu::enableChecks(CheckLevel level)
                   "with -DDTBL_ENABLE_CHECK=ON");
         return;
     }
-    san_ = std::make_unique<Sanitizer>(level, mem_);
+    if (elide && level >= CheckLevel::Memory)
+        safety_ = std::make_unique<AccessSafety>(computeAccessSafety(prog_));
+    else
+        safety_.reset();
+    san_ = std::make_unique<Sanitizer>(level, mem_, safety_.get());
 }
 
 void

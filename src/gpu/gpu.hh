@@ -74,9 +74,13 @@ class Gpu
     /**
      * Enable the runtime sanitizer at @p level (analysis/sanitizer.hh).
      * Warns and stays off when the hooks are compiled out
-     * (-DDTBL_ENABLE_CHECK=OFF).
+     * (-DDTBL_ENABLE_CHECK=OFF). With @p elide (the default) the static
+     * analyzer runs over the program first and checks it proved
+     * redundant are skipped at runtime — findings are unchanged, only
+     * wall-clock improves. Pass false for the pristine check-everything
+     * path (A/B identity testing, analyzer-distrust debugging).
      */
-    void enableChecks(CheckLevel level);
+    void enableChecks(CheckLevel level, bool elide = true);
     /** The sanitizer, or nullptr when checks are off. */
     Sanitizer *sanitizer() { return san_.get(); }
     const Sanitizer *sanitizer() const { return san_.get(); }
@@ -164,6 +168,8 @@ class Gpu
     ResourceLedger ledger_;
     std::vector<std::unique_ptr<Smx>> smxs_;
     std::unique_ptr<SmxScheduler> sched_;
+    /** Static proofs backing check-elision; owned so san_ may point in. */
+    std::unique_ptr<AccessSafety> safety_;
     std::unique_ptr<Sanitizer> san_;
     std::unique_ptr<IntervalProfiler> profiler_;
     /** Per-kernel counters indexed by KernelFuncId. */

@@ -16,7 +16,7 @@ runBenchmark(App &app, Mode mode, const GpuConfig &base,
     if (!opts.traceJsonPath.empty())
         gpu.trace().openJson(opts.traceJsonPath);
     if (opts.checkLevel > 0)
-        gpu.enableChecks(CheckLevel(opts.checkLevel));
+        gpu.enableChecks(CheckLevel(opts.checkLevel), opts.elideChecks);
     if (opts.profileWindow > 0 || !opts.profileOutDir.empty())
         gpu.enableProfiling(opts.profileWindow);
     app.setup(gpu);
@@ -45,6 +45,8 @@ runBenchmark(App &app, Mode mode, const GpuConfig &base,
         r.checkFindings = san->findings();
         r.checkErrors = san->errorCount();
         r.checkWarnings = san->warningCount();
+        r.checkElided = san->elidedChecks();
+        r.checkBatched = san->batchedChecks();
     }
     gpu.trace().closeJson();
     return r;

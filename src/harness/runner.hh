@@ -29,6 +29,9 @@ struct BenchResult
     std::vector<Diagnostic> checkFindings;
     std::uint64_t checkErrors = 0;
     std::uint64_t checkWarnings = 0;
+    /** Checks skipped / span-batched thanks to static proofs. */
+    std::uint64_t checkElided = 0;
+    std::uint64_t checkBatched = 0;
 };
 
 /** Optional per-run knobs that don't belong in GpuConfig. */
@@ -38,6 +41,12 @@ struct RunOptions
     std::string traceJsonPath;
     /** Runtime sanitizer tier (cast to CheckLevel); 0 = off. */
     int checkLevel = 0;
+    /**
+     * Let the static analyzer elide checks it proved redundant
+     * (analysis/access_safety.hh). Findings are identical either way;
+     * false forces the check-everything path for A/B testing.
+     */
+    bool elideChecks = true;
     /**
      * PMU sampling window in cycles; 0 = profiling off (unless
      * profileOutDir is set, which turns it on at the default window).

@@ -1,0 +1,169 @@
+/**
+ * @file
+ * dtbl-analyze: static analysis of the benchmark kernel programs
+ * without simulating a single cycle.
+ *
+ * For each selected (benchmark, mode) pair the tool builds the kernel
+ * program exactly as the harness would (App::build), runs the full
+ * analysis stack (analysis/analyzer.hh) — CFG + dominators, interval
+ * value ranges, warp uniformity, the interprocedural launch graph with
+ * AGT/KDE worst-case budgets, and the static shared-memory race check —
+ * and renders the results.
+ *
+ * Usage:
+ *   dtbl-analyze [options]
+ *     --bench <id>   restrict to one benchmark id (repeatable);
+ *                    default: one representative per application family
+ *     --all          all 16 Table 4 benchmarks
+ *     --mode <m>     restrict to one mode (flat|cdp|cdpi|dtbl|dtbli,
+ *                    repeatable); default: all five
+ *     --json[=path]  machine-readable combined report; to stdout
+ *                    (instead of text) when no path is given
+ *     --quiet        suppress the text report (summary line only)
+ *
+ * Exit status: 0 when no analysis reports an Error-severity diagnostic,
+ * 1 otherwise (Warnings do not fail the run). The JSON output is
+ * deterministic byte-for-byte so CI pins a golden copy
+ * (tests/golden/analyze_report.json) and diffs against it.
+ */
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "analysis/analyzer.hh"
+#include "apps/registry.hh"
+#include "common/log.hh"
+
+using namespace dtbl;
+
+namespace {
+
+/** One representative per application family (paper Table 4 order). */
+const std::vector<std::string> kFamilyReps = {
+    "amr_combustion", "bht",           "bfs_citation", "clr_citation",
+    "regx_darpa",     "pre_movielens", "join_uniform", "sssp_citation",
+};
+
+bool
+parseMode(const char *s, Mode &out)
+{
+    const struct
+    {
+        const char *name;
+        Mode mode;
+    } table[] = {
+        {"flat", Mode::Flat},   {"cdp", Mode::Cdp},
+        {"cdpi", Mode::CdpIdeal}, {"dtbl", Mode::Dtbl},
+        {"dtbli", Mode::DtblIdeal},
+    };
+    for (const auto &e : table) {
+        if (std::strcmp(s, e.name) == 0) {
+            out = e.mode;
+            return true;
+        }
+    }
+    return false;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::vector<std::string> benches;
+    std::vector<Mode> modes;
+    bool all = false;
+    bool json = false;
+    bool quiet = false;
+    std::string jsonPath;
+
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--bench") == 0 && i + 1 < argc) {
+            benches.push_back(argv[++i]);
+        } else if (std::strcmp(argv[i], "--all") == 0) {
+            all = true;
+        } else if (std::strcmp(argv[i], "--mode") == 0 && i + 1 < argc) {
+            Mode m;
+            if (!parseMode(argv[++i], m))
+                DTBL_FATAL("unknown --mode '", argv[i],
+                           "' (flat|cdp|cdpi|dtbl|dtbli)");
+            modes.push_back(m);
+        } else if (std::strcmp(argv[i], "--json") == 0) {
+            json = true;
+        } else if (std::strncmp(argv[i], "--json=", 7) == 0) {
+            json = true;
+            jsonPath = argv[i] + 7;
+        } else if (std::strcmp(argv[i], "--quiet") == 0) {
+            quiet = true;
+        } else {
+            DTBL_FATAL("unknown argument '", argv[i],
+                       "' (see tools/dtbl_analyze.cc)");
+        }
+    }
+
+    if (benches.empty()) {
+        if (all) {
+            for (const auto &s : allBenchmarks())
+                benches.push_back(s.id);
+        } else {
+            benches = kFamilyReps;
+        }
+    }
+    if (modes.empty())
+        modes = {Mode::Flat, Mode::CdpIdeal, Mode::DtblIdeal, Mode::Cdp,
+                 Mode::Dtbl};
+
+    const bool jsonToStdout = json && jsonPath.empty();
+    std::string combined = "{\n  \"schema\": 1,\n  \"reports\": [\n";
+    std::uint64_t errors = 0;
+    std::uint64_t warnings = 0;
+    bool first = true;
+
+    for (const auto &id : benches) {
+        for (Mode m : modes) {
+            auto app = makeBenchmark(id);
+            Program prog;
+            app->build(prog, m);
+            const ProgramAnalysis pa =
+                analyzeProgram(prog, configForMode(m, GpuConfig::k20c()));
+            errors += pa.errorCount;
+            warnings += pa.warningCount;
+            if (!quiet && !jsonToStdout) {
+                const std::string title =
+                    id + " [" + modeName(m) + "]";
+                std::fputs(pa.textReport(title).c_str(), stdout);
+                std::fputc('\n', stdout);
+            }
+            if (json) {
+                if (!first)
+                    combined += ",\n";
+                first = false;
+                combined += pa.jsonReport(id, modeName(m), 4);
+            }
+        }
+    }
+    combined += "\n  ]\n}\n";
+
+    if (json) {
+        if (jsonToStdout) {
+            std::fputs(combined.c_str(), stdout);
+        } else {
+            std::FILE *f = std::fopen(jsonPath.c_str(), "w");
+            if (!f)
+                DTBL_FATAL("cannot open ", jsonPath, " for writing");
+            std::fwrite(combined.data(), 1, combined.size(), f);
+            std::fclose(f);
+            std::fprintf(stderr, "dtbl-analyze: wrote %s\n",
+                         jsonPath.c_str());
+        }
+    }
+    std::fprintf(stderr,
+                 "dtbl-analyze: %zu bench(es) x %zu mode(s): "
+                 "%llu error(s), %llu warning(s)\n",
+                 benches.size(), modes.size(),
+                 static_cast<unsigned long long>(errors),
+                 static_cast<unsigned long long>(warnings));
+    return errors > 0 ? 1 : 0;
+}
