@@ -62,7 +62,7 @@ std::vector<EvalRow> runSweep(const std::vector<std::string> &ids,
  *   --no-elide            disable static-analysis check-elision
  *   --profile[=W]         PMU interval profiling at window W
  *   --profile-out <dir>   write per-run profiler timelines + reports
- *   --results-out <path>  write sweep metrics as a schema-v5 CSV
+ *   --results-out <path>  write sweep metrics as a schema-v6 CSV
  *   --no-contention       flat-latency memory model (regression runs)
  *   --dispatch-policy <p> TB dispatch policy: fcfs-head | concurrent
  * Unknown arguments are ignored so binaries can add their own.
@@ -96,7 +96,7 @@ std::vector<EvalRow> runSweep(const SweepOptions &opts,
 
 /**
  * Write one MetricsReport::csvRow() per (bench, mode) of @p rows to
- * @p path, preceded by MetricsReport::csvHeader() (schema v5).
+ * @p path, preceded by MetricsReport::csvHeader() (schema v6).
  */
 void writeMetricsCsv(const std::vector<EvalRow> &rows,
                      const std::string &path);

@@ -16,6 +16,7 @@
 
 #include "gpu/gpu.hh"
 #include "isa/kernel_builder.hh"
+#include "stats/host_prof.hh"
 
 using namespace dtbl;
 
@@ -34,6 +35,9 @@ main(int argc, char **argv)
     // --no-contention: flat-latency memory model (no MSHR merging or L2
     // bank contention), for regression comparison against old runs.
     // --dispatch-policy <p>: TB dispatch policy (fcfs-head | concurrent).
+    // --hostprof: enable the host wall-clock self-profiler and print
+    // its phase tree after the metrics (observation only — the metrics
+    // line itself is unchanged).
     std::string traceOut;
     std::string profileOut;
     std::string dispatchPolicy;
@@ -58,6 +62,12 @@ main(int argc, char **argv)
         } else if (std::strncmp(argv[i], "--check", 7) == 0) {
             checkLevel = argv[i][7] == '=' ? std::atoi(argv[i] + 8)
                                            : int(CheckLevel::Full);
+        } else if (std::strcmp(argv[i], "--hostprof") == 0) {
+            if (!HostProfiler::compiledIn) {
+                std::fprintf(stderr, "warning: --hostprof requested but "
+                                     "compiled out\n");
+            }
+            HostProfiler::instance().setEnabled(true);
         } else if (std::strcmp(argv[i], "--no-contention") == 0) {
             contention = false;
         } else if (std::strcmp(argv[i], "--dispatch-policy") == 0 &&
@@ -164,6 +174,8 @@ main(int argc, char **argv)
                         profileOut.c_str());
         }
     }
+    if (HostProfiler::instance().enabled())
+        std::printf("\n%s", HostProfiler::instance().textReport().c_str());
     if (const Sanitizer *san = gpu.sanitizer()) {
         for (const Diagnostic &d : san->findings())
             std::printf("%s\n", d.str().c_str());

@@ -5,6 +5,7 @@
 #include <sstream>
 
 #include "analysis/verifier.hh"
+#include "stats/host_prof.hh"
 
 namespace dtbl {
 namespace {
@@ -87,6 +88,7 @@ Sanitizer::onIssue(const Warp &w, const Instruction &inst, std::int32_t pc,
 {
     if (level_ < CheckLevel::Full)
         return;
+    DTBL_HPROF_SCOPE("check");
     if (safety_ != nullptr) {
         const KernelAccessSafety *ks = safety_->of(w.fn()->id);
         if (ks != nullptr && ks->uninitAllSafe) {
@@ -143,6 +145,7 @@ Sanitizer::onMemory(const Warp &w, const Instruction &inst, std::int32_t pc,
 {
     if (level_ < CheckLevel::Memory)
         return;
+    DTBL_HPROF_SCOPE("check");
     const ThreadBlock &tb = *w.tb();
     const KernelAccessSafety *ks =
         safety_ != nullptr ? safety_->of(w.fn()->id) : nullptr;

@@ -46,6 +46,16 @@ allBenchmarks()
     return specs;
 }
 
+const std::vector<std::string> &
+familyRepresentatives()
+{
+    static const std::vector<std::string> reps = {
+        "amr_combustion", "bht",           "bfs_citation", "clr_citation",
+        "regx_darpa",     "pre_movielens", "join_uniform", "sssp_citation",
+    };
+    return reps;
+}
+
 std::unique_ptr<App>
 makeBenchmark(const std::string &id)
 {

@@ -25,6 +25,10 @@ struct BenchmarkSpec
 /** All benchmarks in the paper's figure order. */
 const std::vector<BenchmarkSpec> &allBenchmarks();
 
+/** One representative per application family (paper Table 4 order) —
+ *  the 8-point grid dtbl-analyze and dtbl-bench default to. */
+const std::vector<std::string> &familyRepresentatives();
+
 /** Instantiate a benchmark by id; fatal on unknown ids. */
 std::unique_ptr<App> makeBenchmark(const std::string &id);
 

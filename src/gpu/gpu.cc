@@ -5,6 +5,7 @@
 
 #include "analysis/analyzer.hh"
 #include "common/log.hh"
+#include "stats/host_prof.hh"
 
 namespace dtbl {
 
@@ -192,10 +193,12 @@ Gpu::enableChecks(CheckLevel level, bool elide)
                   "with -DDTBL_ENABLE_CHECK=ON");
         return;
     }
-    if (elide && level >= CheckLevel::Memory)
+    if (elide && level >= CheckLevel::Memory) {
+        DTBL_HPROF_SCOPE("analysis");
         safety_ = std::make_unique<AccessSafety>(computeAccessSafety(prog_));
-    else
+    } else {
         safety_.reset();
+    }
     san_ = std::make_unique<Sanitizer>(level, mem_, safety_.get());
 }
 
@@ -279,13 +282,20 @@ void
 Gpu::synchronize()
 {
     while (!idle()) {
-        const bool progress = sched_->tick(now_);
+        bool progress = false;
+        {
+            DTBL_HPROF_SCOPE("sched");
+            progress = sched_->tick(now_);
+        }
 
         unsigned issued = 0;
         unsigned resident = 0;
-        for (auto &s : smxs_) {
-            issued += s->tick(now_);
-            resident += s->residentWarps();
+        {
+            DTBL_HPROF_SCOPE("smx");
+            for (auto &s : smxs_) {
+                issued += s->tick(now_);
+                resident += s->residentWarps();
+            }
         }
         if (resident > 0) {
             ++stats_.busyCycles;
@@ -323,8 +333,10 @@ Gpu::synchronize()
         }
         ++now_;
 #if DTBL_PMU_ENABLED
-        if (profiler_)
+        if (profiler_) {
+            DTBL_HPROF_SCOPE("pmu");
             profiler_->sampleUpTo(now_);
+        }
 #endif
         if (now_ > maxCycles_)
             DTBL_FATAL("simulation exceeded ", maxCycles_, " cycles");

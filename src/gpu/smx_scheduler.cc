@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/log.hh"
+#include "stats/host_prof.hh"
 
 namespace dtbl {
 
@@ -28,10 +29,19 @@ bool
 SmxScheduler::tick(Cycle now)
 {
     bool progress = false;
-    progress |= dispatchFromKmu(now);
-    markSchedulableKernels(now);
-    progress |= processAggArrivals(now);
-    progress |= distribute(now);
+    {
+        DTBL_HPROF_SCOPE("kmu");
+        progress |= dispatchFromKmu(now);
+        markSchedulableKernels(now);
+    }
+    {
+        DTBL_HPROF_SCOPE("agt");
+        progress |= processAggArrivals(now);
+    }
+    {
+        DTBL_HPROF_SCOPE("dispatch");
+        progress |= distribute(now);
+    }
     return progress;
 }
 

@@ -1,0 +1,551 @@
+#include "harness/perf_harness.hh"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <ostream>
+#include <sstream>
+
+#include "apps/registry.hh"
+#include "common/log.hh"
+#include "harness/report.hh"
+#include "stats/host_prof.hh"
+
+namespace dtbl {
+
+namespace {
+
+/** Shortest round-trippable double representation (as metrics.cc). */
+std::string
+jsonNum(double v)
+{
+    char buf[40];
+    std::snprintf(buf, sizeof buf, "%.17g", v);
+    char buf15[40];
+    std::snprintf(buf15, sizeof buf15, "%.15g", v);
+    double back = 0.0;
+    std::sscanf(buf15, "%lf", &back);
+    return back == v ? buf15 : buf;
+}
+
+std::string
+jsonStr(const std::string &s)
+{
+    std::string out = "\"";
+    for (char c : s) {
+        if (c == '"' || c == '\\')
+            out += '\\';
+        out += c;
+    }
+    out += '"';
+    return out;
+}
+
+/**
+ * Minimal JSON value for the baseline reader. Numbers keep an exact
+ * uint64 alongside the double: traceHash uses all 64 bits and must not
+ * round-trip through a double's 53-bit mantissa.
+ */
+struct JValue
+{
+    enum class Kind
+    {
+        Null,
+        Bool,
+        Num,
+        Str,
+        Arr,
+        Obj
+    };
+    Kind kind = Kind::Null;
+    bool b = false;
+    double num = 0.0;
+    std::uint64_t u64 = 0;
+    bool isU64 = false;
+    std::string str;
+    std::vector<JValue> arr;
+    std::vector<std::pair<std::string, JValue>> obj;
+
+    const JValue *
+    get(const char *key) const
+    {
+        for (const auto &[k, v] : obj) {
+            if (k == key)
+                return &v;
+        }
+        return nullptr;
+    }
+};
+
+struct JParser
+{
+    const char *p;
+    const char *end;
+    std::string err;
+
+    bool
+    fail(const std::string &msg)
+    {
+        if (err.empty())
+            err = msg;
+        return false;
+    }
+
+    void
+    skipWs()
+    {
+        while (p < end && std::isspace(static_cast<unsigned char>(*p)))
+            ++p;
+    }
+
+    bool
+    consume(char c)
+    {
+        skipWs();
+        if (p < end && *p == c) {
+            ++p;
+            return true;
+        }
+        return fail(std::string("expected '") + c + "'");
+    }
+
+    bool
+    parseString(std::string &out)
+    {
+        skipWs();
+        if (p >= end || *p != '"')
+            return fail("expected string");
+        ++p;
+        out.clear();
+        while (p < end && *p != '"') {
+            if (*p == '\\') {
+                ++p;
+                if (p >= end)
+                    return fail("dangling escape");
+                switch (*p) {
+                  case 'n': out += '\n'; break;
+                  case 't': out += '\t'; break;
+                  default: out += *p; break;
+                }
+            } else {
+                out += *p;
+            }
+            ++p;
+        }
+        if (p >= end)
+            return fail("unterminated string");
+        ++p;
+        return true;
+    }
+
+    bool
+    parseValue(JValue &out)
+    {
+        skipWs();
+        if (p >= end)
+            return fail("unexpected end of input");
+        const char c = *p;
+        if (c == '{') {
+            ++p;
+            out.kind = JValue::Kind::Obj;
+            skipWs();
+            if (p < end && *p == '}') {
+                ++p;
+                return true;
+            }
+            while (true) {
+                std::string key;
+                if (!parseString(key) || !consume(':'))
+                    return false;
+                JValue v;
+                if (!parseValue(v))
+                    return false;
+                out.obj.emplace_back(std::move(key), std::move(v));
+                skipWs();
+                if (p < end && *p == ',') {
+                    ++p;
+                    continue;
+                }
+                return consume('}');
+            }
+        }
+        if (c == '[') {
+            ++p;
+            out.kind = JValue::Kind::Arr;
+            skipWs();
+            if (p < end && *p == ']') {
+                ++p;
+                return true;
+            }
+            while (true) {
+                JValue v;
+                if (!parseValue(v))
+                    return false;
+                out.arr.push_back(std::move(v));
+                skipWs();
+                if (p < end && *p == ',') {
+                    ++p;
+                    continue;
+                }
+                return consume(']');
+            }
+        }
+        if (c == '"') {
+            out.kind = JValue::Kind::Str;
+            return parseString(out.str);
+        }
+        if (std::strncmp(p, "true", 4) == 0 && end - p >= 4) {
+            out.kind = JValue::Kind::Bool;
+            out.b = true;
+            p += 4;
+            return true;
+        }
+        if (std::strncmp(p, "false", 5) == 0 && end - p >= 5) {
+            out.kind = JValue::Kind::Bool;
+            p += 5;
+            return true;
+        }
+        if (std::strncmp(p, "null", 4) == 0 && end - p >= 4) {
+            out.kind = JValue::Kind::Null;
+            p += 4;
+            return true;
+        }
+        // Number.
+        const char *start = p;
+        if (p < end && (*p == '-' || *p == '+'))
+            ++p;
+        bool integral = true;
+        while (p < end &&
+               (std::isdigit(static_cast<unsigned char>(*p)) ||
+                *p == '.' || *p == 'e' || *p == 'E' || *p == '-' ||
+                *p == '+')) {
+            if (!std::isdigit(static_cast<unsigned char>(*p)))
+                integral = *p == '-' && p == start;
+            ++p;
+        }
+        if (p == start)
+            return fail("unexpected character");
+        out.kind = JValue::Kind::Num;
+        const std::string tok(start, p);
+        out.num = std::strtod(tok.c_str(), nullptr);
+        if (integral && tok[0] != '-') {
+            out.u64 = std::strtoull(tok.c_str(), nullptr, 10);
+            out.isU64 = true;
+        }
+        return true;
+    }
+};
+
+bool
+readU64(const JValue &obj, const char *key, std::uint64_t &out,
+        std::string &err)
+{
+    const JValue *v = obj.get(key);
+    if (!v || v->kind != JValue::Kind::Num || !v->isU64) {
+        err = std::string("missing or non-integer field '") + key + "'";
+        return false;
+    }
+    out = v->u64;
+    return true;
+}
+
+bool
+readStr(const JValue &obj, const char *key, std::string &out,
+        std::string &err)
+{
+    const JValue *v = obj.get(key);
+    if (!v || v->kind != JValue::Kind::Str) {
+        err = std::string("missing string field '") + key + "'";
+        return false;
+    }
+    out = v->str;
+    return true;
+}
+
+double
+readNumOr0(const JValue &obj, const char *key)
+{
+    const JValue *v = obj.get(key);
+    return v && v->kind == JValue::Kind::Num ? v->num : 0.0;
+}
+
+} // namespace
+
+const BenchPoint *
+BenchRun::find(const std::string &benchmark, const std::string &mode) const
+{
+    for (const BenchPoint &p : points) {
+        if (p.benchmark == benchmark && p.mode == mode)
+            return &p;
+    }
+    return nullptr;
+}
+
+std::string
+benchJson(const BenchRun &run)
+{
+    std::ostringstream os;
+    os << "{\n";
+    os << "  \"benchSchemaVersion\": " << BenchRun::schemaVersion << ",\n";
+    os << "  \"label\": " << jsonStr(run.label) << ",\n";
+    os << "  \"metricsSchemaVersion\": " << MetricsReport::schemaVersion
+       << ",\n";
+    os << "  \"repeat\": " << run.repeat << ",\n";
+    os << "  \"points\": [";
+    for (std::size_t i = 0; i < run.points.size(); ++i) {
+        const BenchPoint &p = run.points[i];
+        os << (i == 0 ? "" : ",") << "\n    {\n";
+        os << "      \"benchmark\": " << jsonStr(p.benchmark) << ",\n";
+        os << "      \"mode\": " << jsonStr(p.mode) << ",\n";
+        os << "      \"cycles\": " << p.cycles << ",\n";
+        os << "      \"instrs\": " << p.instrs << ",\n";
+        os << "      \"traceHash\": " << p.traceHash << ",\n";
+        os << "      \"simWallClockSec\": " << jsonNum(p.simWallClockSec)
+           << ",\n";
+        os << "      \"simCyclesPerSec\": " << jsonNum(p.simCyclesPerSec)
+           << ",\n";
+        os << "      \"hostPhases\": [";
+        for (std::size_t h = 0; h < p.hostPhases.size(); ++h) {
+            os << (h == 0 ? "" : ",") << "\n        {\"path\": "
+               << jsonStr(p.hostPhases[h].first)
+               << ", \"exclusiveNs\": " << p.hostPhases[h].second << "}";
+        }
+        os << (p.hostPhases.empty() ? "" : "\n      ") << "]\n";
+        os << "    }";
+    }
+    os << (run.points.empty() ? "" : "\n  ") << "]\n";
+    os << "}\n";
+    return os.str();
+}
+
+bool
+parseBenchJson(const std::string &text, BenchRun &out, std::string &err)
+{
+    JParser parser{text.data(), text.data() + text.size(), {}};
+    JValue root;
+    if (!parser.parseValue(root)) {
+        err = parser.err;
+        return false;
+    }
+    if (root.kind != JValue::Kind::Obj) {
+        err = "top-level value is not an object";
+        return false;
+    }
+    std::uint64_t schema = 0;
+    if (!readU64(root, "benchSchemaVersion", schema, err))
+        return false;
+    if (schema != std::uint64_t(BenchRun::schemaVersion)) {
+        err = "unknown benchSchemaVersion " + std::to_string(schema);
+        return false;
+    }
+    out = BenchRun{};
+    if (!readStr(root, "label", out.label, err))
+        return false;
+    std::uint64_t repeat = 1;
+    if (!readU64(root, "repeat", repeat, err))
+        return false;
+    out.repeat = int(repeat);
+    const JValue *points = root.get("points");
+    if (!points || points->kind != JValue::Kind::Arr) {
+        err = "missing 'points' array";
+        return false;
+    }
+    for (const JValue &jp : points->arr) {
+        if (jp.kind != JValue::Kind::Obj) {
+            err = "non-object entry in 'points'";
+            return false;
+        }
+        BenchPoint p;
+        std::uint64_t cycles = 0;
+        if (!readStr(jp, "benchmark", p.benchmark, err) ||
+            !readStr(jp, "mode", p.mode, err) ||
+            !readU64(jp, "cycles", cycles, err) ||
+            !readU64(jp, "instrs", p.instrs, err) ||
+            !readU64(jp, "traceHash", p.traceHash, err)) {
+            return false;
+        }
+        p.cycles = cycles;
+        p.simWallClockSec = readNumOr0(jp, "simWallClockSec");
+        p.simCyclesPerSec = readNumOr0(jp, "simCyclesPerSec");
+        if (const JValue *phases = jp.get("hostPhases");
+            phases && phases->kind == JValue::Kind::Arr) {
+            for (const JValue &ph : phases->arr) {
+                std::string path;
+                std::uint64_t ns = 0;
+                std::string ignore;
+                if (readStr(ph, "path", path, ignore) &&
+                    readU64(ph, "exclusiveNs", ns, ignore)) {
+                    p.hostPhases.emplace_back(std::move(path), ns);
+                }
+            }
+        }
+        out.points.push_back(std::move(p));
+    }
+    return true;
+}
+
+BenchCompareResult
+compareBenchRuns(const BenchRun &baseline, const BenchRun &current,
+                 const BenchCompareOptions &opts, std::ostream &out)
+{
+    const bool gateWall = opts.wallTolerance > 0.0;
+    Table table({"benchmark", "mode", "cycles", "Δcycles", "hash",
+                 "wall(s)", "Δwall%"});
+    std::size_t detMismatches = 0;
+    std::size_t wallRegressions = 0;
+
+    for (const BenchPoint &cur : current.points) {
+        const BenchPoint *base = baseline.find(cur.benchmark, cur.mode);
+        if (!base) {
+            ++detMismatches;
+            table.addRow({cur.benchmark, cur.mode,
+                          std::to_string(cur.cycles), "NOT-IN-BASELINE",
+                          "-", Table::num(cur.simWallClockSec), "-"});
+            continue;
+        }
+        const bool cyclesOk =
+            cur.cycles == base->cycles && cur.instrs == base->instrs;
+        const bool hashOk = cur.traceHash == base->traceHash;
+        if (!cyclesOk || !hashOk)
+            ++detMismatches;
+        const std::int64_t dCycles =
+            std::int64_t(cur.cycles) - std::int64_t(base->cycles);
+        double dWallPct = 0.0;
+        std::string wallCol = "-";
+        if (base->simWallClockSec > 0.0 && cur.simWallClockSec > 0.0) {
+            dWallPct = 100.0 * (cur.simWallClockSec /
+                                    base->simWallClockSec -
+                                1.0);
+            wallCol = Table::num(dWallPct, 1) + "%";
+            if (gateWall &&
+                cur.simWallClockSec >
+                    base->simWallClockSec * (1.0 + opts.wallTolerance)) {
+                ++wallRegressions;
+                wallCol += " REGRESSED";
+            }
+        }
+        table.addRow({cur.benchmark, cur.mode, std::to_string(cur.cycles),
+                      cyclesOk ? (dCycles == 0 ? "0" : "INSTRS-DIFF")
+                               : std::to_string(dCycles) + " MISMATCH",
+                      hashOk ? "ok" : "MISMATCH",
+                      Table::num(cur.simWallClockSec), wallCol});
+    }
+
+    std::size_t baselineOnly = 0;
+    for (const BenchPoint &base : baseline.points) {
+        if (!current.find(base.benchmark, base.mode))
+            ++baselineOnly;
+    }
+
+    table.print(out);
+    out << current.points.size() << " point(s) compared against baseline '"
+        << baseline.label << "'";
+    if (baselineOnly > 0)
+        out << " (" << baselineOnly
+            << " baseline point(s) not in this run)";
+    out << "\n";
+    if (detMismatches > 0) {
+        out << "FAIL: " << detMismatches
+            << " deterministic mismatch(es) (cycles/instrs/traceHash)\n";
+        return BenchCompareResult::DeterministicMismatch;
+    }
+    if (wallRegressions > 0) {
+        out << "FAIL: " << wallRegressions
+            << " wall-clock regression(s) beyond "
+            << Table::num(100.0 * opts.wallTolerance, 1) << "%\n";
+        return BenchCompareResult::WallClockRegression;
+    }
+    out << "OK: deterministic fields match"
+        << (gateWall ? " and wall-clock is within tolerance" : "") << "\n";
+    return BenchCompareResult::Ok;
+}
+
+BenchRun
+runBenchGrid(const std::vector<std::string> &ids,
+             const std::vector<Mode> &modes, const BenchGridOptions &opts,
+             const GpuConfig &base)
+{
+    DTBL_ASSERT(opts.repeat >= 1, "repeat must be >= 1");
+    BenchRun run;
+    run.repeat = opts.repeat;
+    HostProfiler &hprof = HostProfiler::instance();
+    const bool hprofWasEnabled = hprof.enabled();
+    for (const std::string &id : ids) {
+        for (Mode m : modes) {
+            const std::string key = id + "/" + modeName(m);
+            if (!opts.filters.empty()) {
+                bool keep = false;
+                for (const std::string &f : opts.filters)
+                    keep = keep || key.find(f) != std::string::npos;
+                if (!keep)
+                    continue;
+            }
+            BenchPoint p;
+            p.benchmark = id;
+            p.mode = modeName(m);
+            for (int rep = 0; rep < opts.repeat; ++rep) {
+                std::fprintf(stderr, "  bench %-24s rep %d/%d ...",
+                             key.c_str(), rep + 1, opts.repeat);
+                std::fflush(stderr);
+                if (opts.hostProfile) {
+                    hprof.reset();
+                    hprof.setEnabled(true);
+                }
+                auto app = makeBenchmark(id);
+                RunOptions ro;
+                ro.measureWallClock = true;
+                const BenchResult r = runBenchmark(*app, m, base, ro);
+                if (!r.verified)
+                    DTBL_FATAL("verification failed for ", key);
+                std::fprintf(stderr, " %10llu cycles  %8.3f s\n",
+                             static_cast<unsigned long long>(
+                                 r.report.cycles),
+                             r.report.simWallClockSec);
+                if (rep == 0) {
+                    p.cycles = r.report.cycles;
+                    p.instrs = r.stats.warpInstrsIssued;
+                    p.traceHash = r.report.traceHash;
+                    p.simWallClockSec = r.report.simWallClockSec;
+                } else {
+                    // Repeats only tighten the wall-clock; deterministic
+                    // fields must reproduce bit for bit.
+                    if (p.cycles != r.report.cycles ||
+                        p.traceHash != r.report.traceHash) {
+                        DTBL_FATAL("non-deterministic repeat for ", key,
+                                   ": cycles ", p.cycles, " vs ",
+                                   r.report.cycles);
+                    }
+                    p.simWallClockSec = std::min(p.simWallClockSec,
+                                                 r.report.simWallClockSec);
+                }
+            }
+            if (p.simWallClockSec > 0.0)
+                p.simCyclesPerSec = double(p.cycles) / p.simWallClockSec;
+            if (opts.hostProfile && HostProfiler::compiledIn) {
+                // Phases of the last repeat, largest exclusive share
+                // first. Skip the synthetic root.
+                std::vector<std::size_t> order;
+                for (std::size_t i = 1; i < hprof.numPhases(); ++i)
+                    order.push_back(i);
+                std::sort(order.begin(), order.end(),
+                          [&](std::size_t a, std::size_t b) {
+                              return hprof.exclusiveNs(a) >
+                                     hprof.exclusiveNs(b);
+                          });
+                for (std::size_t i = 0;
+                     i < order.size() && i < opts.hostPhaseTopK; ++i) {
+                    p.hostPhases.emplace_back(
+                        hprof.path(order[i]),
+                        hprof.exclusiveNs(order[i]));
+                }
+            }
+            run.points.push_back(std::move(p));
+        }
+    }
+    hprof.setEnabled(hprofWasEnabled);
+    return run;
+}
+
+} // namespace dtbl

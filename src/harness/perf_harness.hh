@@ -1,0 +1,138 @@
+/**
+ * @file
+ * Perf-regression harness backing the `dtbl-bench` tool: run a
+ * (benchmark, mode) grid with host wall-clock measurement, serialize
+ * the results as a schema-versioned BENCH JSON trajectory point, and
+ * compare a run against a committed baseline.
+ *
+ * Two field classes exist per point and the compare treats them
+ * differently:
+ *  - deterministic fields (cycles, instrs, traceHash) are products of
+ *    the simulation alone, reproducible on any machine — the baseline
+ *    diff requires exact equality;
+ *  - wall-clock fields (simWallClockSec, simCyclesPerSec, hostPhases)
+ *    are host-machine facts — the compare gates them only when a
+ *    tolerance is given (same-machine runs; CI diffs deterministic
+ *    fields only, since runners differ).
+ */
+
+#ifndef DTBL_HARNESS_PERF_HARNESS_HH
+#define DTBL_HARNESS_PERF_HARNESS_HH
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "harness/runner.hh"
+
+namespace dtbl {
+
+/** One (benchmark, mode) grid point of a bench run. */
+struct BenchPoint
+{
+    std::string benchmark;
+    std::string mode;
+
+    // --- deterministic (exact-match in baseline compare) ---------------
+    Cycle cycles = 0;
+    /** Warp instructions issued (SimStats::warpInstrsIssued). */
+    std::uint64_t instrs = 0;
+    std::uint64_t traceHash = 0;
+
+    // --- host wall-clock (machine-dependent; gated by tolerance) -------
+    /** Min-of-N wall-clock seconds of the sim phase (App::execute). */
+    double simWallClockSec = 0.0;
+    /** cycles / simWallClockSec (simulator throughput). */
+    double simCyclesPerSec = 0.0;
+    /** Top host phases by exclusive ns, from the host self-profiler. */
+    std::vector<std::pair<std::string, std::uint64_t>> hostPhases;
+};
+
+/** A whole trajectory point: the grid plus its run parameters. */
+struct BenchRun
+{
+    /** Version of the serialized layout; readers reject unknown ones. */
+    static constexpr int schemaVersion = 1;
+
+    std::string label = "BENCH";
+    /** min-of-N repeats behind each wall-clock figure. */
+    int repeat = 1;
+    std::vector<BenchPoint> points;
+
+    const BenchPoint *find(const std::string &benchmark,
+                           const std::string &mode) const;
+};
+
+/** Serialize @p run with a stable key order (deterministic fields are
+ *  byte-stable across machines; wall-clock fields vary). */
+std::string benchJson(const BenchRun &run);
+
+/**
+ * Parse a benchJson() document. Returns false (and sets @p err) on
+ * malformed input or an unknown schema version.
+ */
+bool parseBenchJson(const std::string &text, BenchRun &out,
+                    std::string &err);
+
+/** Baseline-compare policy. */
+struct BenchCompareOptions
+{
+    /**
+     * Fractional wall-clock regression gate: fail when current >
+     * baseline * (1 + wallTolerance). <= 0 disables the gate (the
+     * default — wall-clock is only comparable across runs of the same
+     * machine; pass a tolerance for local baseline-refresh workflows).
+     */
+    double wallTolerance = 0.0;
+};
+
+/** compareBenchRuns result, ordered by severity. */
+enum class BenchCompareResult : int
+{
+    Ok = 0,
+    /** cycles/instrs/traceHash mismatch or point missing from baseline. */
+    DeterministicMismatch = 1,
+    /** wall-clock beyond the tolerance on some point. */
+    WallClockRegression = 2,
+};
+
+/**
+ * Compare @p current against @p baseline, printing a per-point delta
+ * table to @p out. Every current point must exist in the baseline and
+ * match it exactly on the deterministic fields; baseline points absent
+ * from the current run are reported but not failures (smoke-scale CI
+ * runs a grid subset against the full committed baseline).
+ */
+BenchCompareResult compareBenchRuns(const BenchRun &baseline,
+                                    const BenchRun &current,
+                                    const BenchCompareOptions &opts,
+                                    std::ostream &out);
+
+/** Grid-runner knobs (the dtbl-bench CLI surface). */
+struct BenchGridOptions
+{
+    /** min-of-N wall-clock per point (deterministic fields asserted
+     *  identical across repeats). */
+    int repeat = 1;
+    /** Enable the host self-profiler and record top phases per point. */
+    bool hostProfile = false;
+    /** Phases kept per point when hostProfile is on. */
+    std::size_t hostPhaseTopK = 8;
+    /** Keep only points whose "<benchmark>/<mode>" contains one of
+     *  these substrings (empty = keep all). */
+    std::vector<std::string> filters;
+};
+
+/**
+ * Run @p ids x @p modes on @p base and return the measured grid.
+ * Progress goes to stderr; verification failures are fatal (a
+ * trajectory point is never produced from wrong results).
+ */
+BenchRun runBenchGrid(const std::vector<std::string> &ids,
+                      const std::vector<Mode> &modes,
+                      const BenchGridOptions &opts,
+                      const GpuConfig &base = GpuConfig::k20c());
+
+} // namespace dtbl
+
+#endif // DTBL_HARNESS_PERF_HARNESS_HH

@@ -1,7 +1,10 @@
 #include "harness/runner.hh"
 
+#include <chrono>
 #include <cstdio>
 #include <filesystem>
+
+#include "stats/host_prof.hh"
 
 namespace dtbl {
 
@@ -10,7 +13,10 @@ runBenchmark(App &app, Mode mode, const GpuConfig &base,
              const RunOptions &opts)
 {
     Program prog;
-    app.build(prog, mode);
+    {
+        DTBL_HPROF_SCOPE("build");
+        app.build(prog, mode);
+    }
     const GpuConfig cfg = configForMode(mode, base);
     Gpu gpu(cfg, prog);
     if (!opts.traceJsonPath.empty())
@@ -19,11 +25,37 @@ runBenchmark(App &app, Mode mode, const GpuConfig &base,
         gpu.enableChecks(CheckLevel(opts.checkLevel), opts.elideChecks);
     if (opts.profileWindow > 0 || !opts.profileOutDir.empty())
         gpu.enableProfiling(opts.profileWindow);
-    app.setup(gpu);
-    app.execute(gpu, mode);
+    {
+        DTBL_HPROF_SCOPE("setup");
+        app.setup(gpu);
+    }
+    // The wall-clock measurement brackets App::execute only: that is
+    // the cycle loop, the part the BENCH trajectory tracks. It reads
+    // the host clock and writes report fields after the fact, so it
+    // cannot influence the simulation.
+    std::chrono::steady_clock::time_point simStart;
+    if (opts.measureWallClock)
+        simStart = std::chrono::steady_clock::now();
+    {
+        DTBL_HPROF_SCOPE("sim");
+        app.execute(gpu, mode);
+    }
+    double simSec = 0.0;
+    if (opts.measureWallClock) {
+        simSec = std::chrono::duration<double>(
+                     std::chrono::steady_clock::now() - simStart)
+                     .count();
+    }
 
     BenchResult r;
-    r.report = gpu.report(app.name(), modeName(mode));
+    {
+        DTBL_HPROF_SCOPE("report");
+        r.report = gpu.report(app.name(), modeName(mode));
+    }
+    if (opts.measureWallClock && simSec > 0.0) {
+        r.report.simWallClockSec = simSec;
+        r.report.simCyclesPerSec = double(r.report.cycles) / simSec;
+    }
     if (const IntervalProfiler *prof = gpu.profiler();
         prof && !opts.profileOutDir.empty()) {
         std::filesystem::create_directories(opts.profileOutDir);
@@ -39,7 +71,10 @@ runBenchmark(App &app, Mode mode, const GpuConfig &base,
         }
     }
     r.stats = gpu.stats();
-    r.verified = app.verify(gpu);
+    {
+        DTBL_HPROF_SCOPE("verify");
+        r.verified = app.verify(gpu);
+    }
     r.trace = gpu.trace().summary();
     if (const Sanitizer *san = gpu.sanitizer()) {
         r.checkFindings = san->findings();

@@ -57,6 +57,13 @@ struct RunOptions
      * profiler timelines + text report after the run.
      */
     std::string profileOutDir;
+    /**
+     * Time App::execute on the host clock and fill the report's
+     * simWallClockSec / simCyclesPerSec (MetricsReport v6). Off by
+     * default so ordinary runs (goldens, CI metric diffs) never print
+     * machine-dependent fields; dtbl-bench turns it on.
+     */
+    bool measureWallClock = false;
 };
 
 /** Run one benchmark in one mode. */

@@ -4,6 +4,7 @@
 #include <string>
 
 #include "common/log.hh"
+#include "stats/host_prof.hh"
 
 namespace dtbl {
 
@@ -223,6 +224,7 @@ Cycle
 MemorySystem::load(unsigned smx, Addr addr, Cycle now)
 {
     DTBL_ASSERT(smx < l1s_.size());
+    DTBL_HPROF_SCOPE("mem");
     if (cfg_.modelMemContention)
         return loadContended(smx, addr, now);
     const auto res = l1s_[smx].access(addr, false);
@@ -240,6 +242,7 @@ Cycle
 MemorySystem::store(unsigned smx, Addr addr, Cycle now)
 {
     DTBL_ASSERT(smx < l1s_.size());
+    DTBL_HPROF_SCOPE("mem");
     if (cfg_.modelMemContention)
         return storeContended(smx, addr, now);
     // Write-through: update L1 if present, always go to L2.
@@ -258,6 +261,7 @@ Cycle
 MemorySystem::atomic(unsigned smx, Addr addr, Cycle now)
 {
     DTBL_ASSERT(smx < l1s_.size());
+    DTBL_HPROF_SCOPE("mem");
     // Atomics are resolved at the L2; keep L1 copies coherent by
     // invalidating (other SMXs' stale L1 lines are a timing-only
     // artifact since data is functional-at-issue).

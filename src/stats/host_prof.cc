@@ -1,0 +1,203 @@
+#include "stats/host_prof.hh"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+#include <cstring>
+#include <sstream>
+
+namespace dtbl {
+
+HostProfiler::HostProfiler()
+{
+    Phase root;
+    root.name = "(root)";
+    phases_.push_back(std::move(root));
+}
+
+HostProfiler &
+HostProfiler::instance()
+{
+    static HostProfiler prof;
+    return prof;
+}
+
+void
+HostProfiler::setEnabled(bool on)
+{
+    enabled_ = on && compiledIn;
+}
+
+void
+HostProfiler::reset()
+{
+    phases_.clear();
+    Phase root;
+    root.name = "(root)";
+    phases_.push_back(std::move(root));
+    cur_ = 0;
+}
+
+std::int32_t
+HostProfiler::enter(const char *name)
+{
+    Phase &parent = phases_[std::size_t(cur_)];
+    for (std::int32_t c : parent.children) {
+        if (phases_[std::size_t(c)].name == name) {
+            cur_ = c;
+            return c;
+        }
+    }
+    const std::int32_t idx = std::int32_t(phases_.size());
+    Phase p;
+    p.name = name;
+    p.parent = cur_;
+    phases_.push_back(std::move(p));
+    phases_[std::size_t(cur_)].children.push_back(idx);
+    cur_ = idx;
+    return idx;
+}
+
+void
+HostProfiler::exit(std::int32_t node,
+                   std::chrono::steady_clock::time_point start)
+{
+    const auto ns = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                        std::chrono::steady_clock::now() - start)
+                        .count();
+    Phase &p = phases_[std::size_t(node)];
+    p.inclusiveNs += std::uint64_t(ns);
+    ++p.entries;
+    cur_ = p.parent;
+}
+
+std::uint64_t
+HostProfiler::exclusiveNs(std::size_t i) const
+{
+    const Phase &p = phases_[i];
+    std::uint64_t childNs = 0;
+    for (std::int32_t c : p.children)
+        childNs += phases_[std::size_t(c)].inclusiveNs;
+    // Clock granularity can make a child's sum exceed the parent by a
+    // few ns; clamp so "exclusive" never underflows.
+    return p.inclusiveNs > childNs ? p.inclusiveNs - childNs : 0;
+}
+
+std::string
+HostProfiler::path(std::size_t i) const
+{
+    if (i == 0)
+        return phases_[0].name;
+    std::string out = phases_[i].name;
+    for (std::int32_t p = phases_[i].parent; p > 0;
+         p = phases_[std::size_t(p)].parent) {
+        out = phases_[std::size_t(p)].name + "/" + out;
+    }
+    return out;
+}
+
+std::int32_t
+HostProfiler::find(const std::string &path) const
+{
+    std::int32_t cur = 0;
+    std::size_t pos = 0;
+    while (pos <= path.size()) {
+        const std::size_t slash = path.find('/', pos);
+        const std::string part =
+            path.substr(pos, slash == std::string::npos ? std::string::npos
+                                                        : slash - pos);
+        std::int32_t next = -1;
+        for (std::int32_t c : phases_[std::size_t(cur)].children) {
+            if (phases_[std::size_t(c)].name == part) {
+                next = c;
+                break;
+            }
+        }
+        if (next < 0)
+            return -1;
+        cur = next;
+        if (slash == std::string::npos)
+            return cur;
+        pos = slash + 1;
+    }
+    return -1;
+}
+
+std::uint64_t
+HostProfiler::totalNs() const
+{
+    std::uint64_t total = 0;
+    for (std::int32_t c : phases_[0].children)
+        total += phases_[std::size_t(c)].inclusiveNs;
+    return total;
+}
+
+std::string
+HostProfiler::textReport() const
+{
+    std::ostringstream os;
+    os << "==== host profile (wall-clock) ====\n";
+    if (!compiledIn) {
+        os << "(compiled out: -DDTBL_ENABLE_HOSTPROF=OFF)\n";
+        return os.str();
+    }
+    const double total = double(totalNs());
+    char buf[160];
+    std::snprintf(buf, sizeof buf, "%-36s %10s %12s %12s %7s\n", "phase",
+                  "entries", "incl(ms)", "excl(ms)", "excl%");
+    os << buf;
+    // Depth-first in registration order so children print under their
+    // parent; the tree is small (a dozen-ish phases).
+    struct Item
+    {
+        std::int32_t node;
+        int depth;
+    };
+    std::vector<Item> stack;
+    for (auto it = phases_[0].children.rbegin();
+         it != phases_[0].children.rend(); ++it) {
+        stack.push_back({*it, 0});
+    }
+    while (!stack.empty()) {
+        const Item item = stack.back();
+        stack.pop_back();
+        const Phase &p = phases_[std::size_t(item.node)];
+        std::string name(std::size_t(item.depth) * 2, ' ');
+        name += p.name;
+        const std::uint64_t excl = exclusiveNs(std::size_t(item.node));
+        std::snprintf(buf, sizeof buf,
+                      "%-36s %10" PRIu64 " %12.3f %12.3f %7.2f\n",
+                      name.c_str(), p.entries, double(p.inclusiveNs) / 1e6,
+                      double(excl) / 1e6,
+                      total > 0 ? 100.0 * double(excl) / total : 0.0);
+        os << buf;
+        for (auto it = p.children.rbegin(); it != p.children.rend(); ++it)
+            stack.push_back({*it, item.depth + 1});
+    }
+    std::snprintf(buf, sizeof buf, "total accounted: %.3f ms\n",
+                  total / 1e6);
+    os << buf;
+    return os.str();
+}
+
+std::string
+HostProfiler::json() const
+{
+    std::ostringstream os;
+    os << "{\"hostProfSchemaVersion\": " << jsonSchemaVersion
+       << ", \"phases\": [";
+    bool first = true;
+    for (std::size_t i = 1; i < phases_.size(); ++i) {
+        const Phase &p = phases_[i];
+        os << (first ? "" : ",") << "\n  {\"path\": \"" << path(i)
+           << "\", \"parent\": " << p.parent
+           << ", \"entries\": " << p.entries
+           << ", \"inclusiveNs\": " << p.inclusiveNs
+           << ", \"exclusiveNs\": " << exclusiveNs(i) << "}";
+        first = false;
+    }
+    os << "\n]}\n";
+    return os.str();
+}
+
+} // namespace dtbl

@@ -1,0 +1,156 @@
+/**
+ * @file
+ * Host-side self-profiler: hierarchical wall-clock phase attribution
+ * for the simulator itself.
+ *
+ * The PMU (stats/pmu.hh) tells us where *simulated* cycles go; this
+ * profiler tells us where *host* wall-clock goes while producing them —
+ * the observability layer behind the `dtbl-bench` perf-regression
+ * harness. Call sites wrap the cycle-loop phases in RAII scopes
+ * (DTBL_HPROF_SCOPE): SMX frontend/issue, the memory system, TB
+ * dispatch, KMU/AGT processing, trace JSON emit, sanitizer hooks, and
+ * the host-level run phases (build/analysis/setup/sim/report/verify).
+ * Scopes nest, so the report is a tree with inclusive/exclusive
+ * nanoseconds and entry counts per phase.
+ *
+ * Purity contract (mirrors the trace/check/PMU observers): the profiler
+ * only ever *reads* the host clock. Enabling it — or compiling it out
+ * with -DDTBL_ENABLE_HOSTPROF=OFF (defines DTBL_HOSTPROF_ENABLED=0) —
+ * must never change simulated cycles, traceHash, stats, or sanitizer
+ * findings. tests/test_hostprof.cc and the CI hostprof-off job enforce
+ * this bit-identity the way the pmu-off/check-off jobs do for their
+ * subsystems.
+ *
+ * The profiler is a process-wide singleton so hook macros need no
+ * plumbing through every subsystem constructor. It is disabled by
+ * default: a disabled scope costs one predictable branch. The
+ * simulator is single-threaded by design (the TSan CI job proves it),
+ * so the singleton keeps no locks; toggle/reset it only between runs,
+ * outside any open scope.
+ */
+
+#ifndef DTBL_STATS_HOST_PROF_HH
+#define DTBL_STATS_HOST_PROF_HH
+
+#include <chrono>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#ifndef DTBL_HOSTPROF_ENABLED
+#define DTBL_HOSTPROF_ENABLED 1
+#endif
+
+namespace dtbl {
+
+class HostProfiler
+{
+  public:
+    /** False when -DDTBL_ENABLE_HOSTPROF=OFF compiled the hooks out. */
+    static constexpr bool compiledIn = DTBL_HOSTPROF_ENABLED != 0;
+
+    /** Version of the json() layout; bump on any key change. */
+    static constexpr int jsonSchemaVersion = 1;
+
+    /** One node of the phase tree. Node 0 is the synthetic root. */
+    struct Phase
+    {
+        std::string name;
+        /** Parent node index; -1 for the root. */
+        std::int32_t parent = -1;
+        std::vector<std::int32_t> children;
+        /** Total ns spent inside this scope, children included. */
+        std::uint64_t inclusiveNs = 0;
+        /** Times the scope was entered. */
+        std::uint64_t entries = 0;
+    };
+
+    /** The process-wide instance every DTBL_HPROF_SCOPE records into. */
+    static HostProfiler &instance();
+
+    /**
+     * Turn collection on/off. Stays off when compiled out. Call only
+     * between runs: toggling inside an open scope loses that scope.
+     */
+    void setEnabled(bool on);
+    bool enabled() const { return enabled_; }
+
+    /** Drop all recorded phases (the enabled flag is kept). */
+    void reset();
+
+    // --- phase-tree access (reports, tests) ----------------------------
+    std::size_t numPhases() const { return phases_.size(); }
+    const Phase &phase(std::size_t i) const { return phases_[i]; }
+    /** inclusive minus the children's inclusive (>= 0 by construction). */
+    std::uint64_t exclusiveNs(std::size_t i) const;
+    /** "/"-joined path from the root, e.g. "sim/smx/mem". */
+    std::string path(std::size_t i) const;
+    /** Node index of @p path, or -1 when never entered. */
+    std::int32_t find(const std::string &path) const;
+
+    /** Total ns accounted at the top level (root's children). */
+    std::uint64_t totalNs() const;
+
+    // --- exporters ------------------------------------------------------
+    /** Indented phase tree with inclusive/exclusive ms and entries. */
+    std::string textReport() const;
+    /** {"hostProfSchemaVersion":1,"phases":[{path,entries,...}]} */
+    std::string json() const;
+
+    /**
+     * RAII phase scope. Use via DTBL_HPROF_SCOPE so call sites compile
+     * out entirely under -DDTBL_ENABLE_HOSTPROF=OFF.
+     */
+    class Scope
+    {
+      public:
+        explicit Scope(const char *name)
+        {
+            HostProfiler &p = instance();
+            if (p.enabled_) {
+                prof_ = &p;
+                node_ = p.enter(name);
+                start_ = std::chrono::steady_clock::now();
+            }
+        }
+        ~Scope()
+        {
+            if (prof_)
+                prof_->exit(node_, start_);
+        }
+        Scope(const Scope &) = delete;
+        Scope &operator=(const Scope &) = delete;
+
+      private:
+        HostProfiler *prof_ = nullptr;
+        std::int32_t node_ = 0;
+        std::chrono::steady_clock::time_point start_;
+    };
+
+  private:
+    HostProfiler();
+
+    /** Descend into the child @p name of the current node. */
+    std::int32_t enter(const char *name);
+    void exit(std::int32_t node,
+              std::chrono::steady_clock::time_point start);
+
+    std::vector<Phase> phases_;
+    std::int32_t cur_ = 0;
+    bool enabled_ = false;
+};
+
+} // namespace dtbl
+
+#if DTBL_HOSTPROF_ENABLED
+#define DTBL_HPROF_CONCAT2(a, b) a##b
+#define DTBL_HPROF_CONCAT(a, b) DTBL_HPROF_CONCAT2(a, b)
+/** Attribute the enclosing block to host phase @p name. */
+#define DTBL_HPROF_SCOPE(name)                                             \
+    ::dtbl::HostProfiler::Scope DTBL_HPROF_CONCAT(dtblHprofScope_,         \
+                                                  __LINE__)(name)
+#else
+#define DTBL_HPROF_SCOPE(name) ((void)0)
+#endif
+
+#endif // DTBL_STATS_HOST_PROF_HH

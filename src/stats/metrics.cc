@@ -144,6 +144,14 @@ MetricsReport::str() const
     }
     if (profileSamples > 0)
         os << " profileSamples=" << profileSamples;
+    // Host wall-clock: only dtbl-bench measures it, so every other
+    // line (goldens, CI metric diffs) is untouched by the v6 fields.
+    if (simWallClockSec > 0.0) {
+        char buf[80];
+        std::snprintf(buf, sizeof buf, " wallClock=%.3fs cyclesPerSec=%.0f",
+                      simWallClockSec, simCyclesPerSec);
+        os << buf;
+    }
     return os.str();
 }
 
@@ -230,7 +238,9 @@ MetricsReport::json() const
         }
         os << "}";
     }
-    os << "}\n";
+    os << "},\n";
+    os << "  \"simWallClockSec\": " << jsonNum(simWallClockSec) << ",\n";
+    os << "  \"simCyclesPerSec\": " << jsonNum(simCyclesPerSec) << "\n";
     os << "}\n";
     return os.str();
 }
@@ -252,7 +262,8 @@ MetricsReport::csvHeader()
     h += ",profile_samples,sampled_peak_resident_warps,"
          "sampled_peak_agt_live,sampled_peak_pending_launch_bytes,"
          "l1_mshr_merges,l2_mshr_merges,mshr_stall_cycles,"
-         "l2_bank_conflicts,dispatch_policy";
+         "l2_bank_conflicts,dispatch_policy,sim_wall_clock_sec,"
+         "sim_cycles_per_sec";
     return h;
 }
 
@@ -275,7 +286,8 @@ MetricsReport::csvRow() const
        << sampledPeakAgtLive << ',' << sampledPeakPendingLaunchBytes
        << ',' << l1MshrMerges << ',' << l2MshrMerges << ','
        << mshrStallCycles << ',' << l2BankConflicts << ','
-       << dispatchPolicy;
+       << dispatchPolicy << ',' << jsonNum(simWallClockSec) << ','
+       << jsonNum(simCyclesPerSec);
     return os.str();
 }
 

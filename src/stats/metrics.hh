@@ -113,10 +113,10 @@ struct MetricsReport
      * Version of the report's serialized layouts (json()/csvHeader()).
      * v3 added the stall-attribution and profiler fields; v4 the MSHR /
      * L2-bank contention fields; v5 the dispatch policy and the
-     * per-kernel stall split; readers should reject versions they do
-     * not know.
+     * per-kernel stall split; v6 the host wall-clock fields; readers
+     * should reject versions they do not know.
      */
-    static constexpr int schemaVersion = 5;
+    static constexpr int schemaVersion = 6;
 
     std::string benchmark;
     std::string mode;
@@ -180,6 +180,17 @@ struct MetricsReport
     std::vector<std::pair<std::string,
                           std::array<std::uint64_t, kNumStallReasons>>>
         kernelStallSlotCycles;
+
+    // --- host wall-clock, v6 (zero unless RunOptions::measureWallClock) --
+    /**
+     * Host seconds spent inside App::execute, filled in by the runner —
+     * never by the simulation, so these fields cannot feed back into
+     * cycles/traceHash. Printed by str() only when nonzero, after the
+     * purity prefix like the other gated fields.
+     */
+    double simWallClockSec = 0.0;
+    /** cycles / simWallClockSec: simulator throughput. */
+    double simCyclesPerSec = 0.0;
 
     /** Build the derived report from raw counters. */
     static MetricsReport from(const SimStats &s, const std::string &bench,

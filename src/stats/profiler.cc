@@ -83,8 +83,8 @@ IntervalProfiler::writeJson(const std::string &path) const
     std::FILE *f = std::fopen(path.c_str(), "w");
     if (!f)
         return false;
-    std::fprintf(f, "{\"schemaVersion\": 3, \"window\": %" PRIu64
-                    ", \"cycles\": [", window_);
+    std::fprintf(f, "{\"schemaVersion\": %d, \"window\": %" PRIu64
+                    ", \"cycles\": [", kTimelineSchemaVersion, window_);
     for (std::size_t i = 0; i < cycles_.size(); ++i)
         std::fprintf(f, "%s%" PRIu64, i ? ", " : "", cycles_[i]);
     std::fputs("], \"series\": [", f);
@@ -267,6 +267,11 @@ IntervalProfiler::textReport(const std::string &bench,
             break;
         parts.push_back(std::size_t(c));
     }
+    // Windowed efficiency = delta(reads+writes) / delta(sum busy): the
+    // Figure 7 metric per window instead of end-of-run only.
+    const std::int64_t dramReadsIdx = pmu_.indexOf("dram.reads");
+    const std::int64_t dramWritesIdx = pmu_.indexOf("dram.writes");
+    const bool haveEff = dramReadsIdx >= 0 && dramWritesIdx >= 0;
     if (!parts.empty() && cycles_.size() >= 2) {
         os << "windowed DRAM busy% (delta of consecutive busy samples)\n"
            << "  window (cycles)           all";
@@ -275,6 +280,8 @@ IntervalProfiler::textReport(const std::string &bench,
             std::snprintf(buf, sizeof buf, "     p%zu", p);
             os << buf;
         }
+        if (haveEff)
+            os << "    eff";
         os << '\n';
         // Coarsen long timelines so the report stays bounded.
         const std::size_t intervals = cycles_.size() - 1;
@@ -304,7 +311,22 @@ IntervalProfiler::textReport(const std::string &bench,
             std::snprintf(buf, sizeof buf, " %6.1f",
                           100.0 * double(sum) /
                               double(span * parts.size()));
-            os << buf << cols << '\n';
+            os << buf << cols;
+            if (haveEff) {
+                const std::uint64_t dAccesses =
+                    (series_[std::size_t(dramReadsIdx)][k] -
+                     series_[std::size_t(dramReadsIdx)][j]) +
+                    (series_[std::size_t(dramWritesIdx)][k] -
+                     series_[std::size_t(dramWritesIdx)][j]);
+                if (sum > 0) {
+                    std::snprintf(buf, sizeof buf, " %6.2f",
+                                  double(dAccesses) / double(sum));
+                    os << buf;
+                } else {
+                    os << "      -";
+                }
+            }
+            os << '\n';
         }
         os << '\n';
     }

@@ -27,6 +27,13 @@ namespace dtbl {
 /** Default sampling window (--profile with no =N). */
 constexpr Cycle kDefaultProfileWindow = 512;
 
+/**
+ * Version of the writeJson() timeline layout. Named (rather than
+ * inlined in the format string) so tests/test_pmu.cc asserts against
+ * the same token and a bump cannot silently diverge from them.
+ */
+constexpr int kTimelineSchemaVersion = 3;
+
 class IntervalProfiler
 {
   public:

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/log.hh"
+#include "stats/host_prof.hh"
 
 namespace dtbl {
 
@@ -115,8 +116,10 @@ TraceSink::recordImpl(Cycle cycle, TraceEvent ev, std::uint32_t unit,
         }
         ringNext_ = (ringNext_ + 1) % ringCap_;
     }
-    if (json_)
+    if (json_) {
+        DTBL_HPROF_SCOPE("trace-json");
         writeJson(r);
+    }
 }
 
 TraceSummary

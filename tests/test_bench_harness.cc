@@ -1,0 +1,213 @@
+/**
+ * @file
+ * dtbl-bench harness tests: BENCH JSON serialization golden + exact
+ * round-trip (traceHash uses all 64 bits, past a double's mantissa),
+ * the baseline-compare exit-code policy the CI bench job relies on,
+ * and a small end-to-end grid run.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "apps/registry.hh"
+#include "harness/perf_harness.hh"
+
+using namespace dtbl;
+
+namespace {
+
+BenchRun
+sampleRun()
+{
+    BenchRun run;
+    run.label = "BENCH_TEST";
+    run.repeat = 2;
+    BenchPoint a;
+    a.benchmark = "bht";
+    a.mode = "dtbl";
+    a.cycles = 12345;
+    a.instrs = 678;
+    a.traceHash = 0xDEADBEEFDEADBEEFull; // needs full 64-bit round-trip
+    a.simWallClockSec = 0.5;
+    a.simCyclesPerSec = 24690.0;
+    a.hostPhases = {{"sim/smx", 1000}, {"sim/sched", 250}};
+    BenchPoint b;
+    b.benchmark = "regx_darpa";
+    b.mode = "flat";
+    b.cycles = 999;
+    b.instrs = 111;
+    b.traceHash = 42;
+    run.points = {a, b};
+    return run;
+}
+
+} // namespace
+
+// --- serialization -------------------------------------------------------
+
+TEST(BenchJson, GoldenDeterministicFields)
+{
+    const std::string j = benchJson(sampleRun());
+    // Schema header and deterministic per-point fields are byte-stable.
+    EXPECT_EQ(j.rfind("{\n  \"benchSchemaVersion\": 1,", 0), 0u);
+    EXPECT_NE(j.find("\"label\": \"BENCH_TEST\""), std::string::npos);
+    EXPECT_NE(j.find("\"repeat\": 2"), std::string::npos);
+    EXPECT_NE(j.find("\"benchmark\": \"bht\""), std::string::npos);
+    EXPECT_NE(j.find("\"cycles\": 12345"), std::string::npos);
+    EXPECT_NE(j.find("\"instrs\": 678"), std::string::npos);
+    EXPECT_NE(j.find("\"traceHash\": 16045690984833335023"),
+              std::string::npos);
+    EXPECT_NE(j.find("\"path\": \"sim/smx\", \"exclusiveNs\": 1000"),
+              std::string::npos);
+    // Serializing twice is bit-identical (trajectory diffs are clean).
+    EXPECT_EQ(j, benchJson(sampleRun()));
+}
+
+TEST(BenchJson, RoundTripIsExact)
+{
+    const BenchRun run = sampleRun();
+    BenchRun parsed;
+    std::string err;
+    ASSERT_TRUE(parseBenchJson(benchJson(run), parsed, err)) << err;
+    EXPECT_EQ(parsed.label, run.label);
+    EXPECT_EQ(parsed.repeat, run.repeat);
+    ASSERT_EQ(parsed.points.size(), run.points.size());
+    for (std::size_t i = 0; i < run.points.size(); ++i) {
+        const BenchPoint &want = run.points[i];
+        const BenchPoint &got = parsed.points[i];
+        EXPECT_EQ(got.benchmark, want.benchmark);
+        EXPECT_EQ(got.mode, want.mode);
+        EXPECT_EQ(got.cycles, want.cycles);
+        EXPECT_EQ(got.instrs, want.instrs);
+        EXPECT_EQ(got.traceHash, want.traceHash); // full 64 bits
+        EXPECT_DOUBLE_EQ(got.simWallClockSec, want.simWallClockSec);
+        EXPECT_EQ(got.hostPhases, want.hostPhases);
+    }
+}
+
+TEST(BenchJson, RejectsUnknownSchemaAndGarbage)
+{
+    BenchRun out;
+    std::string err;
+    EXPECT_FALSE(parseBenchJson(
+        "{\"benchSchemaVersion\": 99, \"label\": \"x\", \"repeat\": 1, "
+        "\"points\": []}",
+        out, err));
+    EXPECT_NE(err.find("benchSchemaVersion"), std::string::npos);
+    EXPECT_FALSE(parseBenchJson("not json", out, err));
+    EXPECT_FALSE(parseBenchJson("{\"label\": \"x\"}", out, err));
+}
+
+// --- baseline compare ----------------------------------------------------
+
+TEST(BenchCompare, CleanRunPasses)
+{
+    const BenchRun base = sampleRun();
+    std::ostringstream os;
+    EXPECT_EQ(compareBenchRuns(base, base, {}, os),
+              BenchCompareResult::Ok);
+    EXPECT_NE(os.str().find("OK"), std::string::npos);
+}
+
+TEST(BenchCompare, PerturbedCyclesFail)
+{
+    const BenchRun base = sampleRun();
+    BenchRun cur = base;
+    cur.points[0].cycles += 1;
+    std::ostringstream os;
+    EXPECT_EQ(compareBenchRuns(base, cur, {}, os),
+              BenchCompareResult::DeterministicMismatch);
+    EXPECT_NE(os.str().find("MISMATCH"), std::string::npos);
+}
+
+TEST(BenchCompare, PerturbedTraceHashFails)
+{
+    const BenchRun base = sampleRun();
+    BenchRun cur = base;
+    cur.points[1].traceHash ^= 1;
+    std::ostringstream os;
+    EXPECT_EQ(compareBenchRuns(base, cur, {}, os),
+              BenchCompareResult::DeterministicMismatch);
+}
+
+TEST(BenchCompare, WallClockGateIsOptIn)
+{
+    const BenchRun base = sampleRun();
+    BenchRun cur = base;
+    cur.points[0].simWallClockSec *= 2.0; // 100% slower
+
+    // No tolerance given: wall-clock is informational only.
+    std::ostringstream quiet;
+    EXPECT_EQ(compareBenchRuns(base, cur, {}, quiet),
+              BenchCompareResult::Ok);
+
+    // 15% tolerance: 2x is a regression.
+    BenchCompareOptions opts;
+    opts.wallTolerance = 0.15;
+    std::ostringstream os;
+    EXPECT_EQ(compareBenchRuns(base, cur, opts, os),
+              BenchCompareResult::WallClockRegression);
+    EXPECT_NE(os.str().find("REGRESSED"), std::string::npos);
+
+    // Within tolerance passes.
+    cur.points[0].simWallClockSec = base.points[0].simWallClockSec * 1.1;
+    std::ostringstream ok;
+    EXPECT_EQ(compareBenchRuns(base, cur, opts, ok),
+              BenchCompareResult::Ok);
+}
+
+TEST(BenchCompare, SmokeSubsetOkButUnknownPointFails)
+{
+    const BenchRun base = sampleRun();
+
+    // CI smoke runs a grid subset against the full committed baseline.
+    BenchRun subset = base;
+    subset.points.resize(1);
+    std::ostringstream os;
+    EXPECT_EQ(compareBenchRuns(base, subset, {}, os),
+              BenchCompareResult::Ok);
+    EXPECT_NE(os.str().find("not in this run"), std::string::npos);
+
+    // A current point the baseline has never seen is a failure: the
+    // grid grew and the baseline needs a refresh.
+    BenchRun grown = base;
+    BenchPoint extra;
+    extra.benchmark = "new_bench";
+    extra.mode = "flat";
+    extra.cycles = 7;
+    grown.points.push_back(extra);
+    std::ostringstream os2;
+    EXPECT_EQ(compareBenchRuns(base, grown, {}, os2),
+              BenchCompareResult::DeterministicMismatch);
+    EXPECT_NE(os2.str().find("NOT-IN-BASELINE"), std::string::npos);
+}
+
+// --- end-to-end grid run -------------------------------------------------
+
+TEST(BenchGrid, SinglePointMatchesDirectRun)
+{
+    BenchGridOptions opts;
+    opts.filters = {"bht/DTBL"};
+    const BenchRun run =
+        runBenchGrid({"bht"}, {Mode::Flat, Mode::Dtbl}, opts);
+    ASSERT_EQ(run.points.size(), 1u); // filter kept only bht/DTBL
+    const BenchPoint &p = run.points[0];
+    EXPECT_EQ(p.benchmark, "bht");
+    EXPECT_EQ(p.mode, "DTBL");
+    EXPECT_GT(p.cycles, 0u);
+    EXPECT_GT(p.instrs, 0u);
+    EXPECT_GT(p.simWallClockSec, 0.0);
+    EXPECT_GT(p.simCyclesPerSec, 0.0);
+
+    // Deterministic fields agree with a plain runner invocation.
+    auto app = makeBenchmark("bht");
+    const BenchResult direct = runBenchmark(*app, Mode::Dtbl);
+    EXPECT_EQ(p.cycles, direct.report.cycles);
+    EXPECT_EQ(p.traceHash, direct.report.traceHash);
+    EXPECT_EQ(p.instrs, direct.stats.warpInstrsIssued);
+    // The plain run measured no wall-clock, so its report is untouched
+    // by the v6 fields.
+    EXPECT_EQ(direct.report.simWallClockSec, 0.0);
+    EXPECT_EQ(direct.report.str().find("wallClock"), std::string::npos);
+}

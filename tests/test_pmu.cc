@@ -376,7 +376,9 @@ TEST(PmuProfiler, CsvJsonAndTextReportOutputs)
     ASSERT_TRUE(json.good());
     std::stringstream js;
     js << json.rdbuf();
-    EXPECT_NE(js.str().find("\"schemaVersion\": 3"), std::string::npos);
+    EXPECT_NE(js.str().find("\"schemaVersion\": " +
+                            std::to_string(kTimelineSchemaVersion)),
+              std::string::npos);
     EXPECT_NE(js.str().find("\"gpu.resident_warps\""), std::string::npos);
 
     const std::string report = prof->textReport("micro_add", "flat");
@@ -397,10 +399,9 @@ TEST(MetricsReportSchema, JsonAndCsvAreVersioned)
     r.cycles = 123;
 
     const std::string j = r.json();
-    EXPECT_EQ(j.rfind("{\n  \"schemaVersion\": 5,", 0), 0u);
+    EXPECT_EQ(j.rfind("{\n  \"schemaVersion\": 6,", 0), 0u);
     // Last-listed field stays last so appends are backwards-visible.
-    EXPECT_NE(j.find("\"kernelStallSlotCycles\": {}\n}"),
-              std::string::npos);
+    EXPECT_NE(j.find("\"simCyclesPerSec\": 0\n}"), std::string::npos);
 
     const std::string header = MetricsReport::csvHeader();
     EXPECT_EQ(header.rfind("schema_version,", 0), 0u);
@@ -412,5 +413,5 @@ TEST(MetricsReportSchema, JsonAndCsvAreVersioned)
         return n;
     };
     EXPECT_EQ(commas(header), commas(row));
-    EXPECT_EQ(row.rfind("5,b,flat,123,", 0), 0u);
+    EXPECT_EQ(row.rfind("6,b,flat,123,", 0), 0u);
 }

@@ -40,12 +40,6 @@ using namespace dtbl;
 
 namespace {
 
-/** One representative per application family (paper Table 4 order). */
-const std::vector<std::string> kFamilyReps = {
-    "amr_combustion", "bht",           "bfs_citation", "clr_citation",
-    "regx_darpa",     "pre_movielens", "join_uniform", "sssp_citation",
-};
-
 bool
 parseMode(const char *s, Mode &out)
 {
@@ -108,7 +102,7 @@ main(int argc, char **argv)
             for (const auto &s : allBenchmarks())
                 benches.push_back(s.id);
         } else {
-            benches = kFamilyReps;
+            benches = familyRepresentatives();
         }
     }
     if (modes.empty())

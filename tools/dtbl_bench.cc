@@ -1,0 +1,167 @@
+/**
+ * @file
+ * dtbl-bench: the simulator's perf-regression harness. Runs the
+ * 8-family x 5-mode grid (or a filtered subset), measures host
+ * wall-clock per point, and writes a schema-versioned BENCH JSON
+ * trajectory point (bench/baseline/ holds the committed history).
+ *
+ * With --baseline it compares the fresh run against a committed file:
+ * deterministic fields (cycles, instrs, traceHash) must match exactly
+ * on any machine; wall-clock is gated only when --wall-tolerance is
+ * given (same-machine workflows).
+ *
+ * Usage:
+ *   dtbl-bench [--out FILE] [--label NAME] [--filter SUBSTR]...
+ *              [--repeat N] [--hostprof] [--all]
+ *              [--baseline FILE] [--wall-tolerance FRAC]
+ *
+ * Exit codes: 0 ok; 1 deterministic mismatch vs baseline; 2 wall-clock
+ * regression beyond tolerance; 3 usage or I/O error.
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "apps/registry.hh"
+#include "harness/perf_harness.hh"
+#include "stats/host_prof.hh"
+
+using namespace dtbl;
+
+namespace {
+
+int
+usage(const char *argv0)
+{
+    std::fprintf(stderr,
+                 "usage: %s [--out FILE] [--label NAME] [--filter SUBSTR]...\n"
+                 "          [--repeat N] [--hostprof] [--all]\n"
+                 "          [--baseline FILE] [--wall-tolerance FRAC]\n",
+                 argv0);
+    return 3;
+}
+
+bool
+readFile(const std::string &path, std::string &out)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in)
+        return false;
+    std::ostringstream os;
+    os << in.rdbuf();
+    out = os.str();
+    return true;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    BenchGridOptions grid;
+    std::string outPath;
+    std::string label = "BENCH";
+    std::string baselinePath;
+    double wallTolerance = 0.0;
+    bool allBenches = false;
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string a = argv[i];
+        const auto next = [&]() -> const char * {
+            if (i + 1 >= argc) {
+                std::fprintf(stderr, "%s needs a value\n", a.c_str());
+                std::exit(3);
+            }
+            return argv[++i];
+        };
+        if (a == "--out") {
+            outPath = next();
+        } else if (a == "--label") {
+            label = next();
+        } else if (a == "--filter") {
+            grid.filters.push_back(next());
+        } else if (a == "--repeat") {
+            grid.repeat = std::atoi(next());
+            if (grid.repeat < 1)
+                return usage(argv[0]);
+        } else if (a == "--hostprof") {
+            grid.hostProfile = true;
+            if (!HostProfiler::compiledIn) {
+                std::fprintf(stderr,
+                             "warning: --hostprof requested but compiled "
+                             "out (-DDTBL_ENABLE_HOSTPROF=OFF)\n");
+            }
+        } else if (a == "--all") {
+            allBenches = true;
+        } else if (a == "--baseline") {
+            baselinePath = next();
+        } else if (a == "--wall-tolerance") {
+            wallTolerance = std::atof(next());
+        } else if (a == "--help" || a == "-h") {
+            usage(argv[0]);
+            return 0;
+        } else {
+            std::fprintf(stderr, "unknown argument '%s'\n", a.c_str());
+            return usage(argv[0]);
+        }
+    }
+
+    std::vector<std::string> ids;
+    if (allBenches) {
+        for (const auto &s : allBenchmarks())
+            ids.push_back(s.id);
+    } else {
+        ids = familyRepresentatives();
+    }
+    const std::vector<Mode> modes(evalModes.begin(), evalModes.end());
+
+    BenchRun run = runBenchGrid(ids, modes, grid);
+    run.label = label;
+    if (run.points.empty()) {
+        std::fprintf(stderr, "no grid points matched the filters\n");
+        return 3;
+    }
+
+    if (!outPath.empty()) {
+        std::ofstream out(outPath, std::ios::binary);
+        if (!out) {
+            std::fprintf(stderr, "cannot write %s\n", outPath.c_str());
+            return 3;
+        }
+        out << benchJson(run);
+        std::fprintf(stderr, "wrote %s (%zu points)\n", outPath.c_str(),
+                     run.points.size());
+    }
+
+    if (grid.hostProfile && HostProfiler::compiledIn) {
+        // Phase tree of the last point's last repeat — a quick look at
+        // where host time goes; the per-point top-K is in the JSON.
+        std::cout << HostProfiler::instance().textReport();
+    }
+
+    if (baselinePath.empty())
+        return 0;
+
+    std::string text;
+    if (!readFile(baselinePath, text)) {
+        std::fprintf(stderr, "cannot read baseline %s\n",
+                     baselinePath.c_str());
+        return 3;
+    }
+    BenchRun baseline;
+    std::string err;
+    if (!parseBenchJson(text, baseline, err)) {
+        std::fprintf(stderr, "bad baseline %s: %s\n", baselinePath.c_str(),
+                     err.c_str());
+        return 3;
+    }
+    BenchCompareOptions cmp;
+    cmp.wallTolerance = wallTolerance;
+    return int(compareBenchRuns(baseline, run, cmp, std::cout));
+}
